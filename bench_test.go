@@ -1,0 +1,265 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per table/figure, backed by internal/harness) plus micro-benchmarks of
+// the pieces Kaskade puts on the critical path: view enumeration (the
+// paper reports "a few milliseconds" per query, §VII-A), connector
+// materialization, pattern matching, and view selection.
+//
+// Run with: go test -bench=. -benchmem
+package kaskade_test
+
+import (
+	"io"
+	"testing"
+
+	"kaskade"
+	"kaskade/internal/datagen"
+	"kaskade/internal/enum"
+	"kaskade/internal/exec"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+	"kaskade/internal/harness"
+	"kaskade/internal/knapsack"
+	"kaskade/internal/prolog"
+	"kaskade/internal/views"
+	"kaskade/internal/workload"
+)
+
+// benchCfg keeps figure regeneration fast enough for -bench runs while
+// preserving every shape; use cmd/kaskade-bench for full-scale output.
+func benchCfg() harness.Config { return harness.Config{Scale: 0.05, Sample: 25} }
+
+// --- one benchmark per table/figure ---
+
+func BenchmarkTableI_II_ViewInventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if kaskade.ViewInventory() == "" {
+			b.Fatal("empty inventory")
+		}
+	}
+}
+
+func BenchmarkTableIII_Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.TableIII(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.PrintTableIII(io.Discard, rows)
+	}
+}
+
+func BenchmarkTableIV_Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.PrintTableIV(io.Discard)
+	}
+}
+
+func BenchmarkFig5_ViewSizeEstimation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.PrintFig5(io.Discard, rows)
+	}
+}
+
+func BenchmarkFig6_SizeReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.PrintFig6(io.Discard, rows)
+	}
+}
+
+func BenchmarkFig7_QueryRuntimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.PrintFig7(io.Discard, rows)
+	}
+}
+
+func BenchmarkFig8_DegreeDistributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.PrintFig8(io.Discard, rows)
+	}
+}
+
+func BenchmarkAblation_SearchSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.PrintAblation(io.Discard, rows)
+	}
+}
+
+// --- critical-path micro-benchmarks ---
+
+func filteredProvBench(b *testing.B) *graph.Graph {
+	b.Helper()
+	cfg := datagen.DefaultProvConfig()
+	cfg.Jobs, cfg.Files, cfg.TasksPerJob, cfg.Machines = 500, 1200, 2, 20
+	raw, err := datagen.Prov(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := views.VertexInclusionSummarizer{Types: []string{"Job", "File"}}.Materialize(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkViewEnumeration measures constraint-based enumeration latency
+// for the blast-radius query — the paper's "introduces a few
+// milliseconds to the total query runtime" claim (§VII-A).
+func BenchmarkViewEnumeration(b *testing.B) {
+	q := gql.MustParse(harness.BlastRadiusQuery)
+	en := &enum.Enumerator{Schema: datagen.ProvSchema(), MaxK: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := en.Enumerate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConnectorMaterialization(b *testing.B) {
+	g := filteredProvBench(b)
+	v := views.KHopConnector{SrcType: "Job", DstType: "Job", K: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Materialize(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummarizerMaterialization(b *testing.B) {
+	cfg := datagen.DefaultProvConfig()
+	cfg.Jobs, cfg.Files, cfg.TasksPerJob = 500, 1200, 10
+	raw, err := datagen.Prov(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := views.VertexInclusionSummarizer{Types: []string{"Job", "File"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Materialize(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlastRadius compares the paper's headline query over the
+// filtered graph vs. over the materialized 2-hop connector.
+func BenchmarkBlastRadius(b *testing.B) {
+	g := filteredProvBench(b)
+	conn, err := views.KHopConnector{SrcType: "Job", DstType: "Job", K: 2}.Materialize(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := gql.MustParse(harness.BlastRadiusQuery)
+	rewritten := gql.MustParse(`
+		SELECT A.pipelineName, AVG(T_CPU) FROM (
+		  SELECT A, SUM(B.CPU) AS T_CPU FROM (
+		    MATCH (q_j1:Job)-[r:CONN_2HOP_Job_Job*1..5]->(q_j2:Job)
+		    RETURN q_j1 AS A, q_j2 AS B
+		  ) GROUP BY A, B
+		) GROUP BY A.pipelineName`)
+
+	b.Run("filter", func(b *testing.B) {
+		ex := &exec.Executor{G: g}
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Execute(base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("connector", func(b *testing.B) {
+		ex := &exec.Executor{G: conn}
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Execute(rewritten); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkViewSelection(b *testing.B) {
+	g := filteredProvBench(b)
+	a := &workload.Analyzer{Schema: g.Schema(), MaxK: 10}
+	qs := []gql.Query{gql.MustParse(harness.BlastRadiusQuery)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(g, qs, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrologSchemaKHopPath(b *testing.B) {
+	m := prolog.NewMachine()
+	if err := m.ConsultString(`
+		schemaEdge('Job', 'File', 'W').
+		schemaEdge('File', 'Job', 'R').
+		schemaKHopPath(X, Y, K) :- schemaKHopWalk(X, Y, K).
+		schemaKHopWalk(X, Y, 1) :- schemaEdge(X, Y, _).
+		schemaKHopWalk(X, Y, K) :- K > 1,
+			schemaEdge(X, Z, _), K1 is K - 1, schemaKHopWalk(Z, Y, K1).
+	`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := m.Query("schemaKHopPath('Job', 'Job', 8)", 0)
+		if err != nil || len(sols) == 0 {
+			b.Fatalf("sols=%d err=%v", len(sols), err)
+		}
+	}
+}
+
+func BenchmarkPatternMatch2Hop(b *testing.B) {
+	g := filteredProvBench(b)
+	q := gql.MustParse(`MATCH (a:Job)-[:WRITES_TO]->(f:File)-[:IS_READ_BY]->(c:Job) RETURN a, c`)
+	ex := &exec.Executor{G: g}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKnapsack60Items(b *testing.B) {
+	items := make([]knapsack.Item, 60)
+	for i := range items {
+		items[i] = knapsack.Item{Weight: int64(1 + (i*37)%997), Value: float64((i * 61) % 503)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knapsack.Solve(items, 5_000)
+	}
+}
+
+func BenchmarkLabelPropagation(b *testing.B) {
+	g := filteredProvBench(b)
+	r := workload.BaseRunner(g, "Job", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(workload.Q7Community); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

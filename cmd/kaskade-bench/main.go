@@ -1,0 +1,137 @@
+// Command kaskade-bench regenerates every table and figure of the
+// paper's evaluation (§VII) over the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	kaskade-bench                  # everything at default scale
+//	kaskade-bench -exp fig7        # one experiment
+//	kaskade-bench -scale 0.2       # smaller datasets (faster)
+//
+// Experiments: tables, datasets, queries, fig5, fig6, fig7, fig8,
+// ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kaskade/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: tables|datasets|queries|fig5|fig6|fig7|fig8|ablation|all")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper-shaped laptop defaults)")
+	sample := flag.Int("sample", 200, "per-source traversal sample for Fig. 7 queries")
+	seed := flag.Int64("seed", 0, "generator seed override (0 = defaults)")
+	flag.Parse()
+
+	cfg := harness.Config{Scale: *scale, Seed: *seed, Sample: *sample}
+	if err := run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "kaskade-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg harness.Config) error {
+	w := os.Stdout
+	section := func(name string, fn func() error) error {
+		start := time.Now()
+		fmt.Fprintf(w, "==== %s ====\n", name)
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(w, "(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	want := func(name string) bool { return exp == "all" || exp == name }
+
+	if want("tables") || want("queries") {
+		if err := section("Tables I & II (view classes)", func() error {
+			harness.PrintTableIAndII(w)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := section("Table IV (query workload)", func() error {
+			harness.PrintTableIV(w)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("datasets") {
+		if err := section("Table III (datasets)", func() error {
+			rows, err := harness.TableIII(cfg)
+			if err != nil {
+				return err
+			}
+			harness.PrintTableIII(w, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig5") {
+		if err := section("Fig. 5 (view size estimation)", func() error {
+			rows, err := harness.Fig5(cfg)
+			if err != nil {
+				return err
+			}
+			harness.PrintFig5(w, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig6") {
+		if err := section("Fig. 6 (size reduction)", func() error {
+			rows, err := harness.Fig6(cfg)
+			if err != nil {
+				return err
+			}
+			harness.PrintFig6(w, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig7") {
+		if err := section("Fig. 7 (query runtimes)", func() error {
+			rows, err := harness.Fig7(cfg)
+			if err != nil {
+				return err
+			}
+			harness.PrintFig7(w, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig8") {
+		if err := section("Fig. 8 (degree distributions)", func() error {
+			rows, err := harness.Fig8(cfg)
+			if err != nil {
+				return err
+			}
+			harness.PrintFig8(w, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("ablation") {
+		if err := section("§IV-A ablation (search-space pruning)", func() error {
+			rows, err := harness.Ablation()
+			if err != nil {
+				return err
+			}
+			harness.PrintAblation(w, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

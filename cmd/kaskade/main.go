@@ -1,0 +1,216 @@
+// Command kaskade is the CLI for the Kaskade graph view optimizer: it
+// generates (or loads) an evaluation graph, enumerates candidate views
+// for a query, runs view selection under a budget, and executes queries
+// raw vs. rewritten over materialized views.
+//
+// Examples:
+//
+//	kaskade -cmd tables
+//	kaskade -dataset prov -cmd schema
+//	kaskade -dataset prov -cmd stats
+//	kaskade -dataset prov -cmd enumerate -query "$(cat q.gql)"
+//	kaskade -dataset prov -cmd select -query "$(cat q.gql)" -budget 100000
+//	kaskade -dataset prov -cmd run -query "$(cat q.gql)" -budget 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kaskade"
+	"kaskade/internal/datagen"
+	"kaskade/internal/graph"
+	"kaskade/internal/harness"
+	"kaskade/internal/views"
+)
+
+func main() {
+	var (
+		cmd     = flag.String("cmd", "help", "tables|schema|stats|enumerate|select|run|explain")
+		dataset = flag.String("dataset", "prov", "dataset: prov|dblp|roadnet|soc")
+		scale   = flag.Float64("scale", 0.25, "dataset scale factor")
+		seed    = flag.Int64("seed", 0, "generator seed override")
+		query   = flag.String("query", "", "query text (defaults to the blast-radius query on prov)")
+		budget  = flag.Int64("budget", 200_000, "view materialization budget in edges")
+		filter  = flag.Bool("filter", true, "pre-apply the schema-level summarizer on heterogeneous datasets")
+		rawRun  = flag.Bool("raw", true, "for -cmd run, also execute the query without views for comparison")
+		load    = flag.String("load", "", "load the graph from a file (written with -save) instead of generating")
+		save    = flag.String("save", "", "save the (possibly filtered) graph to a file and exit")
+	)
+	flag.Parse()
+
+	if err := run(*cmd, *dataset, *scale, *seed, *query, *budget, *filter, *rawRun, *load, *save); err != nil {
+		fmt.Fprintln(os.Stderr, "kaskade:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd, dataset string, scale float64, seed int64, query string, budget int64, filter, rawRun bool, load, save string) error {
+	if (cmd == "help" || cmd == "") && save == "" {
+		flag.Usage()
+		return nil
+	}
+	if cmd == "tables" {
+		fmt.Print(kaskade.ViewInventory())
+		return nil
+	}
+
+	var g *graph.Graph
+	var err error
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = graph.Load(f)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", load, err)
+		}
+		filter = false // the file is taken as-is
+	} else {
+		g, err = datagen.Generate(dataset, scale, seed)
+		if err != nil {
+			return err
+		}
+	}
+	if filter {
+		switch dataset {
+		case datagen.NameProv:
+			g, err = views.VertexInclusionSummarizer{Types: []string{"Job", "File"}}.Materialize(g)
+		case datagen.NameDBLP:
+			g, err = views.VertexInclusionSummarizer{Types: []string{"Author", "Paper"}}.Materialize(g)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		if err := graph.Save(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s to %s\n", g, save)
+		return nil
+	}
+
+	sys := kaskade.New(g)
+
+	if query == "" {
+		query = harness.BlastRadiusQuery
+	}
+
+	switch cmd {
+	case "schema":
+		if g.Schema() == nil {
+			fmt.Println("(no schema)")
+			return nil
+		}
+		fmt.Print(g.Schema().String())
+		return nil
+
+	case "stats":
+		p := sys.Stats()
+		fmt.Printf("|V| = %d, |E| = %d\n", p.NumVertices, p.NumEdges)
+		fmt.Printf("%-14s %8s %6s %6s %6s %8s\n", "vertex type", "count", "p50", "p90", "p95", "max")
+		for _, t := range g.VertexTypes() {
+			s := p.ByType[t]
+			fmt.Printf("%-14s %8d %6d %6d %6d %8d\n", t, s.Count, s.P50, s.P90, s.P95, s.Max)
+		}
+		return nil
+
+	case "enumerate":
+		cands, err := sys.EnumerateViews(query)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d candidate views:\n%s\n", len(cands), kaskade.DescribeCandidates(cands))
+		return nil
+
+	case "select":
+		sel, err := sys.SelectViews([]string{query}, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sel.Describe())
+		return nil
+
+	case "explain":
+		sel, err := sys.SelectViews([]string{query}, budget)
+		if err != nil {
+			return err
+		}
+		if err := sys.AdoptSelection(sel); err != nil {
+			return err
+		}
+		out, err := sys.Explain(query)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+
+	case "run":
+		sel, err := sys.SelectViews([]string{query}, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sel.Describe())
+		start := time.Now()
+		if err := sys.AdoptSelection(sel); err != nil {
+			return err
+		}
+		fmt.Printf("materialized %s in %s (%d edges)\n\n",
+			strings.Join(sys.Catalog().Views(), ", "),
+			time.Since(start).Round(time.Millisecond),
+			sys.Catalog().TotalEdges())
+
+		start = time.Now()
+		res, plan, err := sys.QueryWithPlan(query)
+		if err != nil {
+			return err
+		}
+		viewDur := time.Since(start)
+		fmt.Printf("with views (plan: %s): %d rows in %s\n", planName(plan.ViewName), len(res.Rows), viewDur.Round(time.Microsecond))
+
+		if rawRun {
+			start = time.Now()
+			rawRes, err := sys.QueryRaw(query)
+			if err != nil {
+				return err
+			}
+			rawDur := time.Since(start)
+			fmt.Printf("raw:                      %d rows in %s\n", len(rawRes.Rows), rawDur.Round(time.Microsecond))
+			if viewDur > 0 {
+				fmt.Printf("speedup: %.2fx\n", float64(rawDur)/float64(viewDur))
+			}
+		}
+		if len(res.Rows) > 0 {
+			fmt.Println("\nfirst rows:")
+			preview := *res
+			if len(preview.Rows) > 5 {
+				preview.Rows = preview.Rows[:5]
+			}
+			fmt.Print(preview.String())
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func planName(v string) string {
+	if v == "" {
+		return "base graph"
+	}
+	return v
+}

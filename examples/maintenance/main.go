@@ -1,0 +1,92 @@
+// Incremental view maintenance: a provenance graph grows (new jobs keep
+// writing and reading files) while a materialized job-to-job connector
+// stays consistent without rematerialization — the maintenance side of
+// graph views that makes them practical on live graphs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"kaskade"
+)
+
+func main() {
+	schema := kaskade.MustSchema(
+		[]string{"Job", "File"},
+		[]kaskade.EdgeType{
+			{From: "Job", To: "File", Name: "WRITES_TO"},
+			{From: "File", To: "Job", Name: "IS_READ_BY"},
+		})
+	base := kaskade.NewGraph(schema)
+
+	def := kaskade.KHopConnector{SrcType: "Job", DstType: "Job", K: 2}
+	m, err := kaskade.NewMaintainedConnector(def, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate a growing data lake: jobs arrive over time, write fresh
+	// files, and read files written by earlier jobs.
+	rng := rand.New(rand.NewSource(42))
+	var jobs, files []kaskade.VertexID
+	start := time.Now()
+	for day := 0; day < 300; day++ {
+		j, err := m.AddVertex("Job", kaskade.Properties{"CPU": int64(1 + rng.Intn(100))})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Read a few existing files (lineage to earlier jobs)...
+		for r := 0; r < rng.Intn(4) && len(files) > 0; r++ {
+			f := files[rng.Intn(len(files))]
+			if _, err := m.AddEdge(f, j, "IS_READ_BY", kaskade.Properties{"ts": int64(day)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// ...and write some new ones.
+		for w := 0; w < 1+rng.Intn(3); w++ {
+			f, err := m.AddVertex("File", nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			files = append(files, f)
+			if _, err := m.AddEdge(j, f, "WRITES_TO", kaskade.Properties{"ts": int64(day)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		jobs = append(jobs, j)
+
+		if (day+1)%100 == 0 {
+			fmt.Printf("day %3d: base %s; maintained connector has %d job-to-job edges\n",
+				day+1, base, m.View().NumEdges())
+		}
+	}
+	maintainDur := time.Since(start)
+
+	// Cross-check against a from-scratch materialization.
+	start = time.Now()
+	fresh, err := def.Materialize(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rematDur := time.Since(start)
+	if fresh.NumEdges() != m.View().NumEdges() {
+		log.Fatalf("maintained view diverged: %d vs %d edges", m.View().NumEdges(), fresh.NumEdges())
+	}
+	fmt.Printf("\nmaintained view matches rematerialization (%d contracted edges) ✓\n", fresh.NumEdges())
+	fmt.Printf("total incremental upkeep across %d days: %s (one rematerialization alone: %s)\n",
+		300, maintainDur.Round(time.Microsecond), rematDur.Round(time.Microsecond))
+
+	// The maintained view is a normal graph: query it directly.
+	sys := kaskade.New(m.View())
+	res, err := sys.QueryRaw(`
+		SELECT n FROM (
+			MATCH (a:Job)-[c]->(b:Job) RETURN COUNT(c) AS n
+		)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job-to-job dependency edges queryable on the view: %v\n", res.Rows[0][0])
+}

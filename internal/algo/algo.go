@@ -1,0 +1,221 @@
+// Package algo implements the graph algorithms the evaluation workload
+// needs beyond pattern matching: k-hop neighborhood traversals (Q2/Q3),
+// per-path aggregation (Q4), label-propagation community detection
+// (Q7 — the paper used Neo4j's APOC UDF), and largest-community
+// extraction (Q8).
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"kaskade/internal/graph"
+)
+
+// Direction selects traversal orientation.
+type Direction int
+
+// Traversal directions.
+const (
+	Forward  Direction = iota // follow out-edges (descendants)
+	Backward                  // follow in-edges (ancestors)
+)
+
+// KHopNeighborhood returns the set of vertices reachable from src within
+// 1..k hops in the given direction (BFS; src itself is excluded). This is
+// the primitive behind Q2 (ancestors, Backward) and Q3 (descendants,
+// Forward).
+func KHopNeighborhood(g *graph.Graph, src graph.VertexID, k int, dir Direction) []graph.VertexID {
+	if k < 1 {
+		return nil
+	}
+	visited := map[graph.VertexID]bool{src: true}
+	frontier := []graph.VertexID{src}
+	var out []graph.VertexID
+	for hop := 0; hop < k && len(frontier) > 0; hop++ {
+		var next []graph.VertexID
+		for _, v := range frontier {
+			for _, eid := range edgesOf(g, v, dir) {
+				n := neighbor(g, eid, dir)
+				if !visited[n] {
+					visited[n] = true
+					next = append(next, n)
+					out = append(out, n)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// PathLengths computes, for every vertex in src's forward k-hop
+// neighborhood, the aggregate (max) of the edge property `prop` over all
+// edges of the BFS tree path reaching it — Q4's "weighted distance":
+// retrieve the 4-hop neighborhood, then aggregate an edge data property
+// (the timestamp) along paths. The BFS relaxes a vertex when a path with
+// a smaller aggregate is found, making the result order-independent.
+func PathLengths(g *graph.Graph, src graph.VertexID, k int, prop string) map[graph.VertexID]int64 {
+	dist := make(map[graph.VertexID]int64)
+	type item struct {
+		v    graph.VertexID
+		agg  int64
+		hops int
+	}
+	queue := []item{{v: src, agg: 0, hops: 0}}
+	best := map[graph.VertexID]int64{src: 0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.hops == k {
+			continue
+		}
+		for _, eid := range g.Out(cur.v) {
+			e := g.Edge(eid)
+			ts, _ := e.Prop(prop).(int64)
+			agg := cur.agg
+			if ts > agg {
+				agg = ts
+			}
+			prev, seen := best[e.To]
+			if !seen || agg < prev {
+				best[e.To] = agg
+				queue = append(queue, item{v: e.To, agg: agg, hops: cur.hops + 1})
+				if e.To != src {
+					dist[e.To] = agg
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// LabelPropagation runs synchronous label-propagation community
+// detection for the given number of passes (Q7; the paper runs 25 passes
+// of the APOC implementation). Every vertex starts in its own community;
+// each pass it adopts the most frequent community among its undirected
+// neighbors (ties broken by the smaller label for determinism). The
+// final labels are written to the vertex property `communityProp` and
+// also returned.
+func LabelPropagation(g *graph.Graph, passes int, communityProp string) []int64 {
+	n := g.NumVertices()
+	labels := make([]int64, n)
+	for i := range labels {
+		labels[i] = int64(i)
+	}
+	next := make([]int64, n)
+	counts := make(map[int64]int)
+	for p := 0; p < passes; p++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			clear(counts)
+			id := graph.VertexID(v)
+			for _, eid := range g.Out(id) {
+				counts[labels[g.Edge(eid).To]]++
+			}
+			for _, eid := range g.In(id) {
+				counts[labels[g.Edge(eid).From]]++
+			}
+			if len(counts) == 0 {
+				next[v] = labels[v]
+				continue
+			}
+			bestLabel, bestCount := labels[v], 0
+			for label, c := range counts {
+				if c > bestCount || (c == bestCount && label < bestLabel) {
+					bestLabel, bestCount = label, c
+				}
+			}
+			next[v] = bestLabel
+			if bestLabel != labels[v] {
+				changed = true
+			}
+		}
+		labels, next = next, labels
+		if !changed {
+			break
+		}
+	}
+	if communityProp != "" {
+		for v := 0; v < n; v++ {
+			g.Vertex(graph.VertexID(v)).SetProp(communityProp, labels[v])
+		}
+	}
+	return labels
+}
+
+// LargestCommunity returns the community label with the most vertices of
+// countType ("" counts all vertices) and the member vertices of that
+// community — Q8: the largest community as measured by the number of
+// "job" vertices. It reads the labels written by LabelPropagation.
+func LargestCommunity(g *graph.Graph, communityProp, countType string) (label int64, members []graph.VertexID, err error) {
+	counts := make(map[int64]int)
+	found := false
+	g.EachVertex(func(v *graph.Vertex) {
+		l, ok := v.Prop(communityProp).(int64)
+		if !ok {
+			return
+		}
+		found = true
+		if countType == "" || v.Type == countType {
+			counts[l]++
+		}
+	})
+	if !found {
+		return 0, nil, fmt.Errorf("algo: no %q labels present; run LabelPropagation first", communityProp)
+	}
+	best := int64(-1)
+	bestCount := -1
+	var labelsSorted []int64
+	for l := range counts {
+		labelsSorted = append(labelsSorted, l)
+	}
+	sort.Slice(labelsSorted, func(i, j int) bool { return labelsSorted[i] < labelsSorted[j] })
+	for _, l := range labelsSorted {
+		if counts[l] > bestCount {
+			best, bestCount = l, counts[l]
+		}
+	}
+	g.EachVertex(func(v *graph.Vertex) {
+		if l, ok := v.Prop(communityProp).(int64); ok && l == best {
+			members = append(members, v.ID)
+		}
+	})
+	return best, members, nil
+}
+
+// Reachable computes the full forward reachability set from src
+// (unbounded hops), excluding src — the "blast radius" vertex set used
+// by Q1-style impact analyses.
+func Reachable(g *graph.Graph, src graph.VertexID) []graph.VertexID {
+	visited := map[graph.VertexID]bool{src: true}
+	stack := []graph.VertexID{src}
+	var out []graph.VertexID
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, eid := range g.Out(v) {
+			n := g.Edge(eid).To
+			if !visited[n] {
+				visited[n] = true
+				out = append(out, n)
+				stack = append(stack, n)
+			}
+		}
+	}
+	return out
+}
+
+func edgesOf(g *graph.Graph, v graph.VertexID, dir Direction) []graph.EdgeID {
+	if dir == Forward {
+		return g.Out(v)
+	}
+	return g.In(v)
+}
+
+func neighbor(g *graph.Graph, eid graph.EdgeID, dir Direction) graph.VertexID {
+	if dir == Forward {
+		return g.Edge(eid).To
+	}
+	return g.Edge(eid).From
+}

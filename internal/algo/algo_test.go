@@ -1,0 +1,173 @@
+package algo
+
+import (
+	"testing"
+
+	"kaskade/internal/graph"
+)
+
+// chain builds a -> b -> c -> d with timestamps 5, 2, 9.
+func chain(t testing.TB) (*graph.Graph, []graph.VertexID) {
+	t.Helper()
+	g := graph.NewGraph(nil)
+	ids := make([]graph.VertexID, 4)
+	for i := range ids {
+		ids[i] = g.MustAddVertex("V", nil)
+	}
+	g.MustAddEdge(ids[0], ids[1], "E", graph.Properties{"ts": int64(5)})
+	g.MustAddEdge(ids[1], ids[2], "E", graph.Properties{"ts": int64(2)})
+	g.MustAddEdge(ids[2], ids[3], "E", graph.Properties{"ts": int64(9)})
+	return g, ids
+}
+
+func TestKHopNeighborhoodForward(t *testing.T) {
+	g, ids := chain(t)
+	got := KHopNeighborhood(g, ids[0], 2, Forward)
+	if len(got) != 2 || got[0] != ids[1] || got[1] != ids[2] {
+		t.Errorf("2-hop forward = %v, want [b c]", got)
+	}
+	all := KHopNeighborhood(g, ids[0], 10, Forward)
+	if len(all) != 3 {
+		t.Errorf("10-hop forward = %v, want 3 vertices", all)
+	}
+	if KHopNeighborhood(g, ids[0], 0, Forward) != nil {
+		t.Error("k=0 should be empty")
+	}
+}
+
+func TestKHopNeighborhoodBackward(t *testing.T) {
+	g, ids := chain(t)
+	got := KHopNeighborhood(g, ids[3], 2, Backward)
+	if len(got) != 2 || got[0] != ids[2] || got[1] != ids[1] {
+		t.Errorf("2-hop backward = %v, want [c b]", got)
+	}
+}
+
+func TestKHopNeighborhoodNoDoubleCount(t *testing.T) {
+	// Diamond: a->b, a->c, b->d, c->d. d reached once.
+	g := graph.NewGraph(nil)
+	a := g.MustAddVertex("V", nil)
+	b := g.MustAddVertex("V", nil)
+	c := g.MustAddVertex("V", nil)
+	d := g.MustAddVertex("V", nil)
+	g.MustAddEdge(a, b, "E", nil)
+	g.MustAddEdge(a, c, "E", nil)
+	g.MustAddEdge(b, d, "E", nil)
+	g.MustAddEdge(c, d, "E", nil)
+	got := KHopNeighborhood(g, a, 2, Forward)
+	if len(got) != 3 {
+		t.Errorf("diamond 2-hop = %v, want 3 distinct vertices", got)
+	}
+}
+
+func TestPathLengths(t *testing.T) {
+	g, ids := chain(t)
+	dist := PathLengths(g, ids[0], 3, "ts")
+	// b: max(5)=5; c: max(5,2)=5; d: max(5,2,9)=9.
+	if dist[ids[1]] != 5 || dist[ids[2]] != 5 || dist[ids[3]] != 9 {
+		t.Errorf("path aggregates = %v", dist)
+	}
+	// Bounded hops exclude d.
+	dist = PathLengths(g, ids[0], 2, "ts")
+	if _, ok := dist[ids[3]]; ok {
+		t.Error("d reachable within 2 hops?")
+	}
+}
+
+func TestPathLengthsPicksSmallerAggregate(t *testing.T) {
+	// Two paths to c: via b (max ts 9) and direct (ts 3): keep 3.
+	g := graph.NewGraph(nil)
+	a := g.MustAddVertex("V", nil)
+	b := g.MustAddVertex("V", nil)
+	c := g.MustAddVertex("V", nil)
+	g.MustAddEdge(a, b, "E", graph.Properties{"ts": int64(9)})
+	g.MustAddEdge(b, c, "E", graph.Properties{"ts": int64(1)})
+	g.MustAddEdge(a, c, "E", graph.Properties{"ts": int64(3)})
+	dist := PathLengths(g, a, 4, "ts")
+	if dist[c] != 3 {
+		t.Errorf("dist[c] = %d, want 3 (smaller max over paths)", dist[c])
+	}
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	// Two triangles joined by a single edge: communities should align
+	// with the triangles.
+	g := graph.NewGraph(nil)
+	v := make([]graph.VertexID, 6)
+	for i := range v {
+		v[i] = g.MustAddVertex("V", nil)
+	}
+	tri := func(a, b, c graph.VertexID) {
+		g.MustAddEdge(a, b, "E", nil)
+		g.MustAddEdge(b, c, "E", nil)
+		g.MustAddEdge(c, a, "E", nil)
+	}
+	tri(v[0], v[1], v[2])
+	tri(v[3], v[4], v[5])
+	g.MustAddEdge(v[2], v[3], "E", nil)
+
+	labels := LabelPropagation(g, 25, "community")
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("first triangle split: %v", labels[:3])
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Errorf("second triangle split: %v", labels[3:])
+	}
+	// Labels persisted as properties.
+	if g.Vertex(v[0]).Prop("community") != labels[0] {
+		t.Error("community property not written")
+	}
+}
+
+func TestLabelPropagationDeterminism(t *testing.T) {
+	g, _ := chain(t)
+	l1 := LabelPropagation(g, 10, "")
+	l2 := LabelPropagation(g, 10, "")
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("nondeterministic labels at %d", i)
+		}
+	}
+}
+
+func TestLargestCommunity(t *testing.T) {
+	g := graph.NewGraph(nil)
+	// Community 0: two Jobs and a File; community 1: one Job.
+	a := g.MustAddVertex("Job", graph.Properties{"community": int64(0)})
+	b := g.MustAddVertex("Job", graph.Properties{"community": int64(0)})
+	g.MustAddVertex("File", graph.Properties{"community": int64(0)})
+	g.MustAddVertex("Job", graph.Properties{"community": int64(1)})
+
+	label, members, err := LargestCommunity(g, "community", "Job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 0 {
+		t.Errorf("label = %d, want 0", label)
+	}
+	if len(members) != 3 { // all members of community 0, any type
+		t.Errorf("members = %v, want 3", members)
+	}
+	_ = a
+	_ = b
+	// Missing labels error.
+	g2 := graph.NewGraph(nil)
+	g2.MustAddVertex("Job", nil)
+	if _, _, err := LargestCommunity(g2, "community", ""); err == nil {
+		t.Error("missing labels accepted")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g, ids := chain(t)
+	r := Reachable(g, ids[1])
+	if len(r) != 2 {
+		t.Errorf("reachable from b = %v, want [c d]", r)
+	}
+	// Cycles terminate.
+	g.MustAddEdge(ids[3], ids[0], "E", nil)
+	r = Reachable(g, ids[0])
+	if len(r) != 3 {
+		t.Errorf("reachable with cycle = %v, want 3", r)
+	}
+}

@@ -1,0 +1,152 @@
+package constraints
+
+import (
+	"strings"
+	"testing"
+
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+)
+
+const blastRadius = `
+MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File)
+      (q_f1:File)-[r*0..8]->(q_f2:File)
+      (q_f2:File)-[:IS_READ_BY]->(q_j2:Job)
+RETURN q_j1 AS A, q_j2 AS B`
+
+// TestQueryFactsMatchListing verifies §IV-A1: the fact set extracted from
+// the blast-radius MATCH clause is exactly the one shown in the paper.
+func TestQueryFactsMatchListing(t *testing.T) {
+	m := gql.MustParse(blastRadius).(*gql.MatchQuery)
+	facts, err := QueryFacts(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"queryVertex('q_j1').",
+		"queryVertex('q_f1').",
+		"queryVertex('q_f2').",
+		"queryVertex('q_j2').",
+		"queryVertexType('q_f1', 'File').",
+		"queryVertexType('q_f2', 'File').",
+		"queryVertexType('q_j1', 'Job').",
+		"queryVertexType('q_j2', 'Job').",
+		"queryEdge('q_j1', 'q_f1').",
+		"queryEdge('q_f2', 'q_j2').",
+		"queryEdgeType('q_j1', 'q_f1', 'WRITES_TO').",
+		"queryEdgeType('q_f2', 'q_j2', 'IS_READ_BY').",
+		"queryVariableLengthPath('q_f1', 'q_f2', 0, 8).",
+	}
+	got := make(map[string]bool, len(facts))
+	for _, f := range facts {
+		got[f] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing fact %s\nall facts:\n%s", w, strings.Join(facts, "\n"))
+		}
+	}
+	if len(facts) != len(want) {
+		t.Errorf("fact count = %d, want %d:\n%s", len(facts), len(want), strings.Join(facts, "\n"))
+	}
+}
+
+func TestQueryFactsAnonymousAndReversed(t *testing.T) {
+	m := gql.MustParse(`MATCH (a:File)<-[:WRITES_TO]-()-[r*]->(b) RETURN a, b`).(*gql.MatchQuery)
+	facts, err := QueryFacts(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(facts, "\n")
+	// Reversed edge is emitted forward: anon -> a.
+	if !strings.Contains(joined, "queryEdge('anon_0_1', 'a')") {
+		t.Errorf("reversed edge not normalized:\n%s", joined)
+	}
+	// Unbounded *: upper becomes DefaultMaxHops.
+	if !strings.Contains(joined, "queryVariableLengthPath('anon_0_1', 'b', 1, 10)") {
+		t.Errorf("unbounded path not capped:\n%s", joined)
+	}
+}
+
+func TestSchemaFacts(t *testing.T) {
+	s := graph.MustSchema(
+		[]string{"Job", "File"},
+		[]graph.EdgeType{
+			{From: "Job", To: "File", Name: "WRITES_TO"},
+			{From: "File", To: "Job", Name: "IS_READ_BY"},
+		},
+	)
+	facts, err := SchemaFacts(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(facts, "\n")
+	for _, w := range []string{
+		"schemaVertex('File').",
+		"schemaVertex('Job').",
+		"schemaEdge('Job', 'File', 'WRITES_TO').",
+		"schemaEdge('File', 'Job', 'IS_READ_BY').",
+	} {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing %s in:\n%s", w, joined)
+		}
+	}
+	if _, err := SchemaFacts(nil); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestProjectedVars(t *testing.T) {
+	m := gql.MustParse(`MATCH (a:Job)-[:W]->(b:File) RETURN a.name, COUNT(b) AS n`).(*gql.MatchQuery)
+	got := ProjectedVars(m)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("projected = %v, want [a b]", got)
+	}
+}
+
+func TestKHopSchemaPathsProcedural(t *testing.T) {
+	edges := []graph.EdgeType{
+		{From: "Job", To: "File", Name: "WRITES_TO"},
+		{From: "File", To: "Job", Name: "IS_READ_BY"},
+	}
+	paths, explored := KHopSchemaPathsProcedural(edges, 2)
+	if len(paths) != 2 {
+		t.Fatalf("2-hop schema paths = %d, want 2 (J->F->J, F->J->F)", len(paths))
+	}
+	if explored <= 0 {
+		t.Error("explored count not tracked")
+	}
+	// k=1 returns the schema edges themselves.
+	one, _ := KHopSchemaPathsProcedural(edges, 1)
+	if len(one) != 2 {
+		t.Errorf("1-hop = %d, want 2", len(one))
+	}
+	if p, _ := KHopSchemaPathsProcedural(edges, 0); p != nil {
+		t.Error("k=0 should yield nothing")
+	}
+}
+
+// TestProceduralExploresMore backs §IV-A: the procedural version explores
+// a larger space than the constrained declarative pipeline because it
+// cannot be injected among the other rules — on a cyclic schema the
+// explored-extensions metric grows quickly with k.
+func TestProceduralExploresMore(t *testing.T) {
+	edges := []graph.EdgeType{
+		{From: "Job", To: "File", Name: "W"},
+		{From: "File", To: "Job", Name: "R"},
+		{From: "Job", To: "Task", Name: "S"},
+		{From: "Task", To: "Task", Name: "T"}, // cycle
+		{From: "Task", To: "Machine", Name: "M"},
+	}
+	_, explored4 := KHopSchemaPathsProcedural(edges, 4)
+	_, explored8 := KHopSchemaPathsProcedural(edges, 8)
+	if explored8 <= explored4 {
+		t.Errorf("explored(k=8)=%d should exceed explored(k=4)=%d", explored8, explored4)
+	}
+}
+
+func TestQueryFactsErrors(t *testing.T) {
+	if _, err := QueryFacts(nil); err == nil {
+		t.Error("nil match accepted")
+	}
+}

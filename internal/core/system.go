@@ -1,0 +1,196 @@
+// Package core wires Kaskade's components (Fig. 2 of the paper) into one
+// system: the constraint miner and inference-based view enumerator feed
+// the workload analyzer (view selection) and the query rewriter; an
+// execution engine evaluates plans over the raw graph or over
+// materialized views. The root kaskade package re-exports this as the
+// public API.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kaskade/internal/cost"
+	"kaskade/internal/enum"
+	"kaskade/internal/exec"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+	"kaskade/internal/views"
+	"kaskade/internal/workload"
+)
+
+// System is a Kaskade instance over one base graph.
+type System struct {
+	graph    *graph.Graph
+	analyzer *workload.Analyzer
+	catalog  *workload.Catalog
+	// MaxRows guards query execution (0 = unlimited).
+	MaxRows int
+}
+
+// New creates a system over the given graph. The graph should have a
+// schema — Kaskade's constraint mining feeds on it (§IV-A); without one,
+// only raw execution works.
+func New(g *graph.Graph) *System {
+	return &System{
+		graph:    g,
+		analyzer: &workload.Analyzer{Schema: g.Schema()},
+		catalog:  workload.NewCatalog(g),
+	}
+}
+
+// Graph returns the base graph.
+func (s *System) Graph() *graph.Graph { return s.graph }
+
+// Catalog returns the materialized view catalog.
+func (s *System) Catalog() *workload.Catalog { return s.catalog }
+
+// Stats returns the maintained graph data properties (§V-A).
+func (s *System) Stats() *cost.GraphProperties { return cost.Collect(s.graph) }
+
+// Query parses, performs view-based rewriting against the materialized
+// catalog (§V-C), and executes the best plan.
+func (s *System) Query(src string) (*exec.Result, error) {
+	res, _, err := s.QueryWithPlan(src)
+	return res, err
+}
+
+// QueryWithPlan is Query, also returning the chosen plan for inspection.
+func (s *System) QueryWithPlan(src string) (*exec.Result, *workload.Plan, error) {
+	q, err := gql.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := s.catalog.Rewrite(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := &exec.Executor{G: plan.Graph, MaxRows: s.MaxRows}
+	res, err := ex.Execute(plan.Query)
+	return res, plan, err
+}
+
+// QueryRaw executes the query against the base graph, bypassing views
+// (the baseline of every experiment).
+func (s *System) QueryRaw(src string) (*exec.Result, error) {
+	q, err := gql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ex := &exec.Executor{G: s.graph, MaxRows: s.MaxRows}
+	return ex.Execute(q)
+}
+
+// EnumerateViews runs constraint-based view enumeration (§IV) for one
+// query and returns the candidates.
+func (s *System) EnumerateViews(src string) ([]enum.Candidate, error) {
+	q, err := gql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	en := &enum.Enumerator{Schema: s.graph.Schema()}
+	res, err := en.Enumerate(q)
+	if err != nil {
+		return nil, err
+	}
+	return res.Candidates, nil
+}
+
+// SelectViews runs view selection (§V-B) for a workload of query strings
+// under a space budget in edges, without materializing anything.
+func (s *System) SelectViews(workloadQueries []string, budgetEdges int64) (*workload.Selection, error) {
+	qs := make([]gql.Query, len(workloadQueries))
+	for i, src := range workloadQueries {
+		q, err := gql.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("kaskade: workload query %d: %w", i, err)
+		}
+		qs[i] = q
+	}
+	return s.analyzer.Analyze(s.graph, qs, budgetEdges)
+}
+
+// AdoptSelection materializes every chosen view of a selection into the
+// catalog.
+func (s *System) AdoptSelection(sel *workload.Selection) error {
+	for _, ev := range sel.Chosen {
+		if err := s.catalog.Add(ev.Candidate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaterializeView materializes a single view directly (manual view
+// management; anchors default to empty so only summarizer redirection
+// or name-matched connector rewriting applies).
+func (s *System) MaterializeView(v views.View) error {
+	return s.catalog.Add(enum.Candidate{View: v})
+}
+
+// Explain describes the plan Kaskade would choose for a query.
+func (s *System) Explain(src string) (string, error) {
+	q, err := gql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	plan, err := s.catalog.Rewrite(q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if plan.ViewName == "" {
+		fmt.Fprintf(&b, "plan: base graph scan (no applicable materialized view)\n")
+	} else {
+		fmt.Fprintf(&b, "plan: rewritten over materialized view %s\n", plan.ViewName)
+	}
+	fmt.Fprintf(&b, "estimated cost: %.4g\n", plan.Cost)
+	fmt.Fprintf(&b, "query: %s\n", plan.Query.String())
+	return b.String(), nil
+}
+
+// ViewInventory renders Tables I and II: the connector and summarizer
+// classes the view template library supports.
+func ViewInventory() string {
+	type row struct{ name, desc string }
+	connectors := []row{
+		{"Same-vertex-type connector", "Target vertices are all pairs of vertices with a specific vertex type."},
+		{"k-hop connector", "Target vertices are all vertex pairs that are connected through k-length paths."},
+		{"Same-edge-type connector", "Target vertices are all pairs of vertices connected with a path of edges of a specific edge type."},
+		{"Source-to-sink connector", "Target vertices are (source, sink) pairs: no incoming resp. no outgoing edges."},
+	}
+	summarizers := []row{
+		{"Vertex-removal summarizer", "Removes vertices (and connected edges) satisfying a predicate."},
+		{"Edge-removal summarizer", "Removes edges satisfying a predicate."},
+		{"Vertex-inclusion summarizer", "Keeps vertices satisfying the predicate and edges with both endpoints kept."},
+		{"Edge-inclusion summarizer", "Keeps only edges satisfying a predicate."},
+		{"Vertex-aggregator summarizer", "Groups vertices satisfying a predicate into supervertices with aggregated properties."},
+		{"Edge-aggregator summarizer", "Groups parallel edges into superedges with aggregated properties."},
+		{"Subgraph-aggregator summarizer", "Groups vertices and the edges among them into supervertices."},
+	}
+	var b strings.Builder
+	b.WriteString("Table I: Connectors in KASKADE\n")
+	for _, r := range connectors {
+		fmt.Fprintf(&b, "  %-32s %s\n", r.name, r.desc)
+	}
+	b.WriteString("Table II: Summarizers in KASKADE\n")
+	for _, r := range summarizers {
+		fmt.Fprintf(&b, "  %-32s %s\n", r.name, r.desc)
+	}
+	return b.String()
+}
+
+// DescribeCandidates renders enumerated candidates deterministically.
+func DescribeCandidates(cands []enum.Candidate) string {
+	lines := make([]string, 0, len(cands))
+	for _, c := range cands {
+		anchor := ""
+		if c.SrcVar != "" {
+			anchor = fmt.Sprintf(" anchored at (%s, %s)", c.SrcVar, c.DstVar)
+		}
+		lines = append(lines, fmt.Sprintf("%-28s %s%s", c.Template, c.View.Describe(), anchor))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

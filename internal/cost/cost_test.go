@@ -1,0 +1,152 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"kaskade/internal/datagen"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+)
+
+func smallProv(t testing.TB) *graph.Graph {
+	t.Helper()
+	cfg := datagen.DefaultProvConfig()
+	cfg.Jobs, cfg.Files, cfg.TasksPerJob, cfg.Machines, cfg.Users = 300, 600, 2, 20, 10
+	g, err := datagen.Prov(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCollect(t *testing.T) {
+	g := smallProv(t)
+	p := Collect(g)
+	if p.NumVertices != g.NumVertices() || p.NumEdges != g.NumEdges() {
+		t.Errorf("sizes: %d/%d vs %d/%d", p.NumVertices, p.NumEdges, g.NumVertices(), g.NumEdges())
+	}
+	js, ok := p.ByType["Job"]
+	if !ok || js.Count != 300 {
+		t.Errorf("job summary = %+v", js)
+	}
+	if js.P50 > js.P95 || js.P95 > js.Max {
+		t.Errorf("percentiles not monotone: %+v", js)
+	}
+}
+
+func TestErdosRenyiPaths(t *testing.T) {
+	// Dense small graph: n=4, m=6 (complete): expected 2-paths
+	// C(4,3) * (6/6)^2 = 4.
+	got := ErdosRenyiPaths(4, 6, 2)
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("ER(4,6,2) = %v, want 4", got)
+	}
+	// Degenerate inputs.
+	if ErdosRenyiPaths(1, 0, 2) != 0 {
+		t.Error("n<k+1 should give 0")
+	}
+	if ErdosRenyiPaths(100, 50, 0) != 0 {
+		t.Error("k<1 should give 0")
+	}
+	// Large n does not overflow.
+	big := ErdosRenyiPaths(5_000_000_000, 16_000_000_000, 2)
+	if math.IsNaN(big) || math.IsInf(big, 0) || big <= 0 {
+		t.Errorf("ER at paper scale = %v", big)
+	}
+}
+
+func TestEstimatorsMonotoneInAlphaAndK(t *testing.T) {
+	g := smallProv(t)
+	p := Collect(g)
+	sc := g.Schema()
+	for _, k := range []int{1, 2, 3} {
+		e50, err := EstimateKHopPaths(p, sc, k, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e95, err := EstimateKHopPaths(p, sc, k, 95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e100, err := EstimateKHopPaths(p, sc, k, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(e50 <= e95 && e95 <= e100) {
+			t.Errorf("k=%d: estimates not monotone in α: %g %g %g", k, e50, e95, e100)
+		}
+	}
+	// Monotone in k for α where deg >= 1.
+	e2, _ := EstimateKHopPaths(p, sc, 2, 95)
+	e4, _ := EstimateKHopPaths(p, sc, 4, 95)
+	if e4 < e2 {
+		t.Errorf("estimate not monotone in k: k2=%g k4=%g", e2, e4)
+	}
+}
+
+func TestHomogeneousVsHeterogeneousDispatch(t *testing.T) {
+	soc, err := datagen.SocialNetwork(datagen.SocialConfig{Users: 500, Edges: 3000, Exponent: 2.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Collect(soc)
+	viaDispatch, err := EstimateKHopPaths(p, soc.Schema(), 2, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := EstimateHomogeneousPaths(p, 2, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaDispatch != direct {
+		t.Errorf("dispatch = %g, homogeneous = %g", viaDispatch, direct)
+	}
+	if _, err := EstimateHeterogeneousPaths(p, nil, 2, 95); err == nil {
+		t.Error("heterogeneous estimator without schema should error")
+	}
+}
+
+func TestUnsupportedAlpha(t *testing.T) {
+	g := smallProv(t)
+	p := Collect(g)
+	if _, err := EstimateKHopPaths(p, g.Schema(), 2, 42); err == nil {
+		t.Error("α=42 should be rejected")
+	}
+}
+
+func TestEvalCostOrdersPlans(t *testing.T) {
+	g := smallProv(t)
+	p := Collect(g)
+	sc := g.Schema()
+
+	long := gql.MustParse(`MATCH (a:Job)-[:WRITES_TO]->(f1:File)(f1:File)-[r*0..8]->(f2:File)(f2:File)-[:IS_READ_BY]->(b:Job) RETURN a, b`)
+	short := gql.MustParse(`MATCH (a:Job)-[r*1..5]->(b:Job) RETURN a, b`)
+
+	cLong, err := EvalCost(long, p, sc, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cShort, err := EvalCost(short, p, sc, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point of the rewrite: fewer hops must price cheaper.
+	if cShort >= cLong {
+		t.Errorf("rewritten plan not cheaper: short=%g long=%g", cShort, cLong)
+	}
+}
+
+func TestEvalCostErrors(t *testing.T) {
+	g := smallProv(t)
+	p := Collect(g)
+	if _, err := EvalCost(gql.MustParse(`MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a`), p, g.Schema(), 42); err == nil {
+		t.Error("bad alpha should surface")
+	}
+}
+
+func TestCreationCostProportional(t *testing.T) {
+	if CreationCost(100) >= CreationCost(1000) {
+		t.Error("creation cost not increasing with size")
+	}
+}

@@ -1,0 +1,365 @@
+// Package enum implements Kaskade's inference-based view enumeration
+// (§IV-B): view templates are Prolog rules (Listing 3 for connectors,
+// Listing 5 for summarizers); the constraint miner's explicit facts and
+// mining rules are injected into the inference engine; and candidate
+// views are the solutions of the template goals. The injected query
+// constraints are what prune the search space from the O(M^k) schema-path
+// explosion to the handful of candidates feasible for the query (§IV-A2).
+package enum
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kaskade/internal/constraints"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+	"kaskade/internal/prolog"
+	"kaskade/internal/views"
+)
+
+// Templates is Kaskade's view template library, expressed as inference
+// rules (Listing 3 connectors; summarizer templates in the spirit of
+// Listing 5 — the "prune to what the query touches" views the evaluation
+// uses). The library is extensible: additional rules can be consulted
+// into the enumerator's machine.
+const Templates = `
+% ---- connector templates (Listing 3) ----
+
+% k-hop connector between nodes X and Y. Both endpoints must be
+% projected out of the MATCH clause (§IV-B: a rewriting may only keep the
+% vertices the rest of the query can see).
+kHopConnector(X, Y, XTYPE, YTYPE, K) :-
+    % query constraints
+    queryVertexType(X, XTYPE),
+    queryVertexType(Y, YTYPE),
+    queryVertexProjected(X),
+    queryVertexProjected(Y),
+    queryKHopPath(X, Y, K),
+    % schema constraints
+    schemaKHopPath(XTYPE, YTYPE, K).
+
+% k-hop connector where all vertices are of the same type.
+kHopConnectorSameVertexType(X, Y, VTYPE, K) :-
+    kHopConnector(X, Y, VTYPE, VTYPE, K).
+
+% Variable-length connector where all vertices are of the same type.
+connectorSameVertexType(X, Y, VTYPE) :-
+    % query constraints
+    queryVertexType(X, VTYPE),
+    queryVertexType(Y, VTYPE),
+    queryVertexProjected(X),
+    queryVertexProjected(Y),
+    queryPath(X, Y),
+    % schema constraints
+    schemaPath(VTYPE, VTYPE).
+
+% Source-to-sink variable-length connector.
+sourceToSinkConnector(X, Y) :-
+    % query constraints
+    queryVertexSource(X),
+    queryVertexSink(Y),
+    queryVertexProjected(X),
+    queryVertexProjected(Y),
+    queryPath(X, Y).
+
+% ---- summarizer templates (in the spirit of Listing 5) ----
+
+% A vertex-inclusion summarizer keeping exactly the vertex types the
+% query touches is feasible whenever the query names at least one type.
+summarizerKeepVertexTypes(TS) :-
+    setof(T, queryUsedVertexType(T), TS).
+
+% Schema vertex types the query never touches can be removed.
+summarizerRemoveVertexType(T) :-
+    schemaVertex(T),
+    not(queryUsedVertexType(T)).
+
+% Edge types explicitly used by the query.
+queryUsedEdgeType(T) :- queryEdgeType(_, _, T).
+summarizerKeepEdgeTypes(TS) :-
+    setof(T, queryUsedEdgeType(T), TS).
+`
+
+// Candidate is one enumerated view together with its rewrite anchors.
+type Candidate struct {
+	View views.View
+	// Template names the Prolog rule that produced the candidate.
+	Template string
+	// SrcVar/DstVar are the query variables the connector endpoints bind
+	// to (empty for summarizers). K is the contraction length (0 when
+	// not a k-hop view).
+	SrcVar, DstVar string
+	K              int
+}
+
+// Result is the outcome of one enumeration run.
+type Result struct {
+	Candidates []Candidate
+	// Solutions counts raw template solutions before deduplication.
+	Solutions int
+	// Steps is the number of inference steps the engine spent — the
+	// search-effort metric of the constraint-injection ablation.
+	Steps int64
+}
+
+// Enumerator generates candidate views for queries over a schema.
+type Enumerator struct {
+	Schema *graph.Schema
+	// MaxK bounds enumerated k-hop connectors (paper: k ≤ 10). Zero
+	// means DefaultMaxK.
+	MaxK int
+	// ExtraRules are additional template/mining rules to consult
+	// (KASKADE's library is "readily extensible", §IV).
+	ExtraRules string
+}
+
+// DefaultMaxK bounds the k of enumerated k-hop connectors.
+const DefaultMaxK = 10
+
+func (e *Enumerator) maxK() int {
+	if e.MaxK > 0 {
+		return e.MaxK
+	}
+	return DefaultMaxK
+}
+
+// machine builds a fresh inference machine loaded with mining rules,
+// templates, schema facts, and the query's facts.
+func (e *Enumerator) machine(m *gql.MatchQuery) (*prolog.Machine, error) {
+	pm := prolog.NewMachine()
+	if err := pm.ConsultString(constraints.MiningRules); err != nil {
+		return nil, fmt.Errorf("enum: mining rules: %w", err)
+	}
+	if err := pm.ConsultString(Templates); err != nil {
+		return nil, fmt.Errorf("enum: templates: %w", err)
+	}
+	if e.ExtraRules != "" {
+		if err := pm.ConsultString(e.ExtraRules); err != nil {
+			return nil, fmt.Errorf("enum: extra rules: %w", err)
+		}
+	}
+	sf, err := constraints.SchemaFacts(e.Schema)
+	if err != nil {
+		return nil, err
+	}
+	qf, err := constraints.QueryFacts(m)
+	if err != nil {
+		return nil, err
+	}
+	facts := append(sf, qf...)
+	for _, v := range constraints.ProjectedVars(m) {
+		facts = append(facts, fmt.Sprintf("queryVertexProjected('%s').", v))
+	}
+	if err := pm.ConsultString(strings.Join(facts, "\n")); err != nil {
+		return nil, fmt.Errorf("enum: facts: %w", err)
+	}
+	// Some queries have no variable-length paths or no typed edges; the
+	// mining rules still reference those predicates, so define each with
+	// a never-succeeding clause rather than erroring as unknown. (A
+	// dummy *fact* would poison the recursive path rules with cycles.)
+	for _, decl := range []string{
+		"queryVariableLengthPath(_, _, _, _) :- fail.",
+		"queryEdge(_, _) :- fail.",
+		"queryEdgeType(_, _, _) :- fail.",
+		"queryVertexType(_, _) :- fail.",
+		"queryVertex(_) :- fail.",
+		"queryVertexProjected(_) :- fail.",
+	} {
+		if err := pm.ConsultString(decl); err != nil {
+			return nil, err
+		}
+	}
+	return pm, nil
+}
+
+// Enumerate generates the candidate views for a query (§IV-B). The
+// returned candidates are deduplicated by view identity, in deterministic
+// SLD solution order.
+func (e *Enumerator) Enumerate(q gql.Query) (*Result, error) {
+	m := gql.InnermostMatch(q)
+	if m == nil {
+		return nil, fmt.Errorf("enum: query has no MATCH block")
+	}
+	pm, err := e.machine(m)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	seen := make(map[string]bool)
+	add := func(c Candidate) {
+		key := c.View.Name() + "/" + c.SrcVar + "/" + c.DstVar
+		if !seen[key] {
+			seen[key] = true
+			res.Candidates = append(res.Candidates, c)
+		}
+	}
+
+	// k-hop connectors (k >= 2: a 1-hop "connector" is the base edge).
+	goal := fmt.Sprintf("kHopConnector(X, Y, XT, YT, K), K >= 2, K =< %d", e.maxK())
+	sols, err := pm.Query(goal, 0)
+	if err != nil {
+		return nil, fmt.Errorf("enum: kHopConnector: %w", err)
+	}
+	res.Steps += pm.Steps()
+	res.Solutions += len(sols)
+	for _, s := range sols {
+		if bogus(s.Atom("XT")) || bogus(s.Atom("YT")) {
+			continue
+		}
+		add(Candidate{
+			View: views.KHopConnector{
+				SrcType: s.Atom("XT"),
+				DstType: s.Atom("YT"),
+				K:       int(s.Int("K")),
+			},
+			Template: "kHopConnector",
+			SrcVar:   s.Atom("X"),
+			DstVar:   s.Atom("Y"),
+			K:        int(s.Int("K")),
+		})
+	}
+
+	// Same-vertex-type variable-length connectors.
+	sols, err = pm.Query("connectorSameVertexType(X, Y, VT)", 0)
+	if err != nil {
+		return nil, fmt.Errorf("enum: connectorSameVertexType: %w", err)
+	}
+	res.Steps += pm.Steps()
+	res.Solutions += len(sols)
+	for _, s := range sols {
+		if bogus(s.Atom("VT")) {
+			continue
+		}
+		add(Candidate{
+			View:     views.SameVertexTypeConnector{VType: s.Atom("VT"), MaxLen: e.maxK()},
+			Template: "connectorSameVertexType",
+			SrcVar:   s.Atom("X"),
+			DstVar:   s.Atom("Y"),
+		})
+	}
+
+	// Source-to-sink connectors.
+	sols, err = pm.Query("sourceToSinkConnector(X, Y)", 0)
+	if err != nil {
+		return nil, fmt.Errorf("enum: sourceToSinkConnector: %w", err)
+	}
+	res.Steps += pm.Steps()
+	res.Solutions += len(sols)
+	for _, s := range sols {
+		if bogus(s.Atom("X")) || bogus(s.Atom("Y")) {
+			continue
+		}
+		add(Candidate{
+			View:     views.SourceToSinkConnector{MaxLen: e.maxK()},
+			Template: "sourceToSinkConnector",
+			SrcVar:   s.Atom("X"),
+			DstVar:   s.Atom("Y"),
+		})
+	}
+
+	// Vertex-inclusion summarizer keeping the query's vertex types.
+	sols, err = pm.Query("summarizerKeepVertexTypes(TS)", 0)
+	if err != nil {
+		return nil, fmt.Errorf("enum: summarizerKeepVertexTypes: %w", err)
+	}
+	res.Steps += pm.Steps()
+	res.Solutions += len(sols)
+	for _, s := range sols {
+		ts := atomList(s, "TS")
+		if len(ts) == 0 {
+			continue
+		}
+		add(Candidate{
+			View:     views.VertexInclusionSummarizer{Types: ts},
+			Template: "summarizerKeepVertexTypes",
+		})
+	}
+
+	// Vertex-removal summarizer dropping untouched schema types
+	// (aggregate all removable types into one candidate).
+	sols, err = pm.Query("summarizerRemoveVertexType(T)", 0)
+	if err != nil {
+		return nil, fmt.Errorf("enum: summarizerRemoveVertexType: %w", err)
+	}
+	res.Steps += pm.Steps()
+	res.Solutions += len(sols)
+	var removable []string
+	for _, s := range sols {
+		if t := s.Atom("T"); t != "" && !bogus(t) {
+			removable = append(removable, t)
+		}
+	}
+	if len(removable) > 0 {
+		sort.Strings(removable)
+		add(Candidate{
+			View:     views.VertexRemovalSummarizer{Types: removable},
+			Template: "summarizerRemoveVertexType",
+		})
+	}
+
+	// Edge-inclusion summarizer keeping the query's edge types.
+	sols, err = pm.Query("summarizerKeepEdgeTypes(TS)", 0)
+	if err != nil {
+		return nil, fmt.Errorf("enum: summarizerKeepEdgeTypes: %w", err)
+	}
+	res.Steps += pm.Steps()
+	res.Solutions += len(sols)
+	for _, s := range sols {
+		ts := atomList(s, "TS")
+		if len(ts) == 0 {
+			continue
+		}
+		add(Candidate{
+			View:     views.EdgeInclusionSummarizer{Types: ts},
+			Template: "summarizerKeepEdgeTypes",
+		})
+	}
+
+	return res, nil
+}
+
+// UnconstrainedSchemaPaths enumerates schema k-hop paths *without* query
+// constraints — the search space the paper's §IV-A2 describes as at least
+// M^k in cyclic schemas. Returns the solution count and the inference
+// steps spent; the ablation compares these against a constrained run.
+func UnconstrainedSchemaPaths(schema *graph.Schema, maxK int) (solutions int, steps int64, err error) {
+	pm := prolog.NewMachine()
+	if err := pm.ConsultString(constraints.MiningRules); err != nil {
+		return 0, 0, err
+	}
+	sf, err := constraints.SchemaFacts(schema)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := pm.ConsultString(strings.Join(sf, "\n")); err != nil {
+		return 0, 0, err
+	}
+	goal := fmt.Sprintf("between(2, %d, K), schemaKHopPath(X, Y, K)", maxK)
+	sols, err := pm.Query(goal, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(sols), pm.Steps(), nil
+}
+
+// bogus filters the placeholder facts asserted so mining rules never hit
+// unknown predicates.
+func bogus(atom string) bool { return atom == "__none" }
+
+func atomList(s prolog.Solution, name string) []string {
+	elems, ok := prolog.ListSlice(s.Get(name))
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, e := range elems {
+		es := prolog.TermString(e)
+		es = strings.Trim(es, "'")
+		if es != "" && !bogus(es) {
+			out = append(out, es)
+		}
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package exec
+
+import (
+	"fmt"
+
+	"kaskade/internal/gql"
+)
+
+// aggregator implements grouped aggregation for both SELECT ... GROUP BY
+// and Cypher-style implicit grouping in RETURN (group by the
+// non-aggregate items). newAggregator returns nil when no aggregation is
+// needed (pure projection).
+type aggregator struct {
+	items    []gql.ReturnItem
+	keyExprs []gql.Expr      // grouping key expressions
+	aggNodes []*gql.FuncCall // aggregate calls across all items
+	groups   map[string]*aggGroup
+	order    []string // group keys in first-seen order
+}
+
+type aggGroup struct {
+	repEnv map[string]Value // environment of the group's first row
+	accs   []accumulator
+}
+
+func newAggregator(items []gql.ReturnItem, groupBy []gql.Expr) *aggregator {
+	var aggNodes []*gql.FuncCall
+	for _, item := range items {
+		aggNodes = append(aggNodes, collectAggregates(item.Expr)...)
+	}
+	if len(aggNodes) == 0 && len(groupBy) == 0 {
+		return nil
+	}
+	a := &aggregator{
+		items:    items,
+		keyExprs: groupBy,
+		aggNodes: aggNodes,
+		groups:   make(map[string]*aggGroup),
+	}
+	if len(groupBy) == 0 {
+		// Implicit grouping: key on the aggregate-free items.
+		for _, item := range items {
+			if !gql.HasAggregate(item.Expr) {
+				a.keyExprs = append(a.keyExprs, item.Expr)
+			}
+		}
+	}
+	return a
+}
+
+func collectAggregates(e gql.Expr) []*gql.FuncCall {
+	switch e := e.(type) {
+	case *gql.FuncCall:
+		if e.IsAggregate() {
+			return []*gql.FuncCall{e}
+		}
+		var out []*gql.FuncCall
+		for _, a := range e.Args {
+			out = append(out, collectAggregates(a)...)
+		}
+		return out
+	case *gql.BinaryExpr:
+		return append(collectAggregates(e.Left), collectAggregates(e.Right)...)
+	case *gql.UnaryExpr:
+		return collectAggregates(e.Operand)
+	}
+	return nil
+}
+
+// feed routes one input row (as an environment) into its group.
+func (a *aggregator) feed(env map[string]Value) error {
+	keyVals := make([]Value, len(a.keyExprs))
+	for i, ke := range a.keyExprs {
+		v, err := evalExpr(ke, env)
+		if err != nil {
+			return err
+		}
+		keyVals[i] = v
+	}
+	key := groupKey(keyVals)
+	g, ok := a.groups[key]
+	if !ok {
+		rep := make(map[string]Value, len(env))
+		for k, v := range env {
+			rep[k] = v
+		}
+		g = &aggGroup{repEnv: rep, accs: make([]accumulator, len(a.aggNodes))}
+		for i, node := range a.aggNodes {
+			g.accs[i] = newAccumulator(node.Name)
+		}
+		a.groups[key] = g
+		a.order = append(a.order, key)
+	}
+	for i, node := range a.aggNodes {
+		var v Value
+		if !node.Star {
+			if len(node.Args) != 1 {
+				return fmt.Errorf("exec: %s expects one argument", node.Name)
+			}
+			var err error
+			v, err = evalExpr(node.Args[0], env)
+			if err != nil {
+				return err
+			}
+		}
+		if err := g.accs[i].add(v, node.Star); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish produces the grouped output rows in first-seen group order.
+func (a *aggregator) finish() ([]Row, error) {
+	groups := a.order
+	// With no grouping keys, SQL/Cypher aggregation yields exactly one
+	// row even on empty input.
+	if len(a.keyExprs) == 0 && len(groups) == 0 {
+		g := &aggGroup{repEnv: map[string]Value{}, accs: make([]accumulator, len(a.aggNodes))}
+		for i, node := range a.aggNodes {
+			g.accs[i] = newAccumulator(node.Name)
+		}
+		a.groups[""] = g
+		groups = []string{""}
+	}
+	var out []Row
+	for _, key := range groups {
+		g := a.groups[key]
+		aggVals := make(map[*gql.FuncCall]Value, len(a.aggNodes))
+		for i, node := range a.aggNodes {
+			aggVals[node] = g.accs[i].result()
+		}
+		row := make(Row, len(a.items))
+		for i, item := range a.items {
+			v, err := evalWithAggs(item.Expr, g.repEnv, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// evalWithAggs evaluates an expression where aggregate calls are replaced
+// by their accumulated results; other subexpressions evaluate against the
+// group's representative row.
+func evalWithAggs(e gql.Expr, env map[string]Value, aggVals map[*gql.FuncCall]Value) (Value, error) {
+	switch e := e.(type) {
+	case *gql.FuncCall:
+		if v, ok := aggVals[e]; ok {
+			return v, nil
+		}
+	case *gql.BinaryExpr:
+		if gql.HasAggregate(e.Left) || gql.HasAggregate(e.Right) {
+			l, err := evalWithAggs(e.Left, env, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			r, err := evalWithAggs(e.Right, env, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			switch e.Op {
+			case "+", "-", "*", "/":
+				return arith(e.Op, l, r)
+			}
+			c, ok := compareValues(l, r)
+			if !ok {
+				return nil, fmt.Errorf("exec: cannot compare %T and %T", l, r)
+			}
+			switch e.Op {
+			case "=":
+				return c == 0, nil
+			case "<>":
+				return c != 0, nil
+			case "<":
+				return c < 0, nil
+			case "<=":
+				return c <= 0, nil
+			case ">":
+				return c > 0, nil
+			case ">=":
+				return c >= 0, nil
+			}
+		}
+	case *gql.UnaryExpr:
+		if gql.HasAggregate(e.Operand) {
+			v, err := evalWithAggs(e.Operand, env, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			switch e.Op {
+			case "-":
+				switch v := v.(type) {
+				case int64:
+					return -v, nil
+				case float64:
+					return -v, nil
+				}
+			case "NOT":
+				if b, ok := v.(bool); ok {
+					return !b, nil
+				}
+			}
+			return nil, fmt.Errorf("exec: %s applied to %T", e.Op, v)
+		}
+	}
+	return evalExpr(e, env)
+}
+
+// --- accumulators ---
+
+type accumulator interface {
+	add(v Value, star bool) error
+	result() Value
+}
+
+func newAccumulator(name string) accumulator {
+	switch name {
+	case "COUNT":
+		return &countAcc{}
+	case "SUM":
+		return &sumAcc{}
+	case "AVG":
+		return &avgAcc{}
+	case "MIN":
+		return &minMaxAcc{wantLess: true}
+	case "MAX":
+		return &minMaxAcc{wantLess: false}
+	}
+	panic("exec: unknown aggregate " + name)
+}
+
+type countAcc struct{ n int64 }
+
+func (a *countAcc) add(v Value, star bool) error {
+	if star || v != nil {
+		a.n++
+	}
+	return nil
+}
+func (a *countAcc) result() Value { return a.n }
+
+type sumAcc struct {
+	isFloat bool
+	i       int64
+	f       float64
+	seen    bool
+}
+
+func (a *sumAcc) add(v Value, _ bool) error {
+	switch v := v.(type) {
+	case nil:
+		return nil
+	case int64:
+		a.seen = true
+		if a.isFloat {
+			a.f += float64(v)
+		} else {
+			a.i += v
+		}
+	case float64:
+		a.seen = true
+		if !a.isFloat {
+			a.isFloat = true
+			a.f = float64(a.i)
+		}
+		a.f += v
+	default:
+		return fmt.Errorf("exec: SUM over %T", v)
+	}
+	return nil
+}
+
+func (a *sumAcc) result() Value {
+	if !a.seen {
+		return nil
+	}
+	if a.isFloat {
+		return a.f
+	}
+	return a.i
+}
+
+type avgAcc struct {
+	sum float64
+	n   int64
+}
+
+func (a *avgAcc) add(v Value, _ bool) error {
+	f, ok := toFloat(v)
+	if v == nil {
+		return nil
+	}
+	if !ok {
+		return fmt.Errorf("exec: AVG over %T", v)
+	}
+	a.sum += f
+	a.n++
+	return nil
+}
+
+func (a *avgAcc) result() Value {
+	if a.n == 0 {
+		return nil
+	}
+	return a.sum / float64(a.n)
+}
+
+type minMaxAcc struct {
+	wantLess bool
+	best     Value
+}
+
+func (a *minMaxAcc) add(v Value, _ bool) error {
+	if v == nil {
+		return nil
+	}
+	if a.best == nil {
+		a.best = v
+		return nil
+	}
+	c, ok := compareValues(v, a.best)
+	if !ok {
+		return fmt.Errorf("exec: MIN/MAX over incomparable %T and %T", v, a.best)
+	}
+	if (a.wantLess && c < 0) || (!a.wantLess && c > 0) {
+		a.best = v
+	}
+	return nil
+}
+
+func (a *minMaxAcc) result() Value { return a.best }

@@ -1,0 +1,303 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"kaskade/internal/graph"
+)
+
+// lineage builds the small data-lineage graph of the paper's Fig. 3(a):
+// jobs j1..j3, files f1..f4, with j1 writing f1/f2, f1 read by j2, f2
+// read by j3, j2 writing f3, j3 writing f4.
+func lineage(t testing.TB) (*graph.Graph, map[string]graph.VertexID) {
+	schema := graph.MustSchema(
+		[]string{"Job", "File"},
+		[]graph.EdgeType{
+			{From: "Job", To: "File", Name: "WRITES_TO"},
+			{From: "File", To: "Job", Name: "IS_READ_BY"},
+		},
+	)
+	g := graph.NewGraph(schema)
+	ids := make(map[string]graph.VertexID)
+	addJ := func(name string, cpu int64) {
+		ids[name] = g.MustAddVertex("Job", graph.Properties{"name": name, "CPU": cpu, "pipelineName": "p" + name})
+	}
+	addF := func(name string) {
+		ids[name] = g.MustAddVertex("File", graph.Properties{"name": name})
+	}
+	addJ("j1", 10)
+	addJ("j2", 20)
+	addJ("j3", 30)
+	addF("f1")
+	addF("f2")
+	addF("f3")
+	addF("f4")
+	w := func(j, f string) { g.MustAddEdge(ids[j], ids[f], "WRITES_TO", nil) }
+	r := func(f, j string) { g.MustAddEdge(ids[f], ids[j], "IS_READ_BY", nil) }
+	w("j1", "f1")
+	w("j1", "f2")
+	r("f1", "j2")
+	r("f2", "j3")
+	w("j2", "f3")
+	w("j3", "f4")
+	return g, ids
+}
+
+func run(t *testing.T, g *graph.Graph, src string) *Result {
+	t.Helper()
+	res, err := Run(g, src)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return res
+}
+
+func TestMatchSingleEdge(t *testing.T) {
+	g, ids := lineage(t)
+	res := run(t, g, `MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 write edges", len(res.Rows))
+	}
+	// First row should be j1 -> f1 (insertion order).
+	if v := res.Rows[0][0].(VertexRef); v.ID != ids["j1"] {
+		t.Errorf("row 0 job = %v", res.Rows[0][0])
+	}
+}
+
+func TestMatchTypeFilter(t *testing.T) {
+	g, _ := lineage(t)
+	res := run(t, g, `MATCH (f:File)-[:IS_READ_BY]->(j:Job) RETURN f, j`)
+	if len(res.Rows) != 2 {
+		t.Errorf("got %d rows, want 2 read edges", len(res.Rows))
+	}
+	// A mistyped pattern yields nothing (Jobs are not read by Jobs).
+	res = run(t, g, `MATCH (a:Job)-[:IS_READ_BY]->(b:Job) RETURN a, b`)
+	if len(res.Rows) != 0 {
+		t.Errorf("schema-impossible pattern matched %d rows", len(res.Rows))
+	}
+}
+
+func TestMatchChain(t *testing.T) {
+	g, ids := lineage(t)
+	// Two-hop: j1 writes f which is read by j.
+	res := run(t, g, `MATCH (a:Job)-[:WRITES_TO]->(f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	pairs := map[[2]graph.VertexID]bool{}
+	for _, row := range res.Rows {
+		pairs[[2]graph.VertexID{row[0].(VertexRef).ID, row[1].(VertexRef).ID}] = true
+	}
+	if !pairs[[2]graph.VertexID{ids["j1"], ids["j2"]}] || !pairs[[2]graph.VertexID{ids["j1"], ids["j3"]}] {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestMatchMultiplePatternsJoin(t *testing.T) {
+	g, _ := lineage(t)
+	// Same shape as the chain, but split over two patterns joined on f.
+	res := run(t, g, `MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b`)
+	if len(res.Rows) != 2 {
+		t.Errorf("joined patterns: got %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestMatchReversedEdge(t *testing.T) {
+	g, _ := lineage(t)
+	res := run(t, g, `MATCH (f:File)<-[:WRITES_TO]-(j:Job) RETURN f, j`)
+	if len(res.Rows) != 4 {
+		t.Errorf("reversed: got %d rows, want 4", len(res.Rows))
+	}
+}
+
+func TestVariableLengthPath(t *testing.T) {
+	g, ids := lineage(t)
+	// From j1, 1..4 hops forward reaches f1, f2, j2, j3, f3, f4.
+	res := run(t, g, `MATCH (a:Job)-[r*1..4]->(v) WHERE a.name = 'j1' RETURN v`)
+	reached := map[graph.VertexID]bool{}
+	for _, row := range res.Rows {
+		reached[row[0].(VertexRef).ID] = true
+	}
+	for _, want := range []string{"f1", "f2", "j2", "j3", "f3", "f4"} {
+		if !reached[ids[want]] {
+			t.Errorf("vertex %s not reached", want)
+		}
+	}
+	if len(reached) != 6 {
+		t.Errorf("reached %d distinct vertices, want 6", len(reached))
+	}
+}
+
+func TestVariableLengthZeroHops(t *testing.T) {
+	g, _ := lineage(t)
+	// *0..0 binds target = source.
+	res := run(t, g, `MATCH (a:Job)-[r*0..0]->(b) RETURN a, b`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("zero hops: %d rows, want 3 (one per job)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[0].(VertexRef).ID != row[1].(VertexRef).ID {
+			t.Errorf("zero-hop pair differs: %v", row)
+		}
+	}
+}
+
+func TestVariableLengthPathCounting(t *testing.T) {
+	g, _ := lineage(t)
+	// Distinct 2-hop paths job->file->job: j1-f1-j2 and j1-f2-j3.
+	res := run(t, g, `MATCH (a:Job)-[r*2..2]->(b:Job) RETURN COUNT(r) AS n`)
+	if len(res.Rows) != 1 || res.Rows[0][0].(int64) != 2 {
+		t.Errorf("2-hop path count = %v, want 2", res.Rows)
+	}
+}
+
+func TestEdgeUniquenessTerminatesOnCycles(t *testing.T) {
+	g := graph.NewGraph(nil)
+	a := g.MustAddVertex("V", nil)
+	b := g.MustAddVertex("V", nil)
+	g.MustAddEdge(a, b, "E", nil)
+	g.MustAddEdge(b, a, "E", nil)
+	// Unbounded variable length on a 2-cycle must terminate.
+	res := run(t, g, `MATCH (x)-[r*]->(y) RETURN COUNT(r) AS n`)
+	// Paths: a->b, a->b->a, b->a, b->a->b.
+	if res.Rows[0][0].(int64) != 4 {
+		t.Errorf("cycle paths = %v, want 4", res.Rows[0][0])
+	}
+}
+
+func TestWhereOnProperties(t *testing.T) {
+	g, _ := lineage(t)
+	res := run(t, g, `MATCH (j:Job) WHERE j.CPU >= 20 RETURN j.name AS name`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("WHERE: %d rows, want 2", len(res.Rows))
+	}
+	if res.Rows[0][0] != "j2" || res.Rows[1][0] != "j3" {
+		t.Errorf("names = %v", res.Rows)
+	}
+}
+
+func TestImplicitGroupingInReturn(t *testing.T) {
+	g, _ := lineage(t)
+	res := run(t, g, `MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j.name AS name, COUNT(f) AS nfiles`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d groups, want 3", len(res.Rows))
+	}
+	byName := map[string]int64{}
+	for _, row := range res.Rows {
+		byName[row[0].(string)] = row[1].(int64)
+	}
+	if byName["j1"] != 2 || byName["j2"] != 1 || byName["j3"] != 1 {
+		t.Errorf("counts = %v", byName)
+	}
+}
+
+func TestCountStarAndEmptyAggregate(t *testing.T) {
+	g, _ := lineage(t)
+	res := run(t, g, `MATCH ()-[r]->() RETURN COUNT(*) AS n`)
+	if res.Rows[0][0].(int64) != 6 {
+		t.Errorf("edge count = %v, want 6", res.Rows[0][0])
+	}
+	// Aggregate over an empty match still yields one row.
+	res = run(t, g, `MATCH (j:Job) WHERE j.CPU > 1000 RETURN COUNT(*) AS n`)
+	if len(res.Rows) != 1 || res.Rows[0][0].(int64) != 0 {
+		t.Errorf("empty aggregate = %v", res.Rows)
+	}
+}
+
+func TestSelectOverMatch(t *testing.T) {
+	g, _ := lineage(t)
+	res := run(t, g, `
+		SELECT name, nfiles FROM (
+			MATCH (j:Job)-[:WRITES_TO]->(f:File)
+			RETURN j.name AS name, COUNT(f) AS nfiles
+		) WHERE nfiles > 1`)
+	if len(res.Rows) != 1 || res.Rows[0][0] != "j1" {
+		t.Errorf("select-over-match = %v", res.Rows)
+	}
+}
+
+func TestSelectGroupByAggregate(t *testing.T) {
+	g, _ := lineage(t)
+	res := run(t, g, `
+		SELECT kind, SUM(cpu) AS total FROM (
+			MATCH (j:Job) RETURN LABEL(j) AS kind, j.CPU AS cpu
+		) GROUP BY kind`)
+	if len(res.Rows) != 1 || res.Rows[0][1].(int64) != 60 {
+		t.Errorf("group-by sum = %v", res.Rows)
+	}
+}
+
+func TestBlastRadiusEndToEnd(t *testing.T) {
+	g, _ := lineage(t)
+	// Listing 1, adapted to the tiny graph (up to 8 hops between files).
+	res := run(t, g, `
+		SELECT A.pipelineName, AVG(T_CPU) AS avg_cpu FROM (
+			SELECT A, SUM(B.CPU) AS T_CPU FROM (
+				MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File)
+				      (q_f1:File)-[r*0..8]->(q_f2:File)
+				      (q_f2:File)-[:IS_READ_BY]->(q_j2:Job)
+				RETURN q_j1 AS A, q_j2 AS B
+			) GROUP BY A, B
+		) GROUP BY A.pipelineName`)
+	// Only j1 has downstream consumers (j2 via f1, j3 via f2); the
+	// inner grouping gives (j1,j2)=20 and (j1,j3)=30, so AVG = 25.
+	if len(res.Rows) != 1 {
+		t.Fatalf("blast radius rows = %d, want 1", len(res.Rows))
+	}
+	if res.Rows[0][0] != "pj1" {
+		t.Errorf("pipeline = %v, want pj1", res.Rows[0][0])
+	}
+	if avg := res.Rows[0][1].(float64); math.Abs(avg-25) > 1e-9 {
+		t.Errorf("avg cpu = %v, want 25", avg)
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	g, _ := lineage(t)
+	res := run(t, g, `
+		SELECT name, cpu FROM (
+			MATCH (j:Job) RETURN j.name AS name, j.CPU AS cpu
+		) ORDER BY cpu DESC LIMIT 2`)
+	if len(res.Rows) != 2 || res.Rows[0][0] != "j3" || res.Rows[1][0] != "j2" {
+		t.Errorf("order/limit = %v", res.Rows)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	g := graph.NewGraph(nil)
+	a := g.MustAddVertex("V", nil)
+	b := g.MustAddVertex("V", nil)
+	c := g.MustAddVertex("V", nil)
+	g.MustAddEdge(a, b, "E", graph.Properties{"ts": int64(5)})
+	g.MustAddEdge(b, c, "E", graph.Properties{"ts": int64(9)})
+	res := run(t, g, `MATCH (x)-[r*2..2]->(y) RETURN LENGTH(r) AS len, PATH_MAX(r, 'ts') AS maxts, PATH_SUM(r, 'ts') AS sum`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0][0].(int64) != 2 || res.Rows[0][1].(int64) != 9 || res.Rows[0][2].(int64) != 14 {
+		t.Errorf("path functions = %v", res.Rows[0])
+	}
+}
+
+func TestRowLimitGuard(t *testing.T) {
+	g, _ := lineage(t)
+	ex := &Executor{G: g, MaxRows: 2}
+	q := mustParse(t, `MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f`)
+	if _, err := ex.Execute(q); err != ErrRowLimit {
+		t.Errorf("row limit: got %v, want ErrRowLimit", err)
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	g, _ := lineage(t)
+	if _, err := Run(g, `MATCH (j:Job) RETURN unknown_var`); err == nil {
+		t.Error("unknown variable: want error")
+	}
+	if _, err := Run(g, `MATCH (j:Job) RETURN NOSUCHFUNC(j)`); err == nil {
+		t.Error("unknown function: want error")
+	}
+	if _, err := Run(g, `MATCH (j:Job) WHERE j.CPU RETURN j`); err == nil {
+		t.Error("non-boolean WHERE: want error")
+	}
+}

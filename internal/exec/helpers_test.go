@@ -1,0 +1,16 @@
+package exec
+
+import (
+	"testing"
+
+	"kaskade/internal/gql"
+)
+
+func mustParse(t *testing.T, src string) gql.Query {
+	t.Helper()
+	q, err := gql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}

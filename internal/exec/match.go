@@ -1,0 +1,239 @@
+package exec
+
+import (
+	"fmt"
+
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+)
+
+// matcher performs backtracking pattern matching of a MATCH clause over a
+// graph, with Cypher edge-uniqueness semantics: no edge is used twice
+// within one match of the whole clause (this is what makes variable-length
+// traversal over cyclic graphs terminate).
+type matcher struct {
+	g        *graph.Graph
+	bindings map[string]Value      // var name -> VertexRef/EdgeRef/PathRef
+	usedEdge map[graph.EdgeID]bool // edge-uniqueness set
+	where    gql.Expr              // optional row filter
+	yield    func() error          // called once per full match
+}
+
+// matchPatterns enumerates all matches of the given patterns and calls
+// yield with m.bindings populated.
+func (m *matcher) matchPatterns(patterns []gql.PathPattern) error {
+	return m.startPattern(patterns, 0)
+}
+
+// startPattern begins matching pattern pi by binding its first node, then
+// walking the chain; when all patterns are matched, the WHERE filter runs
+// and yield fires.
+func (m *matcher) startPattern(patterns []gql.PathPattern, pi int) error {
+	if pi == len(patterns) {
+		if m.where != nil {
+			ok, err := evalBool(m.where, m.bindings)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		return m.yield()
+	}
+	pat := patterns[pi]
+	if len(pat.Nodes) == 0 {
+		return fmt.Errorf("exec: empty pattern")
+	}
+	return m.bindNode(pat.Nodes[0], func(at graph.VertexID) error {
+		return m.walkChain(patterns, pi, 1, at)
+	})
+}
+
+// walkChain continues pattern pi at node index ni with the chain's
+// current endpoint at `at`.
+func (m *matcher) walkChain(patterns []gql.PathPattern, pi, ni int, at graph.VertexID) error {
+	pat := patterns[pi]
+	if ni == len(pat.Nodes) {
+		return m.startPattern(patterns, pi+1)
+	}
+	edge := pat.Edges[ni-1]
+	toPat := pat.Nodes[ni]
+	cont := func(next graph.VertexID) error {
+		return m.walkChain(patterns, pi, ni+1, next)
+	}
+	if edge.VarLength {
+		return m.matchVarLength(at, edge, toPat, cont)
+	}
+	return m.matchSingleEdge(at, edge, toPat, cont)
+}
+
+// bindNode binds the first node of a chain: either the variable is
+// already bound (join with an earlier pattern) or we enumerate candidate
+// vertices (restricted by type when given).
+func (m *matcher) bindNode(n gql.NodePattern, cont func(graph.VertexID) error) error {
+	if n.Var != "" {
+		if v, bound := m.bindings[n.Var]; bound {
+			ref, ok := v.(VertexRef)
+			if !ok {
+				return fmt.Errorf("exec: variable %s is not a vertex", n.Var)
+			}
+			if n.Type != "" && m.g.Vertex(ref.ID).Type != n.Type {
+				return nil
+			}
+			return cont(ref.ID)
+		}
+	}
+	try := func(id graph.VertexID) error {
+		if n.Var == "" {
+			return cont(id)
+		}
+		m.bindings[n.Var] = VertexRef{G: m.g, ID: id}
+		err := cont(id)
+		delete(m.bindings, n.Var)
+		return err
+	}
+	if n.Type != "" {
+		for _, id := range m.g.VerticesOfType(n.Type) {
+			if err := try(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for id := 0; id < m.g.NumVertices(); id++ {
+		if err := try(graph.VertexID(id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkAndBindTarget binds (or joins) the target node of an edge step and
+// invokes cont with the target vertex.
+func (m *matcher) checkAndBindTarget(toPat gql.NodePattern, target graph.VertexID, cont func(graph.VertexID) error) error {
+	if toPat.Type != "" && m.g.Vertex(target).Type != toPat.Type {
+		return nil
+	}
+	if toPat.Var == "" {
+		return cont(target)
+	}
+	if v, bound := m.bindings[toPat.Var]; bound {
+		ref, ok := v.(VertexRef)
+		if !ok {
+			return fmt.Errorf("exec: variable %s is not a vertex", toPat.Var)
+		}
+		if ref.ID != target {
+			return nil
+		}
+		return cont(target)
+	}
+	m.bindings[toPat.Var] = VertexRef{G: m.g, ID: target}
+	err := cont(target)
+	delete(m.bindings, toPat.Var)
+	return err
+}
+
+func (m *matcher) matchSingleEdge(from graph.VertexID, e gql.EdgePattern, toPat gql.NodePattern, cont func(graph.VertexID) error) error {
+	edges := m.g.Out(from)
+	if e.Reversed {
+		edges = m.g.In(from)
+	}
+	for _, eid := range edges {
+		if m.usedEdge[eid] {
+			continue
+		}
+		ed := m.g.Edge(eid)
+		if e.Type != "" && ed.Type != e.Type {
+			continue
+		}
+		target := ed.To
+		if e.Reversed {
+			target = ed.From
+		}
+		var undoVar bool
+		if e.Var != "" {
+			if prev, exists := m.bindings[e.Var]; exists {
+				if ref, ok := prev.(EdgeRef); !ok || ref.ID != eid {
+					continue
+				}
+			} else {
+				m.bindings[e.Var] = EdgeRef{G: m.g, ID: eid}
+				undoVar = true
+			}
+		}
+		m.usedEdge[eid] = true
+		err := m.checkAndBindTarget(toPat, target, cont)
+		m.usedEdge[eid] = false
+		if undoVar {
+			delete(m.bindings, e.Var)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchVarLength walks paths of length MinHops..MaxHops from `from`,
+// following edges of the pattern's type (any type when empty), honoring
+// global edge-uniqueness. Each distinct edge sequence is a distinct match
+// (path semantics, which is what connector views contract).
+func (m *matcher) matchVarLength(from graph.VertexID, e gql.EdgePattern, toPat gql.NodePattern, cont func(graph.VertexID) error) error {
+	var path []graph.EdgeID
+	min, max := e.MinHops, e.MaxHops
+
+	emit := func(at graph.VertexID) error {
+		if e.Var == "" {
+			return m.checkAndBindTarget(toPat, at, cont)
+		}
+		if _, exists := m.bindings[e.Var]; exists {
+			return fmt.Errorf("exec: variable-length variable %s bound twice", e.Var)
+		}
+		cp := make([]graph.EdgeID, len(path))
+		copy(cp, path)
+		m.bindings[e.Var] = PathRef{G: m.g, Edges: cp}
+		err := m.checkAndBindTarget(toPat, at, cont)
+		delete(m.bindings, e.Var)
+		return err
+	}
+
+	var walk func(at graph.VertexID, hops int) error
+	walk = func(at graph.VertexID, hops int) error {
+		if hops >= min {
+			if err := emit(at); err != nil {
+				return err
+			}
+		}
+		if max >= 0 && hops == max {
+			return nil
+		}
+		edges := m.g.Out(at)
+		if e.Reversed {
+			edges = m.g.In(at)
+		}
+		for _, eid := range edges {
+			if m.usedEdge[eid] {
+				continue
+			}
+			ed := m.g.Edge(eid)
+			if e.Type != "" && ed.Type != e.Type {
+				continue
+			}
+			next := ed.To
+			if e.Reversed {
+				next = ed.From
+			}
+			m.usedEdge[eid] = true
+			path = append(path, eid)
+			err := walk(next, hops+1)
+			path = path[:len(path)-1]
+			m.usedEdge[eid] = false
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(from, 0)
+}

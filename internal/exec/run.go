@@ -1,0 +1,200 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+)
+
+// Executor runs queries against a graph. The zero value plus a Graph is
+// ready to use; MaxRows, when positive, aborts queries that produce more
+// than that many intermediate rows (a guard against accidentally
+// intractable pattern matches — the very thing Kaskade's views exist to
+// avoid).
+type Executor struct {
+	G       *graph.Graph
+	MaxRows int
+}
+
+// ErrRowLimit is returned when a query exceeds the executor's MaxRows.
+var ErrRowLimit = fmt.Errorf("exec: row limit exceeded")
+
+// Run executes a query string against g.
+func Run(g *graph.Graph, src string) (*Result, error) {
+	q, err := gql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return (&Executor{G: g}).Execute(q)
+}
+
+// Execute evaluates a parsed query.
+func (ex *Executor) Execute(q gql.Query) (*Result, error) {
+	switch q := q.(type) {
+	case *gql.MatchQuery:
+		return ex.runMatch(q)
+	case *gql.SelectQuery:
+		return ex.runSelect(q)
+	}
+	return nil, fmt.Errorf("exec: unsupported query type %T", q)
+}
+
+// runMatch enumerates pattern matches and projects the RETURN items,
+// with Cypher-style implicit grouping when aggregates appear.
+func (ex *Executor) runMatch(q *gql.MatchQuery) (*Result, error) {
+	cols := make([]string, len(q.Return))
+	for i, item := range q.Return {
+		cols[i] = item.Name()
+	}
+	agg := newAggregator(q.Return, nil)
+
+	rows := 0
+	m := &matcher{
+		g:        ex.G,
+		bindings: make(map[string]Value),
+		usedEdge: make(map[graph.EdgeID]bool),
+		where:    q.Where,
+	}
+	out := &Result{Cols: cols}
+	m.yield = func() error {
+		rows++
+		if ex.MaxRows > 0 && rows > ex.MaxRows {
+			return ErrRowLimit
+		}
+		if agg != nil {
+			return agg.feed(m.bindings)
+		}
+		row := make(Row, len(q.Return))
+		for i, item := range q.Return {
+			v, err := evalExpr(item.Expr, m.bindings)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		out.Rows = append(out.Rows, row)
+		return nil
+	}
+	if err := m.matchPatterns(q.Patterns); err != nil {
+		return nil, err
+	}
+	if agg != nil {
+		var err error
+		out.Rows, err = agg.finish()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runSelect evaluates the subquery, then filter/group/order/limit.
+func (ex *Executor) runSelect(q *gql.SelectQuery) (*Result, error) {
+	sub, err := ex.Execute(q.From)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(q.Items))
+	for i, item := range q.Items {
+		cols[i] = item.Name()
+	}
+	out := &Result{Cols: cols}
+
+	agg := newAggregator(q.Items, q.GroupBy)
+	env := make(map[string]Value, len(sub.Cols))
+	for _, row := range sub.Rows {
+		for i, c := range sub.Cols {
+			env[c] = row[i]
+		}
+		if q.Where != nil {
+			ok, err := evalBool(q.Where, env)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if agg != nil {
+			if err := agg.feed(env); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		outRow := make(Row, len(q.Items))
+		for i, item := range q.Items {
+			v, err := evalExpr(item.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			outRow[i] = v
+		}
+		out.Rows = append(out.Rows, outRow)
+	}
+	if agg != nil {
+		out.Rows, err = agg.finish()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		if err := orderRows(out, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit >= 0 && len(out.Rows) > q.Limit {
+		out.Rows = out.Rows[:q.Limit]
+	}
+	return out, nil
+}
+
+func orderRows(r *Result, order []gql.OrderItem) error {
+	var evalErr error
+	envFor := func(row Row) map[string]Value {
+		env := make(map[string]Value, len(r.Cols))
+		for i, c := range r.Cols {
+			env[c] = row[i]
+		}
+		return env
+	}
+	keys := make([][]Value, len(r.Rows))
+	for ri, row := range r.Rows {
+		env := envFor(row)
+		ks := make([]Value, len(order))
+		for oi, o := range order {
+			v, err := evalExpr(o.Expr, env)
+			if err != nil {
+				return err
+			}
+			ks[oi] = v
+		}
+		keys[ri] = ks
+	}
+	idx := make([]int, len(r.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for oi, o := range order {
+			c, ok := compareValues(keys[idx[a]][oi], keys[idx[b]][oi])
+			if !ok {
+				continue
+			}
+			if c != 0 {
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	sorted := make([]Row, len(r.Rows))
+	for i, j := range idx {
+		sorted[i] = r.Rows[j]
+	}
+	r.Rows = sorted
+	return evalErr
+}

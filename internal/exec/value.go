@@ -1,0 +1,144 @@
+// Package exec evaluates hybrid gql queries against a property graph. It
+// is the query-execution half of the Neo4j substitute: a backtracking
+// graph pattern matcher (with Cypher-style variable-length paths and
+// edge-uniqueness) feeding relational operators (filter, project,
+// group/aggregate, order, limit).
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"kaskade/internal/graph"
+)
+
+// Value is a runtime value: nil, int64, float64, string, bool, VertexRef,
+// EdgeRef, or PathRef.
+type Value any
+
+// VertexRef is a bound vertex.
+type VertexRef struct {
+	G  *graph.Graph
+	ID graph.VertexID
+}
+
+// EdgeRef is a bound single edge.
+type EdgeRef struct {
+	G  *graph.Graph
+	ID graph.EdgeID
+}
+
+// PathRef is a bound variable-length path (a sequence of edges; possibly
+// empty for zero-hop matches).
+type PathRef struct {
+	G     *graph.Graph
+	Edges []graph.EdgeID
+}
+
+// Row is one result tuple.
+type Row []Value
+
+// Result is a table of rows with named columns.
+type Result struct {
+	Cols []string
+	Rows []Row
+}
+
+// Col returns the index of a named column, or -1.
+func (r *Result) Col(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the result as an aligned table (for the CLI and
+// examples).
+func (r *Result) String() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Cols))
+	cells := make([][]string, len(r.Rows))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := FormatValue(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range r.Cols {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatValue renders a value for display.
+func FormatValue(v Value) string {
+	switch v := v.(type) {
+	case nil:
+		return "null"
+	case VertexRef:
+		return fmt.Sprintf("(%s:%d)", v.G.Vertex(v.ID).Type, v.ID)
+	case EdgeRef:
+		e := v.G.Edge(v.ID)
+		return fmt.Sprintf("[%s:%d->%d]", e.Type, e.From, e.To)
+	case PathRef:
+		return fmt.Sprintf("path(len=%d)", len(v.Edges))
+	case float64:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// groupKey builds a hashable key for GROUP BY from values.
+func groupKey(vals []Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		switch v := v.(type) {
+		case nil:
+			b.WriteString("n;")
+		case VertexRef:
+			fmt.Fprintf(&b, "v%d;", v.ID)
+		case EdgeRef:
+			fmt.Fprintf(&b, "e%d;", v.ID)
+		case PathRef:
+			b.WriteString("p")
+			for _, e := range v.Edges {
+				fmt.Fprintf(&b, "%d,", e)
+			}
+			b.WriteString(";")
+		case int64:
+			fmt.Fprintf(&b, "i%d;", v)
+		case float64:
+			fmt.Fprintf(&b, "f%g;", v)
+		case string:
+			fmt.Fprintf(&b, "s%q;", v)
+		case bool:
+			fmt.Fprintf(&b, "b%v;", v)
+		default:
+			fmt.Fprintf(&b, "?%v;", v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package gql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tKeyword
+	tInt
+	tFloat
+	tString
+	tSymbol
+)
+
+// keywords are case-insensitive reserved words, stored upper-case.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "MATCH": true, "RETURN": true,
+	"AND": true, "OR": true, "NOT": true, "ASC": true, "DESC": true,
+	"TRUE": true, "FALSE": true, "DISTINCT": true,
+}
+
+type tok struct {
+	kind tokKind
+	text string // keywords/symbols: canonical text; idents: original
+	ival int64
+	fval float64
+	pos  int
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// multi-character symbols, longest first.
+var symbols = []string{
+	"<=", ">=", "<>", "!=", "->", "<-", "..",
+	"(", ")", "[", "]", "{", "}", ",", ":", "*", "-", "+", "/", "=", "<", ">", ".",
+}
+
+func lexQuery(src string) ([]tok, error) {
+	var toks []tok
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // SQL comment
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/': // C-style comment
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			// Distinguish "0..8" (int, dotdot) from "0.5" (float).
+			isFloat := false
+			if j+1 < n && src[j] == '.' && src[j+1] >= '0' && src[j+1] <= '9' {
+				isFloat = true
+				j++
+				for j < n && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+			}
+			text := src[i:j]
+			if isFloat {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("gql: bad number %q at offset %d", text, i)
+				}
+				toks = append(toks, tok{kind: tFloat, text: text, fval: f, pos: i})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("gql: bad number %q at offset %d", text, i)
+				}
+				toks = append(toks, tok{kind: tInt, text: text, ival: v, pos: i})
+			}
+			i = j
+		case c == '\'' || c == '"':
+			quote := c
+			var sb strings.Builder
+			j := i + 1
+			closed := false
+			for j < n {
+				if src[j] == '\\' && j+1 < n {
+					sb.WriteByte(src[j+1])
+					j += 2
+					continue
+				}
+				if src[j] == quote {
+					closed = true
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("gql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, tok{kind: tString, text: sb.String(), pos: i})
+			i = j + 1
+		case isWordStart(rune(c)):
+			j := i
+			for j < n && isWordChar(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			if up := strings.ToUpper(word); keywords[up] {
+				toks = append(toks, tok{kind: tKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, tok{kind: tIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			matched := false
+			for _, s := range symbols {
+				if strings.HasPrefix(src[i:], s) {
+					toks = append(toks, tok{kind: tSymbol, text: s, pos: i})
+					i += len(s)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("gql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, tok{kind: tEOF, pos: n})
+	return toks, nil
+}
+
+func isWordStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+
+func isWordChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,530 @@
+package gql
+
+import (
+	"fmt"
+)
+
+// Parse parses a query in Kaskade's hybrid language. The top level is
+// either a Cypher-style MATCH block or a SQL-style SELECT over a
+// parenthesized subquery that bottoms out in a MATCH block.
+func Parse(src string) (Query, error) {
+	toks, err := lexQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tEOF {
+		return nil, fmt.Errorf("gql: trailing input at %s", p.peek())
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for statically known queries.
+func MustParse(src string) Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type qparser struct {
+	toks []tok
+	i    int
+}
+
+func (p *qparser) peek() tok { return p.toks[p.i] }
+func (p *qparser) next() tok { t := p.toks[p.i]; p.i++; return t }
+
+func (p *qparser) accept(kind tokKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && t.text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *qparser) expect(kind tokKind, text string) error {
+	t := p.next()
+	if t.kind != kind || t.text != text {
+		return fmt.Errorf("gql: expected %q at offset %d, found %s", text, t.pos, t)
+	}
+	return nil
+}
+
+func (p *qparser) parseQuery() (Query, error) {
+	switch t := p.peek(); {
+	case t.kind == tKeyword && t.text == "SELECT":
+		return p.parseSelect()
+	case t.kind == tKeyword && t.text == "MATCH":
+		return p.parseMatch()
+	default:
+		return nil, fmt.Errorf("gql: expected SELECT or MATCH at offset %d, found %s", t.pos, t)
+	}
+}
+
+func (p *qparser) parseSelect() (Query, error) {
+	if err := p.expect(tKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	items, err := p.parseReturnItems()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tSymbol, "("); err != nil {
+		return nil, err
+	}
+	from, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tSymbol, ")"); err != nil {
+		return nil, err
+	}
+	q := &SelectQuery{Items: items, From: from, Limit: -1}
+	if p.accept(tKeyword, "WHERE") {
+		q.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tKeyword, "GROUP") {
+		if err := p.expect(tKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.accept(tSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tKeyword, "ORDER") {
+		if err := p.expect(tKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tKeyword, "ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.accept(tSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tKeyword, "LIMIT") {
+		t := p.next()
+		if t.kind != tInt {
+			return nil, fmt.Errorf("gql: LIMIT expects an integer at offset %d", t.pos)
+		}
+		q.Limit = int(t.ival)
+	}
+	return q, nil
+}
+
+func (p *qparser) parseMatch() (Query, error) {
+	if err := p.expect(tKeyword, "MATCH"); err != nil {
+		return nil, err
+	}
+	q := &MatchQuery{}
+	for {
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+		// Another pattern begins with ',' or a bare '(' (the paper's
+		// Listing 1 separates patterns with whitespace only).
+		if p.accept(tSymbol, ",") {
+			continue
+		}
+		if t := p.peek(); t.kind == tSymbol && t.text == "(" {
+			continue
+		}
+		break
+	}
+	var err error
+	if p.accept(tKeyword, "WHERE") {
+		q.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(tKeyword, "RETURN"); err != nil {
+		return nil, err
+	}
+	q.Return, err = p.parseReturnItems()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *qparser) parsePattern() (PathPattern, error) {
+	var pat PathPattern
+	node, err := p.parseNode()
+	if err != nil {
+		return pat, err
+	}
+	pat.Nodes = append(pat.Nodes, node)
+	for {
+		t := p.peek()
+		if t.kind != tSymbol || (t.text != "-" && t.text != "<-") {
+			return pat, nil
+		}
+		edge, err := p.parseEdge()
+		if err != nil {
+			return pat, err
+		}
+		node, err := p.parseNode()
+		if err != nil {
+			return pat, err
+		}
+		pat.Edges = append(pat.Edges, edge)
+		pat.Nodes = append(pat.Nodes, node)
+	}
+}
+
+func (p *qparser) parseNode() (NodePattern, error) {
+	var n NodePattern
+	if err := p.expect(tSymbol, "("); err != nil {
+		return n, err
+	}
+	if t := p.peek(); t.kind == tIdent {
+		n.Var = t.text
+		p.i++
+	}
+	if p.accept(tSymbol, ":") {
+		t := p.next()
+		if t.kind != tIdent {
+			return n, fmt.Errorf("gql: expected vertex type after ':' at offset %d", t.pos)
+		}
+		n.Type = t.text
+	}
+	if err := p.expect(tSymbol, ")"); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// parseEdge parses -[spec]->, <-[spec]-, or the bracketless forms --> and
+// <--. (The lexer splits "-->" into "-", "->".)
+func (p *qparser) parseEdge() (EdgePattern, error) {
+	var e EdgePattern
+	switch {
+	case p.accept(tSymbol, "<-"):
+		e.Reversed = true
+		e.MinHops, e.MaxHops = 1, 1
+		if p.accept(tSymbol, "[") {
+			if err := p.parseEdgeBody(&e); err != nil {
+				return e, err
+			}
+		}
+		if err := p.expect(tSymbol, "-"); err != nil {
+			return e, err
+		}
+		return e, nil
+	case p.accept(tSymbol, "-"):
+		e.MinHops, e.MaxHops = 1, 1
+		if p.accept(tSymbol, "[") {
+			if err := p.parseEdgeBody(&e); err != nil {
+				return e, err
+			}
+		}
+		if err := p.expect(tSymbol, "->"); err != nil {
+			return e, err
+		}
+		return e, nil
+	}
+	return e, fmt.Errorf("gql: expected edge pattern at offset %d", p.peek().pos)
+}
+
+// parseEdgeBody parses the inside of the brackets: [var][:TYPE][*[L][..[U]]]
+// and the closing ']'.
+func (p *qparser) parseEdgeBody(e *EdgePattern) error {
+	if t := p.peek(); t.kind == tIdent {
+		e.Var = t.text
+		p.i++
+	}
+	if p.accept(tSymbol, ":") {
+		t := p.next()
+		if t.kind != tIdent {
+			return fmt.Errorf("gql: expected edge type after ':' at offset %d", t.pos)
+		}
+		e.Type = t.text
+	}
+	if p.accept(tSymbol, "*") {
+		e.VarLength = true
+		e.MinHops, e.MaxHops = 1, -1
+		if t := p.peek(); t.kind == tInt {
+			e.MinHops = int(t.ival)
+			e.MaxHops = e.MinHops // fixed length unless '..' follows
+			p.i++
+			if p.accept(tSymbol, "..") {
+				e.MaxHops = -1
+				if t := p.peek(); t.kind == tInt {
+					e.MaxHops = int(t.ival)
+					p.i++
+				}
+			}
+		} else if p.accept(tSymbol, "..") {
+			if t := p.peek(); t.kind == tInt {
+				e.MaxHops = int(t.ival)
+				p.i++
+			}
+		}
+		if e.MaxHops >= 0 && e.MaxHops < e.MinHops {
+			return fmt.Errorf("gql: variable-length bounds %d..%d are inverted", e.MinHops, e.MaxHops)
+		}
+	}
+	return p.expect(tSymbol, "]")
+}
+
+func (p *qparser) parseReturnItems() ([]ReturnItem, error) {
+	var items []ReturnItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := ReturnItem{Expr: e}
+		if p.accept(tKeyword, "AS") {
+			t := p.next()
+			if t.kind != tIdent {
+				return nil, fmt.Errorf("gql: expected alias after AS at offset %d", t.pos)
+			}
+			item.Alias = t.text
+		}
+		items = append(items, item)
+		if !p.accept(tSymbol, ",") {
+			return items, nil
+		}
+	}
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *qparser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *qparser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *qparser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *qparser) parseNot() (Expr, error) {
+	if p.accept(tKeyword, "NOT") {
+		operand, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Operand: operand}, nil
+	}
+	return p.parseComparison()
+}
+
+var comparisonOps = map[string]bool{"=": true, "<>": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *qparser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tSymbol && comparisonOps[t.text] {
+		p.i++
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		op := t.text
+		if op == "!=" {
+			op = "<>"
+		}
+		return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *qparser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tSymbol || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.i++
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+	}
+}
+
+func (p *qparser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tSymbol || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.i++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+	}
+}
+
+func (p *qparser) parseUnary() (Expr, error) {
+	if p.accept(tSymbol, "-") {
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := operand.(*Lit); ok {
+			switch v := lit.Value.(type) {
+			case int64:
+				return &Lit{Value: -v}, nil
+			case float64:
+				return &Lit{Value: -v}, nil
+			}
+		}
+		return &UnaryExpr{Op: "-", Operand: operand}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *qparser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tInt:
+		return &Lit{Value: t.ival}, nil
+	case tFloat:
+		return &Lit{Value: t.fval}, nil
+	case tString:
+		return &Lit{Value: t.text}, nil
+	case tKeyword:
+		switch t.text {
+		case "TRUE":
+			return &Lit{Value: true}, nil
+		case "FALSE":
+			return &Lit{Value: false}, nil
+		}
+		return nil, fmt.Errorf("gql: unexpected keyword %s at offset %d", t.text, t.pos)
+	case tSymbol:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, fmt.Errorf("gql: unexpected %s at offset %d", t, t.pos)
+	case tIdent:
+		// Function call?
+		if p.peek().kind == tSymbol && p.peek().text == "(" {
+			p.i++
+			call := &FuncCall{Name: upper(t.text)}
+			if p.accept(tSymbol, "*") {
+				call.Star = true
+				if err := p.expect(tSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if !p.accept(tSymbol, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(tSymbol, ",") {
+						continue
+					}
+					if err := p.expect(tSymbol, ")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			return call, nil
+		}
+		// Property access?
+		if p.peek().kind == tSymbol && p.peek().text == "." {
+			p.i++
+			key := p.next()
+			if key.kind != tIdent {
+				return nil, fmt.Errorf("gql: expected property name after '.' at offset %d", key.pos)
+			}
+			return &PropAccess{Base: t.text, Key: key.text}, nil
+		}
+		return &Ident{Name: t.text}, nil
+	}
+	return nil, fmt.Errorf("gql: unexpected end of query")
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,226 @@
+// Package graph implements the in-memory property graph that Kaskade
+// operates on. It is the substrate standing in for Neo4j in the paper:
+// vertices and edges are typed, carry key-value properties, and obey an
+// optional schema that constrains which edge types may connect which vertex
+// types (the structural constraints that Kaskade's view enumeration mines).
+//
+// The graph is append-only: vertices and edges are added during loading or
+// view materialization and never removed. Derived graphs (summarizer and
+// connector views) are new Graph values. After loading, a Graph is safe for
+// concurrent readers.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex within one Graph. IDs are dense: the n-th
+// added vertex has ID n-1, which lets adjacency be stored in flat slices.
+type VertexID int32
+
+// NoVertex is the zero-ish sentinel for "no vertex".
+const NoVertex VertexID = -1
+
+// EdgeID identifies an edge within one Graph, dense like VertexID.
+type EdgeID int32
+
+// Properties is a key-value property bag attached to a vertex or an edge.
+// Values are restricted to the types the query language understands:
+// int64, float64, string, and bool.
+type Properties map[string]any
+
+// Vertex is a typed vertex. Type is the label (e.g. "Job", "File").
+type Vertex struct {
+	ID    VertexID
+	Type  string
+	Props Properties
+}
+
+// Edge is a typed directed edge between two vertices.
+type Edge struct {
+	ID    EdgeID
+	From  VertexID
+	To    VertexID
+	Type  string
+	Props Properties
+}
+
+// Graph is an in-memory directed property graph.
+//
+// The zero value is an empty graph with no schema; NewGraph attaches a
+// schema whose constraints are enforced on AddEdge.
+type Graph struct {
+	schema   *Schema
+	vertices []Vertex
+	edges    []Edge
+	out      [][]EdgeID // out[v] = edges with From == v, in insertion order
+	in       [][]EdgeID // in[v] = edges with To == v
+	byType   map[string][]VertexID
+}
+
+// NewGraph returns an empty graph governed by schema. A nil schema means
+// unconstrained (any vertex/edge types allowed).
+func NewGraph(schema *Schema) *Graph {
+	return &Graph{schema: schema, byType: make(map[string][]VertexID)}
+}
+
+// Schema returns the graph's schema, or nil when unconstrained.
+func (g *Graph) Schema() *Schema { return g.schema }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddVertex adds a vertex of the given type with optional properties and
+// returns its ID. It returns an error if the schema does not declare the
+// vertex type.
+func (g *Graph) AddVertex(vtype string, props Properties) (VertexID, error) {
+	if g.schema != nil && !g.schema.HasVertexType(vtype) {
+		return NoVertex, fmt.Errorf("graph: vertex type %q not in schema", vtype)
+	}
+	id := VertexID(len(g.vertices))
+	g.vertices = append(g.vertices, Vertex{ID: id, Type: vtype, Props: props})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	if g.byType == nil {
+		g.byType = make(map[string][]VertexID)
+	}
+	g.byType[vtype] = append(g.byType[vtype], id)
+	return id, nil
+}
+
+// MustAddVertex is AddVertex for callers that know the type is valid
+// (generators, tests). It panics on schema violation.
+func (g *Graph) MustAddVertex(vtype string, props Properties) VertexID {
+	id, err := g.AddVertex(vtype, props)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddEdge adds a directed typed edge and returns its ID. It validates
+// vertex IDs and, when a schema is present, that the edge type's declared
+// domain and range match the endpoint vertex types.
+func (g *Graph) AddEdge(from, to VertexID, etype string, props Properties) (EdgeID, error) {
+	if int(from) < 0 || int(from) >= len(g.vertices) {
+		return -1, fmt.Errorf("graph: AddEdge: invalid source vertex %d", from)
+	}
+	if int(to) < 0 || int(to) >= len(g.vertices) {
+		return -1, fmt.Errorf("graph: AddEdge: invalid target vertex %d", to)
+	}
+	if g.schema != nil {
+		ft, tt := g.vertices[from].Type, g.vertices[to].Type
+		if !g.schema.AllowsEdge(ft, tt, etype) {
+			return -1, fmt.Errorf("graph: schema forbids edge %s-[%s]->%s", ft, etype, tt)
+		}
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Type: etype, Props: props})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error, for generators and tests.
+func (g *Graph) MustAddEdge(from, to VertexID, etype string, props Properties) EdgeID {
+	id, err := g.AddEdge(from, to, etype, props)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Vertex returns the vertex with the given ID. The returned pointer is
+// into the graph's storage; callers must treat it as read-only.
+func (g *Graph) Vertex(id VertexID) *Vertex { return &g.vertices[id] }
+
+// Edge returns the edge with the given ID (read-only, like Vertex).
+func (g *Graph) Edge(id EdgeID) *Edge { return &g.edges[id] }
+
+// Out returns the IDs of edges leaving v, in insertion order.
+func (g *Graph) Out(v VertexID) []EdgeID { return g.out[v] }
+
+// In returns the IDs of edges entering v, in insertion order.
+func (g *Graph) In(v VertexID) []EdgeID { return g.in[v] }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int { return len(g.out[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int { return len(g.in[v]) }
+
+// VerticesOfType returns the vertex IDs with the given type, in insertion
+// order. The returned slice is shared; callers must not modify it.
+func (g *Graph) VerticesOfType(vtype string) []VertexID { return g.byType[vtype] }
+
+// VertexTypes returns the distinct vertex types present in the graph,
+// sorted for deterministic iteration.
+func (g *Graph) VertexTypes() []string {
+	types := make([]string, 0, len(g.byType))
+	for t := range g.byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	return types
+}
+
+// EdgeTypeCounts returns the number of edges of each edge type.
+func (g *Graph) EdgeTypeCounts() map[string]int {
+	counts := make(map[string]int)
+	for i := range g.edges {
+		counts[g.edges[i].Type]++
+	}
+	return counts
+}
+
+// CountVerticesOfType returns the number of vertices with the given type.
+func (g *Graph) CountVerticesOfType(vtype string) int { return len(g.byType[vtype]) }
+
+// EachVertex calls fn for every vertex in ID order.
+func (g *Graph) EachVertex(fn func(*Vertex)) {
+	for i := range g.vertices {
+		fn(&g.vertices[i])
+	}
+}
+
+// EachEdge calls fn for every edge in ID order.
+func (g *Graph) EachEdge(fn func(*Edge)) {
+	for i := range g.edges {
+		fn(&g.edges[i])
+	}
+}
+
+// Prop returns a vertex property value, or nil when absent.
+func (v *Vertex) Prop(key string) any {
+	if v.Props == nil {
+		return nil
+	}
+	return v.Props[key]
+}
+
+// Prop returns an edge property value, or nil when absent.
+func (e *Edge) Prop(key string) any {
+	if e.Props == nil {
+		return nil
+	}
+	return e.Props[key]
+}
+
+// SetProp sets a vertex property, allocating the bag lazily. It is intended
+// for algorithms that annotate vertices (e.g. community labels); graphs
+// being annotated must not be concurrently read.
+func (v *Vertex) SetProp(key string, val any) {
+	if v.Props == nil {
+		v.Props = make(Properties, 1)
+	}
+	v.Props[key] = val
+}
+
+// String implements fmt.Stringer for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d, |E|=%d, types=%v}", len(g.vertices), len(g.edges), g.VertexTypes())
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EdgeType declares a directed edge type with its domain (From) and range
+// (To) vertex types, e.g. Job-[WRITES_TO]->File. These are the explicit
+// schema constraints Kaskade mines (§IV-A): an edge of type "WRITES_TO"
+// only ever connects a Job to a File.
+type EdgeType struct {
+	From string // domain vertex type
+	To   string // range vertex type
+	Name string // edge label
+}
+
+// Schema is a property-graph schema: the set of vertex types and the set
+// of typed, direction-constrained edge types between them. It is the
+// source of the schemaVertex/schemaEdge facts of §IV-A1.
+type Schema struct {
+	vertexTypes map[string]bool
+	edgeTypes   []EdgeType
+	// allowed indexes (from,to,name) triples for O(1) AddEdge validation.
+	allowed map[EdgeType]bool
+}
+
+// NewSchema builds a schema from vertex type names and edge type
+// declarations. It returns an error if an edge type references an
+// undeclared vertex type or is declared twice.
+func NewSchema(vertexTypes []string, edgeTypes []EdgeType) (*Schema, error) {
+	s := &Schema{
+		vertexTypes: make(map[string]bool, len(vertexTypes)),
+		allowed:     make(map[EdgeType]bool, len(edgeTypes)),
+	}
+	for _, vt := range vertexTypes {
+		if vt == "" {
+			return nil, fmt.Errorf("schema: empty vertex type name")
+		}
+		s.vertexTypes[vt] = true
+	}
+	for _, et := range edgeTypes {
+		if !s.vertexTypes[et.From] {
+			return nil, fmt.Errorf("schema: edge %s: unknown domain type %q", et.Name, et.From)
+		}
+		if !s.vertexTypes[et.To] {
+			return nil, fmt.Errorf("schema: edge %s: unknown range type %q", et.Name, et.To)
+		}
+		if s.allowed[et] {
+			return nil, fmt.Errorf("schema: duplicate edge type %s-[%s]->%s", et.From, et.Name, et.To)
+		}
+		s.allowed[et] = true
+		s.edgeTypes = append(s.edgeTypes, et)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for static schemas.
+func MustSchema(vertexTypes []string, edgeTypes []EdgeType) *Schema {
+	s, err := NewSchema(vertexTypes, edgeTypes)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// HasVertexType reports whether the schema declares the vertex type.
+func (s *Schema) HasVertexType(vtype string) bool { return s.vertexTypes[vtype] }
+
+// AllowsEdge reports whether an edge of type name may connect a vertex of
+// type from to a vertex of type to.
+func (s *Schema) AllowsEdge(from, to, name string) bool {
+	return s.allowed[EdgeType{From: from, To: to, Name: name}]
+}
+
+// VertexTypes returns the declared vertex types, sorted.
+func (s *Schema) VertexTypes() []string {
+	types := make([]string, 0, len(s.vertexTypes))
+	for t := range s.vertexTypes {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	return types
+}
+
+// EdgeTypes returns the declared edge types in declaration order.
+func (s *Schema) EdgeTypes() []EdgeType {
+	return append([]EdgeType(nil), s.edgeTypes...)
+}
+
+// EdgeTypesFrom returns the edge types whose domain is the given vertex
+// type, in declaration order.
+func (s *Schema) EdgeTypesFrom(vtype string) []EdgeType {
+	var out []EdgeType
+	for _, et := range s.edgeTypes {
+		if et.From == vtype {
+			out = append(out, et)
+		}
+	}
+	return out
+}
+
+// SourceTypes returns the vertex types that are the domain of at least one
+// edge type (the T_G of the heterogeneous size estimator, Eq. 3), sorted.
+func (s *Schema) SourceTypes() []string {
+	seen := make(map[string]bool)
+	for _, et := range s.edgeTypes {
+		seen[et.From] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Extend returns a copy of the schema with the extra vertex and edge types
+// added (ignoring exact duplicates). Materializing a connector view adds
+// its contracted edge type to the view graph's schema this way.
+func (s *Schema) Extend(vertexTypes []string, edgeTypes []EdgeType) (*Schema, error) {
+	vts := s.VertexTypes()
+	for _, vt := range vertexTypes {
+		if !s.vertexTypes[vt] {
+			vts = append(vts, vt)
+		}
+	}
+	ets := s.EdgeTypes()
+	for _, et := range edgeTypes {
+		if !s.allowed[et] {
+			ets = append(ets, et)
+		}
+	}
+	return NewSchema(vts, ets)
+}
+
+// String renders the schema compactly, e.g. for the CLI's schema command.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString("vertices: ")
+	b.WriteString(strings.Join(s.VertexTypes(), ", "))
+	b.WriteString("\nedges:\n")
+	for _, et := range s.edgeTypes {
+		fmt.Fprintf(&b, "  %s-[%s]->%s\n", et.From, et.Name, et.To)
+	}
+	return b.String()
+}
+
+// IsHomogeneous reports whether the schema has exactly one vertex type
+// (the paper's homogeneous/heterogeneous distinction, §I fn. 1).
+func (s *Schema) IsHomogeneous() bool { return len(s.vertexTypes) == 1 }

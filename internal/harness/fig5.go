@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"kaskade/internal/cost"
+	"kaskade/internal/datagen"
+	"kaskade/internal/graph"
+	"kaskade/internal/views"
+)
+
+// Fig5Row is one point of Fig. 5: 2-hop connector size over the subgraph
+// induced by the first Edges edges of a dataset — the α=50 and α=95
+// estimates (Eq. 2/3), the Erdős–Rényi estimate (Eq. 1, shown by §V-A to
+// underestimate badly), and the actual count of 2-length paths.
+type Fig5Row struct {
+	Dataset    string
+	Edges      int     // |E| of the prefix subgraph (the x-axis)
+	Est50      float64 // Eq. 2/3 with α=50
+	Est95      float64 // Eq. 2/3 with α=95
+	ErdosRenyi float64 // Eq. 1
+	Actual     int64   // exact 2-length path count
+}
+
+// Fig5 sweeps edge prefixes of each dataset (log-spaced) and computes
+// estimated vs. actual 2-hop connector sizes.
+func Fig5(cfg Config) ([]Fig5Row, error) {
+	graphs, names, err := Datasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig5Row
+	for _, name := range names {
+		g := graphs[name]
+		for _, n := range prefixSizes(g.NumEdges()) {
+			sub, err := datagen.Prefix(g, n)
+			if err != nil {
+				return nil, err
+			}
+			row, err := fig5Point(name, sub)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func fig5Point(name string, g *graph.Graph) (Fig5Row, error) {
+	props := cost.Collect(g)
+	est50, err := cost.EstimateKHopPaths(props, g.Schema(), 2, 50)
+	if err != nil {
+		return Fig5Row{}, err
+	}
+	est95, err := cost.EstimateKHopPaths(props, g.Schema(), 2, 95)
+	if err != nil {
+		return Fig5Row{}, err
+	}
+	return Fig5Row{
+		Dataset:    name,
+		Edges:      g.NumEdges(),
+		Est50:      est50,
+		Est95:      est95,
+		ErdosRenyi: cost.ErdosRenyiPaths(int64(g.NumVertices()), int64(g.NumEdges()), 2),
+		Actual:     views.CountKHopPaths(g, "", "", 2),
+	}, nil
+}
+
+// prefixSizes returns log-spaced prefix sizes up to the graph's edge
+// count (the paper sweeps 10^4..10^7; we sweep from 10^3 up to the
+// generated size).
+func prefixSizes(max int) []int {
+	var out []int
+	for n := 1000; n < max; n *= 3 {
+		out = append(out, n)
+	}
+	out = append(out, max)
+	return out
+}
+
+// PrintFig5 renders the sweep as an aligned table.
+func PrintFig5(w io.Writer, rows []Fig5Row) {
+	header := []string{"dataset", "graph_edges", "est_a50", "est_a95", "erdos_renyi", "actual_connector_edges"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset,
+			fmt.Sprintf("%d", r.Edges),
+			fmt.Sprintf("%.3g", r.Est50),
+			fmt.Sprintf("%.3g", r.Est95),
+			fmt.Sprintf("%.3g", r.ErdosRenyi),
+			fmt.Sprintf("%d", r.Actual),
+		})
+	}
+	fmt.Fprintln(w, "Fig. 5: estimated vs. actual 2-hop connector sizes over edge prefixes (log-log in the paper)")
+	table(w, header, cells)
+}

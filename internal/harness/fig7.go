@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"kaskade/internal/datagen"
+	"kaskade/internal/views"
+	"kaskade/internal/workload"
+)
+
+// Fig7Row is one bar pair of Fig. 7: a query's total runtime over the
+// baseline graph (the filtered graph for heterogeneous datasets, the raw
+// graph for homogeneous ones) versus over the 2-hop connector view, with
+// the rewritten hop/pass budgets of §VII-C.
+type Fig7Row struct {
+	Dataset   string
+	Query     workload.QueryID
+	Baseline  time.Duration
+	Connector time.Duration
+	// Speedup is Baseline/Connector (>1 means the view wins).
+	Speedup float64
+	// BaselineResult/ConnectorResult are the scalar result summaries
+	// (equal for the exactly-rewritable heterogeneous queries).
+	BaselineResult  int64
+	ConnectorResult int64
+}
+
+// fig7Scenario describes one dataset's Fig. 7 panel.
+type fig7Scenario struct {
+	name       string
+	keepTypes  []string // schema summarizer for heterogeneous datasets (nil = raw)
+	sourceType string
+	queries    []workload.QueryID
+	// scaleMul/sampleCap tame the homogeneous power-law case: its 2-hop
+	// connector is ~two orders of magnitude larger than the raw graph
+	// (the §VII-D finding), so running it at full scale only burns time
+	// re-demonstrating the loss.
+	scaleMul  float64
+	sampleCap int
+}
+
+// Fig7 measures the Table IV workload over baseline vs. connector graphs
+// for all four datasets (§VII-F). Q1 runs only on prov (its blast-radius
+// semantics needs job CPU properties), matching the paper's figure.
+func Fig7(cfg Config) ([]Fig7Row, error) {
+	all := []workload.QueryID{
+		workload.Q2Ancestors, workload.Q3Descendants, workload.Q4PathLengths,
+		workload.Q5EdgeCount, workload.Q6VertexCount,
+		workload.Q7Community, workload.Q8LargestComm,
+	}
+	scenarios := []fig7Scenario{
+		{"prov", []string{"Job", "File"}, "Job", append([]workload.QueryID{workload.Q1BlastRadius}, all...), 1, 0},
+		{"dblp", []string{"Author", "Paper"}, "Author", all, 1, 0},
+		{"roadnet", nil, "Intersection", all, 1, 0},
+		{"soc", nil, "User", all, 0.25, 50},
+	}
+	var rows []Fig7Row
+	for _, sc := range scenarios {
+		raw, err := datagen.Generate(sc.name, cfg.Scale*sc.scaleMul, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		base := raw
+		if sc.keepTypes != nil {
+			base, err = views.VertexInclusionSummarizer{Types: sc.keepTypes}.Materialize(raw)
+			if err != nil {
+				return nil, err
+			}
+		}
+		src := sc.sourceType
+		if sc.keepTypes == nil {
+			src = "" // homogeneous: vertex-to-vertex connector
+		}
+		conn, err := views.KHopConnector{SrcType: src, DstType: src, K: 2}.Materialize(base)
+		if err != nil {
+			return nil, err
+		}
+		sample := cfg.Sample
+		if sc.sampleCap > 0 && (sample == 0 || sample > sc.sampleCap) {
+			sample = sc.sampleCap
+		}
+		baseRun := workload.BaseRunner(base, sc.sourceType, sample)
+		connRun := workload.ConnectorRunner(conn, sc.sourceType, 2, sample)
+		for _, q := range sc.queries {
+			row, err := timeQuery(sc.name, q, baseRun, connRun)
+			if err != nil {
+				return nil, fmt.Errorf("harness: fig7 %s %s: %w", sc.name, q, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func timeQuery(dataset string, q workload.QueryID, base, conn *workload.Runner) (Fig7Row, error) {
+	start := time.Now()
+	bres, err := base.Run(q)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	bdur := time.Since(start)
+
+	start = time.Now()
+	cres, err := conn.Run(q)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	cdur := time.Since(start)
+
+	speedup := 0.0
+	if cdur > 0 {
+		speedup = float64(bdur) / float64(cdur)
+	}
+	return Fig7Row{
+		Dataset: dataset, Query: q,
+		Baseline: bdur, Connector: cdur, Speedup: speedup,
+		BaselineResult: bres, ConnectorResult: cres,
+	}, nil
+}
+
+// PrintFig7 renders the runtime comparison.
+func PrintFig7(w io.Writer, rows []Fig7Row) {
+	header := []string{"dataset", "query", "baseline", "connector", "speedup", "base_result", "conn_result"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, string(r.Query),
+			r.Baseline.String(), r.Connector.String(),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%d", r.BaselineResult),
+			fmt.Sprintf("%d", r.ConnectorResult),
+		})
+	}
+	fmt.Fprintln(w, "Fig. 7: total query runtimes, baseline graph vs. 2-hop connector view")
+	table(w, header, cells)
+}

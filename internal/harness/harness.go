@@ -1,0 +1,87 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§VII) over the synthetic stand-in datasets: Fig. 5 (view
+// size estimation), Fig. 6 (effective size reduction), Fig. 7 (query
+// runtimes over filter vs. connector views), Fig. 8 (degree
+// distributions), Tables I-IV, and the §IV-A search-space ablation.
+//
+// Absolute numbers differ from the paper (different hardware, scaled
+// datasets); the shapes the paper reports are what the harness verifies:
+// who wins, by roughly what factor, and where the crossovers fall.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"kaskade/internal/datagen"
+	"kaskade/internal/graph"
+	"kaskade/internal/views"
+)
+
+// Config controls dataset scales so experiments fit a laptop budget.
+type Config struct {
+	// Scale multiplies the default dataset sizes (1.0 = package
+	// defaults; benches use smaller).
+	Scale float64
+	// Seed offsets generator seeds (0 = defaults).
+	Seed int64
+	// Sample caps per-source traversals in Fig. 7 queries.
+	Sample int
+}
+
+// DefaultConfig is the scale used by `kaskade-bench` without flags.
+func DefaultConfig() Config { return Config{Scale: 1, Sample: 200} }
+
+// Datasets returns the four evaluation graphs at the configured scale,
+// keyed by short name, in Table III order.
+func Datasets(cfg Config) (map[string]*graph.Graph, []string, error) {
+	names := []string{datagen.NameProv, datagen.NameDBLP, datagen.NameRoadNet, datagen.NameSocial}
+	out := make(map[string]*graph.Graph, len(names))
+	for _, n := range names {
+		g, err := datagen.Generate(n, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("harness: generating %s: %w", n, err)
+		}
+		out[n] = g
+	}
+	return out, names, nil
+}
+
+// FilteredProv applies the schema-level summarizer of the evaluation
+// (keep jobs and files) to the raw provenance graph.
+func FilteredProv(raw *graph.Graph) (*graph.Graph, error) {
+	return views.VertexInclusionSummarizer{Types: []string{"Job", "File"}}.Materialize(raw)
+}
+
+// FilteredDBLP keeps authors and papers (the paper's summarized dblp
+// keeps authors and publication-type vertices).
+func FilteredDBLP(raw *graph.Graph) (*graph.Graph, error) {
+	return views.VertexInclusionSummarizer{Types: []string{"Author", "Paper"}}.Materialize(raw)
+}
+
+// table renders aligned rows.
+func table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+}

@@ -1,0 +1,135 @@
+// Package knapsack solves the 0/1 knapsack problem behind Kaskade's view
+// selection (§V-B): candidate views are items whose weight is the view's
+// estimated size and whose value is its workload performance improvement
+// divided by creation cost; the capacity is the space budget.
+//
+// It stands in for the branch-and-bound knapsack solver of Google
+// OR-Tools that the paper used: Solve runs an exact branch-and-bound with
+// a fractional (LP) relaxation bound, which is optimal like OR-Tools'
+// solver at view-selection scales (tens of items).
+package knapsack
+
+import (
+	"sort"
+)
+
+// Item is one knapsack candidate.
+type Item struct {
+	Weight int64   // > 0; zero-weight items are always taken when Value > 0
+	Value  float64 // >= 0
+}
+
+// Solve returns the indices (in input order) of an optimal item subset
+// whose total weight does not exceed capacity, and the subset's total
+// value. Items with non-positive value are never selected; items with
+// non-positive weight and positive value are always selected.
+func Solve(items []Item, capacity int64) (picked []int, total float64) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	var free []int
+	var candidates []int
+	for i, it := range items {
+		if it.Value <= 0 {
+			continue
+		}
+		if it.Weight <= 0 {
+			free = append(free, i)
+			total += it.Value
+			continue
+		}
+		if it.Weight <= capacity {
+			candidates = append(candidates, i)
+		}
+	}
+	chosen, v := branchAndBound(items, candidates, capacity)
+	total += v
+	picked = append(free, chosen...)
+	sort.Ints(picked)
+	return picked, total
+}
+
+// branchAndBound performs exact DFS with a fractional-relaxation upper
+// bound, exploring take-branches first on items sorted by value density.
+func branchAndBound(items []Item, cand []int, capacity int64) ([]int, float64) {
+	if len(cand) == 0 {
+		return nil, 0
+	}
+	order := append([]int(nil), cand...)
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		return ia.Value*float64(ib.Weight) > ib.Value*float64(ia.Weight)
+	})
+
+	bestVal := 0.0
+	var bestSet []int
+	cur := make([]int, 0, len(order))
+
+	// bound computes the fractional-knapsack upper bound from position
+	// pos with remaining capacity rem.
+	bound := func(pos int, rem int64, acc float64) float64 {
+		b := acc
+		for _, idx := range order[pos:] {
+			it := items[idx]
+			if it.Weight <= rem {
+				rem -= it.Weight
+				b += it.Value
+			} else {
+				b += it.Value * float64(rem) / float64(it.Weight)
+				break
+			}
+		}
+		return b
+	}
+
+	var dfs func(pos int, rem int64, acc float64)
+	dfs = func(pos int, rem int64, acc float64) {
+		if acc > bestVal {
+			bestVal = acc
+			bestSet = append(bestSet[:0], cur...)
+		}
+		if pos == len(order) {
+			return
+		}
+		if bound(pos, rem, acc) <= bestVal {
+			return // prune
+		}
+		it := items[order[pos]]
+		if it.Weight <= rem {
+			cur = append(cur, order[pos])
+			dfs(pos+1, rem-it.Weight, acc+it.Value)
+			cur = cur[:len(cur)-1]
+		}
+		dfs(pos+1, rem, acc)
+	}
+	dfs(0, capacity, 0)
+	return bestSet, bestVal
+}
+
+// BruteForce enumerates all 2^n subsets; used to validate Solve in tests
+// and safe for n <= ~20.
+func BruteForce(items []Item, capacity int64) (picked []int, total float64) {
+	n := len(items)
+	best := 0.0
+	bestMask := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		var w int64
+		v := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				w += items[i].Weight
+				v += items[i].Value
+			}
+		}
+		if w <= capacity && v > best {
+			best = v
+			bestMask = mask
+		}
+	}
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<i) != 0 {
+			picked = append(picked, i)
+		}
+	}
+	return picked, best
+}

@@ -1,0 +1,119 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveSmallKnown(t *testing.T) {
+	items := []Item{
+		{Weight: 10, Value: 60},
+		{Weight: 20, Value: 100},
+		{Weight: 30, Value: 120},
+	}
+	picked, total := Solve(items, 50)
+	// Optimal: items 1 and 2 (100 + 120 = 220).
+	if total != 220 {
+		t.Errorf("total = %v, want 220", total)
+	}
+	if len(picked) != 2 || picked[0] != 1 || picked[1] != 2 {
+		t.Errorf("picked = %v, want [1 2]", picked)
+	}
+}
+
+func TestSolveEdgeCases(t *testing.T) {
+	if picked, total := Solve(nil, 100); len(picked) != 0 || total != 0 {
+		t.Errorf("empty items: %v %v", picked, total)
+	}
+	// Zero capacity: only zero-weight items fit.
+	items := []Item{{Weight: 0, Value: 5}, {Weight: 1, Value: 100}}
+	picked, total := Solve(items, 0)
+	if len(picked) != 1 || picked[0] != 0 || total != 5 {
+		t.Errorf("zero capacity: %v %v", picked, total)
+	}
+	// Negative capacity treated as zero.
+	if _, total := Solve(items, -7); total != 5 {
+		t.Errorf("negative capacity total = %v", total)
+	}
+	// Worthless items never picked.
+	items = []Item{{Weight: 1, Value: 0}, {Weight: 1, Value: -3}}
+	if picked, _ := Solve(items, 10); len(picked) != 0 {
+		t.Errorf("worthless items picked: %v", picked)
+	}
+	// Item heavier than capacity skipped.
+	items = []Item{{Weight: 100, Value: 999}, {Weight: 5, Value: 1}}
+	picked, total = Solve(items, 10)
+	if len(picked) != 1 || picked[0] != 1 || total != 1 {
+		t.Errorf("oversized item: %v %v", picked, total)
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Weight: int64(1 + rng.Intn(30)),
+				Value:  float64(rng.Intn(100)),
+			}
+		}
+		capacity := int64(rng.Intn(100))
+		_, got := Solve(items, capacity)
+		_, want := BruteForce(items, capacity)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Solve=%v BruteForce=%v items=%v cap=%d",
+				trial, got, want, items, capacity)
+		}
+	}
+}
+
+func TestSolveRespectsCapacityProperty(t *testing.T) {
+	f := func(ws []uint8, vs []uint8, capRaw uint16) bool {
+		n := len(ws)
+		if len(vs) < n {
+			n = len(vs)
+		}
+		if n > 16 {
+			n = 16
+		}
+		items := make([]Item, n)
+		for i := 0; i < n; i++ {
+			items[i] = Item{Weight: int64(ws[i]), Value: float64(vs[i])}
+		}
+		capacity := int64(capRaw % 500)
+		picked, total := Solve(items, capacity)
+		var w int64
+		v := 0.0
+		seen := map[int]bool{}
+		for _, idx := range picked {
+			if idx < 0 || idx >= n || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+			if items[idx].Weight > 0 {
+				w += items[idx].Weight
+			}
+			v += items[idx].Value
+		}
+		return w <= capacity && math.Abs(v-total) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargerInstanceTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]Item, 60)
+	for i := range items {
+		items[i] = Item{Weight: int64(1 + rng.Intn(1000)), Value: float64(rng.Intn(1000))}
+	}
+	picked, total := Solve(items, 5000)
+	if total <= 0 || len(picked) == 0 {
+		t.Errorf("large instance: picked=%d total=%v", len(picked), total)
+	}
+}

@@ -1,0 +1,507 @@
+package prolog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// builtinFn implements a builtin predicate over already-dereferenced call
+// arguments. It must call k for each solution and undo its own bindings on
+// failure paths (most use m.undoTo around attempts).
+type builtinFn func(m *Machine, args []Term, depth, cutParent int, k cont) (bool, error)
+
+var builtins map[string]builtinFn
+
+func init() {
+	builtins = map[string]builtinFn{
+		"true/0":        biTrue,
+		"fail/0":        biFail,
+		"false/0":       biFail,
+		"!/0":           biCut,
+		"=/2":           biUnify,
+		"\\=/2":         biNotUnify,
+		"==/2":          biStructEq,
+		"\\==/2":        biStructNeq,
+		"@</2":          biTermLess,
+		"@>/2":          biTermGreater,
+		"compare/3":     biCompare,
+		"var/1":         biVar,
+		"nonvar/1":      biNonvar,
+		"atom/1":        biAtom,
+		"number/1":      biNumber,
+		"integer/1":     biInteger,
+		"is/2":          biIs,
+		"</2":           numCmp(func(c int) bool { return c < 0 }),
+		">/2":           numCmp(func(c int) bool { return c > 0 }),
+		"=</2":          numCmp(func(c int) bool { return c <= 0 }),
+		">=/2":          numCmp(func(c int) bool { return c >= 0 }),
+		"=:=/2":         numCmp(func(c int) bool { return c == 0 }),
+		"=\\=/2":        numCmp(func(c int) bool { return c != 0 }),
+		"\\+/1":         biNegation,
+		"not/1":         biNegation,
+		"between/3":     biBetween,
+		"succ/2":        biSucc,
+		"length/2":      biLength,
+		"findall/3":     biFindall,
+		"setof/3":       biSetof,
+		"bagof/3":       biBagof,
+		"sort/2":        biSort,
+		"msort/2":       biMsort,
+		"atom_concat/3": biAtomConcat,
+		"write/1":       biWrite,
+		"nl/0":          biNl,
+		"functor/3":     biFunctor,
+		"arg/3":         biArg,
+	}
+	for n := 1; n <= 8; n++ {
+		builtins[fmt.Sprintf("call/%d", n)] = biCall
+	}
+}
+
+func biTrue(m *Machine, _ []Term, _, _ int, k cont) (bool, error) { return k() }
+
+func biFail(*Machine, []Term, int, int, cont) (bool, error) { return false, nil }
+
+func biCut(m *Machine, _ []Term, _, cutParent int, k cont) (bool, error) {
+	stop, err := k()
+	if stop || err != nil {
+		return stop, err
+	}
+	return false, cutSignal{barrier: cutParent}
+}
+
+func biUnify(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	mark := len(m.trail)
+	if m.unify(args[0], args[1]) {
+		stop, err := k()
+		if stop || err != nil {
+			return stop, err
+		}
+	}
+	m.undoTo(mark)
+	return false, nil
+}
+
+func biNotUnify(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	mark := len(m.trail)
+	ok := m.unify(args[0], args[1])
+	m.undoTo(mark)
+	if ok {
+		return false, nil
+	}
+	return k()
+}
+
+func biStructEq(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	if compareTerms(args[0], args[1]) == 0 {
+		return k()
+	}
+	return false, nil
+}
+
+func biStructNeq(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	if compareTerms(args[0], args[1]) != 0 {
+		return k()
+	}
+	return false, nil
+}
+
+func biTermLess(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	if compareTerms(args[0], args[1]) < 0 {
+		return k()
+	}
+	return false, nil
+}
+
+func biTermGreater(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	if compareTerms(args[0], args[1]) > 0 {
+		return k()
+	}
+	return false, nil
+}
+
+func biCompare(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	c := compareTerms(args[1], args[2])
+	var rel Atom
+	switch {
+	case c < 0:
+		rel = "<"
+	case c > 0:
+		rel = ">"
+	default:
+		rel = "="
+	}
+	return biUnify(m, []Term{args[0], rel}, 0, 0, k)
+}
+
+func typeCheck(pred func(Term) bool) builtinFn {
+	return func(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+		if pred(deref(args[0])) {
+			return k()
+		}
+		return false, nil
+	}
+}
+
+var (
+	biVar = typeCheck(func(t Term) bool { _, ok := t.(*Var); return ok })
+
+	biNonvar = typeCheck(func(t Term) bool { _, ok := t.(*Var); return !ok })
+
+	biAtom = typeCheck(func(t Term) bool { _, ok := t.(Atom); return ok })
+
+	biInteger = typeCheck(func(t Term) bool { _, ok := t.(Int); return ok })
+
+	biNumber = typeCheck(func(t Term) bool {
+		switch t.(type) {
+		case Int, Float:
+			return true
+		}
+		return false
+	})
+)
+
+func biIs(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	val, err := EvalArith(args[1])
+	if err != nil {
+		return false, err
+	}
+	return biUnify(m, []Term{args[0], val}, 0, 0, k)
+}
+
+func numCmp(ok func(int) bool) builtinFn {
+	return func(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+		a, err := EvalArith(args[0])
+		if err != nil {
+			return false, err
+		}
+		b, err := EvalArith(args[1])
+		if err != nil {
+			return false, err
+		}
+		if ok(compareTerms(a, b)) {
+			return k()
+		}
+		return false, nil
+	}
+}
+
+// biNegation implements negation as failure (\+ and not). The inner goal
+// runs with a local cut barrier and its bindings are always undone.
+func biNegation(m *Machine, args []Term, depth, _ int, k cont) (bool, error) {
+	mark := len(m.trail)
+	found := false
+	_, err := m.solve(args[0], depth+1, func() (bool, error) {
+		found = true
+		return true, nil
+	})
+	m.undoTo(mark)
+	if err != nil && !isCut(err) {
+		return false, err
+	}
+	if found {
+		return false, nil
+	}
+	return k()
+}
+
+func biBetween(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	lo, err := EvalArith(args[0])
+	if err != nil {
+		return false, err
+	}
+	hi, err := EvalArith(args[1])
+	if err != nil {
+		return false, err
+	}
+	l, ok1 := lo.(Int)
+	h, ok2 := hi.(Int)
+	if !ok1 || !ok2 {
+		return false, fmt.Errorf("prolog: between/3: bounds must be integers")
+	}
+	x := deref(args[2])
+	if xi, ok := x.(Int); ok {
+		if xi >= l && xi <= h {
+			return k()
+		}
+		return false, nil
+	}
+	for i := l; i <= h; i++ {
+		mark := len(m.trail)
+		if m.unify(args[2], i) {
+			stop, err := k()
+			if stop || err != nil {
+				return stop, err
+			}
+		}
+		m.undoTo(mark)
+	}
+	return false, nil
+}
+
+func biSucc(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	a, b := deref(args[0]), deref(args[1])
+	if ai, ok := a.(Int); ok {
+		if ai < 0 {
+			return false, fmt.Errorf("prolog: succ/2: negative argument")
+		}
+		return biUnify(m, []Term{args[1], ai + 1}, 0, 0, k)
+	}
+	if bi, ok := b.(Int); ok {
+		if bi <= 0 {
+			return false, nil
+		}
+		return biUnify(m, []Term{args[0], bi - 1}, 0, 0, k)
+	}
+	return false, fmt.Errorf("prolog: succ/2: insufficiently instantiated")
+}
+
+func biLength(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	if elems, ok := ListSlice(args[0]); ok {
+		return biUnify(m, []Term{args[1], Int(len(elems))}, 0, 0, k)
+	}
+	if n, ok := deref(args[1]).(Int); ok && n >= 0 {
+		fresh := make([]Term, n)
+		for i := range fresh {
+			fresh[i] = NewVar("_L")
+		}
+		return biUnify(m, []Term{args[0], MkList(fresh...)}, 0, 0, k)
+	}
+	return false, fmt.Errorf("prolog: length/2: insufficiently instantiated")
+}
+
+func biFindall(m *Machine, args []Term, depth, _ int, k cont) (bool, error) {
+	var results []Term
+	mark := len(m.trail)
+	_, err := m.solve(args[1], depth+1, func() (bool, error) {
+		results = append(results, Resolve(args[0]))
+		return false, nil
+	})
+	m.undoTo(mark)
+	if err != nil && !isCut(err) {
+		return false, err
+	}
+	return biUnify(m, []Term{args[2], MkList(results...)}, 0, 0, k)
+}
+
+// biSetof implements a simplified setof/3: ^-witnesses are stripped (their
+// variables are treated as existentially quantified, like findall), results
+// are sorted with duplicates removed, and the call fails if there are no
+// solutions. This covers the paper's usage (aggregation with dedup).
+func biSetof(m *Machine, args []Term, depth, cutParent int, k cont) (bool, error) {
+	goal := deref(args[1])
+	for {
+		c, ok := goal.(*Compound)
+		if ok && c.Functor == "^" && len(c.Args) == 2 {
+			goal = deref(c.Args[1])
+			continue
+		}
+		break
+	}
+	var results []Term
+	mark := len(m.trail)
+	_, err := m.solve(goal, depth+1, func() (bool, error) {
+		results = append(results, Resolve(args[0]))
+		return false, nil
+	})
+	m.undoTo(mark)
+	if err != nil && !isCut(err) {
+		return false, err
+	}
+	if len(results) == 0 {
+		return false, nil
+	}
+	return biUnify(m, []Term{args[2], MkList(sortUnique(results)...)}, 0, 0, k)
+}
+
+// biBagof is the same simplification as setof but preserves order and
+// duplicates, failing on no solutions.
+func biBagof(m *Machine, args []Term, depth, cutParent int, k cont) (bool, error) {
+	goal := deref(args[1])
+	for {
+		c, ok := goal.(*Compound)
+		if ok && c.Functor == "^" && len(c.Args) == 2 {
+			goal = deref(c.Args[1])
+			continue
+		}
+		break
+	}
+	var results []Term
+	mark := len(m.trail)
+	_, err := m.solve(goal, depth+1, func() (bool, error) {
+		results = append(results, Resolve(args[0]))
+		return false, nil
+	})
+	m.undoTo(mark)
+	if err != nil && !isCut(err) {
+		return false, err
+	}
+	if len(results) == 0 {
+		return false, nil
+	}
+	return biUnify(m, []Term{args[2], MkList(results...)}, 0, 0, k)
+}
+
+func biSort(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	elems, ok := ListSlice(args[0])
+	if !ok {
+		return false, fmt.Errorf("prolog: sort/2: first argument is not a proper list")
+	}
+	resolved := make([]Term, len(elems))
+	for i, e := range elems {
+		resolved[i] = Resolve(e)
+	}
+	return biUnify(m, []Term{args[1], MkList(sortUnique(resolved)...)}, 0, 0, k)
+}
+
+func biMsort(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	elems, ok := ListSlice(args[0])
+	if !ok {
+		return false, fmt.Errorf("prolog: msort/2: first argument is not a proper list")
+	}
+	resolved := make([]Term, len(elems))
+	for i, e := range elems {
+		resolved[i] = Resolve(e)
+	}
+	// Stable sort without dedup.
+	sorted := append([]Term(nil), resolved...)
+	insertionSortTerms(sorted)
+	return biUnify(m, []Term{args[1], MkList(sorted...)}, 0, 0, k)
+}
+
+func insertionSortTerms(ts []Term) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && compareTerms(ts[j-1], ts[j]) > 0; j-- {
+			ts[j-1], ts[j] = ts[j], ts[j-1]
+		}
+	}
+}
+
+func biAtomConcat(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	a, aok := deref(args[0]).(Atom)
+	b, bok := deref(args[1]).(Atom)
+	if aok && bok {
+		return biUnify(m, []Term{args[2], Atom(string(a) + string(b))}, 0, 0, k)
+	}
+	c, cok := deref(args[2]).(Atom)
+	if !cok {
+		return false, fmt.Errorf("prolog: atom_concat/3: insufficiently instantiated")
+	}
+	s := string(c)
+	for i := 0; i <= len(s); i++ {
+		mark := len(m.trail)
+		if m.unify(args[0], Atom(s[:i])) && m.unify(args[1], Atom(s[i:])) {
+			stop, err := k()
+			if stop || err != nil {
+				return stop, err
+			}
+		}
+		m.undoTo(mark)
+	}
+	return false, nil
+}
+
+func biWrite(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	if m.Out != nil {
+		io.WriteString(m.Out, strings.ReplaceAll(TermString(Resolve(args[0])), "'", ""))
+	}
+	return k()
+}
+
+func biNl(m *Machine, _ []Term, _, _ int, k cont) (bool, error) {
+	if m.Out != nil {
+		io.WriteString(m.Out, "\n")
+	}
+	return k()
+}
+
+func biFunctor(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	switch t := deref(args[0]).(type) {
+	case *Compound:
+		mark := len(m.trail)
+		if m.unify(args[1], Atom(t.Functor)) && m.unify(args[2], Int(len(t.Args))) {
+			stop, err := k()
+			if stop || err != nil {
+				return stop, err
+			}
+		}
+		m.undoTo(mark)
+		return false, nil
+	case Atom:
+		mark := len(m.trail)
+		if m.unify(args[1], t) && m.unify(args[2], Int(0)) {
+			stop, err := k()
+			if stop || err != nil {
+				return stop, err
+			}
+		}
+		m.undoTo(mark)
+		return false, nil
+	case Int, Float:
+		mark := len(m.trail)
+		if m.unify(args[1], t) && m.unify(args[2], Int(0)) {
+			stop, err := k()
+			if stop || err != nil {
+				return stop, err
+			}
+		}
+		m.undoTo(mark)
+		return false, nil
+	case *Var:
+		name, nok := deref(args[1]).(Atom)
+		arity, aok := deref(args[2]).(Int)
+		if !nok || !aok {
+			return false, fmt.Errorf("prolog: functor/3: insufficiently instantiated")
+		}
+		var built Term
+		if arity == 0 {
+			built = name
+		} else {
+			as := make([]Term, arity)
+			for i := range as {
+				as[i] = NewVar("_F")
+			}
+			built = Comp(string(name), as...)
+		}
+		return biUnify(m, []Term{args[0], built}, 0, 0, k)
+	}
+	return false, nil
+}
+
+func biArg(m *Machine, args []Term, _, _ int, k cont) (bool, error) {
+	n, ok := deref(args[0]).(Int)
+	if !ok {
+		return false, fmt.Errorf("prolog: arg/3: first argument must be an integer")
+	}
+	c, ok := deref(args[1]).(*Compound)
+	if !ok {
+		return false, fmt.Errorf("prolog: arg/3: second argument must be compound")
+	}
+	if n < 1 || int(n) > len(c.Args) {
+		return false, nil
+	}
+	return biUnify(m, []Term{args[2], c.Args[n-1]}, 0, 0, k)
+}
+
+// biCall implements call/1..8: call(G, E1..En) appends the extra args to G
+// and proves it with a fresh (local) cut barrier.
+func biCall(m *Machine, args []Term, depth, _ int, k cont) (bool, error) {
+	goal := deref(args[0])
+	extra := args[1:]
+	if len(extra) > 0 {
+		switch g := goal.(type) {
+		case Atom:
+			goal = Comp(string(g), extra...)
+		case *Compound:
+			goal = Comp(g.Functor, append(append([]Term{}, g.Args...), extra...)...)
+		default:
+			return false, fmt.Errorf("prolog: call: goal is not callable")
+		}
+	}
+	stop, err := m.solve(goal, depth+1, k)
+	if isCut(err) {
+		err = nil
+	}
+	return stop, err
+}

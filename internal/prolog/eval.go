@@ -1,0 +1,185 @@
+package prolog
+
+import (
+	"fmt"
+	"math"
+)
+
+// EvalArith evaluates an arithmetic expression term (the right-hand side
+// of is/2 and the operands of numeric comparisons) to an Int or Float.
+// Integer results are kept integral; / promotes to Float unless the
+// division is exact, matching SWI-Prolog's default behaviour.
+func EvalArith(t Term) (Term, error) {
+	t = deref(t)
+	switch t := t.(type) {
+	case Int:
+		return t, nil
+	case Float:
+		return t, nil
+	case *Var:
+		return nil, fmt.Errorf("prolog: arithmetic: unbound variable")
+	case Atom:
+		switch t {
+		case "pi":
+			return Float(math.Pi), nil
+		case "e":
+			return Float(math.E), nil
+		case "inf", "infinite":
+			return Float(math.Inf(1)), nil
+		}
+		return nil, fmt.Errorf("prolog: arithmetic: unknown constant %s", t)
+	case *Compound:
+		return evalCompound(t)
+	}
+	return nil, fmt.Errorf("prolog: arithmetic: cannot evaluate %s", TermString(t))
+}
+
+func evalCompound(c *Compound) (Term, error) {
+	if len(c.Args) == 1 {
+		x, err := EvalArith(c.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		switch c.Functor {
+		case "-":
+			if i, ok := x.(Int); ok {
+				return -i, nil
+			}
+			return -(x.(Float)), nil
+		case "+":
+			return x, nil
+		case "abs":
+			if i, ok := x.(Int); ok {
+				if i < 0 {
+					return -i, nil
+				}
+				return i, nil
+			}
+			return Float(math.Abs(float64(x.(Float)))), nil
+		case "sign":
+			switch v := x.(type) {
+			case Int:
+				switch {
+				case v > 0:
+					return Int(1), nil
+				case v < 0:
+					return Int(-1), nil
+				}
+				return Int(0), nil
+			case Float:
+				switch {
+				case v > 0:
+					return Float(1), nil
+				case v < 0:
+					return Float(-1), nil
+				}
+				return Float(0), nil
+			}
+		case "float":
+			return Float(toF(x)), nil
+		case "integer", "truncate":
+			return Int(int64(toF(x))), nil
+		case "floor":
+			return Int(int64(math.Floor(toF(x)))), nil
+		case "ceiling":
+			return Int(int64(math.Ceil(toF(x)))), nil
+		case "sqrt":
+			return Float(math.Sqrt(toF(x))), nil
+		case "log":
+			return Float(math.Log(toF(x))), nil
+		case "exp":
+			return Float(math.Exp(toF(x))), nil
+		}
+		return nil, fmt.Errorf("prolog: arithmetic: unknown function %s/1", c.Functor)
+	}
+	if len(c.Args) != 2 {
+		return nil, fmt.Errorf("prolog: arithmetic: unknown function %s/%d", c.Functor, len(c.Args))
+	}
+	a, err := EvalArith(c.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := EvalArith(c.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	ai, aInt := a.(Int)
+	bi, bInt := b.(Int)
+	bothInt := aInt && bInt
+	switch c.Functor {
+	case "+":
+		if bothInt {
+			return ai + bi, nil
+		}
+		return Float(toF(a) + toF(b)), nil
+	case "-":
+		if bothInt {
+			return ai - bi, nil
+		}
+		return Float(toF(a) - toF(b)), nil
+	case "*":
+		if bothInt {
+			return ai * bi, nil
+		}
+		return Float(toF(a) * toF(b)), nil
+	case "/":
+		if toF(b) == 0 {
+			return nil, fmt.Errorf("prolog: arithmetic: division by zero")
+		}
+		if bothInt && ai%bi == 0 {
+			return ai / bi, nil
+		}
+		return Float(toF(a) / toF(b)), nil
+	case "//":
+		if !bothInt {
+			return nil, fmt.Errorf("prolog: arithmetic: // needs integers")
+		}
+		if bi == 0 {
+			return nil, fmt.Errorf("prolog: arithmetic: division by zero")
+		}
+		return Int(math.Floor(float64(ai) / float64(bi))), nil
+	case "mod":
+		if !bothInt {
+			return nil, fmt.Errorf("prolog: arithmetic: mod needs integers")
+		}
+		if bi == 0 {
+			return nil, fmt.Errorf("prolog: arithmetic: division by zero")
+		}
+		r := ai % bi
+		if r != 0 && (r < 0) != (bi < 0) {
+			r += bi
+		}
+		return r, nil
+	case "min":
+		if compareTerms(a, b) <= 0 {
+			return a, nil
+		}
+		return b, nil
+	case "max":
+		if compareTerms(a, b) >= 0 {
+			return a, nil
+		}
+		return b, nil
+	case "**", "^":
+		if bothInt && bi >= 0 {
+			// Integer power by repeated multiplication.
+			result := Int(1)
+			for i := Int(0); i < bi; i++ {
+				result *= ai
+			}
+			return result, nil
+		}
+		return Float(math.Pow(toF(a), toF(b))), nil
+	}
+	return nil, fmt.Errorf("prolog: arithmetic: unknown function %s/2", c.Functor)
+}
+
+func toF(t Term) float64 {
+	switch t := t.(type) {
+	case Int:
+		return float64(t)
+	case Float:
+		return float64(t)
+	}
+	return math.NaN()
+}

@@ -1,0 +1,545 @@
+package prolog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseProgram parses Prolog source text into clauses. Each clause is a
+// fact (`head.`) or a rule (`head :- body.`). `%` comments and `/* */`
+// block comments are supported. Variables are scoped per clause.
+func ParseProgram(src string) ([]*Clause, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var clauses []*Clause
+	for !p.atEOF() {
+		vars := make(map[string]*Var)
+		t, err := p.parseTerm(1200, vars)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectEnd(); err != nil {
+			return nil, err
+		}
+		c, err := termToClause(t)
+		if err != nil {
+			return nil, err
+		}
+		clauses = append(clauses, c)
+	}
+	return clauses, nil
+}
+
+// ParseQuery parses a single goal term (without the trailing '.'),
+// returning it together with its named variables (underscore-prefixed
+// names are excluded so callers receive only variables they asked for).
+func ParseQuery(src string) (Term, map[string]*Var, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.atEOF() {
+		return nil, nil, fmt.Errorf("prolog: empty query")
+	}
+	vars := make(map[string]*Var)
+	t, err := p.parseTerm(1200, vars)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !p.atEOF() && !(p.peek().kind == tokEnd) {
+		return nil, nil, fmt.Errorf("prolog: trailing input after query at %s", p.peek().text)
+	}
+	named := make(map[string]*Var, len(vars))
+	for name, v := range vars {
+		if !strings.HasPrefix(name, "_") {
+			named[name] = v
+		}
+	}
+	return t, named, nil
+}
+
+// ParseTerm parses a single term with fresh variables (for tests and fact
+// construction).
+func ParseTerm(src string) (Term, error) {
+	t, _, err := ParseQuery(src)
+	return t, err
+}
+
+func termToClause(t Term) (*Clause, error) {
+	if c, ok := t.(*Compound); ok && c.Functor == ":-" {
+		switch len(c.Args) {
+		case 2:
+			if Indicator(c.Args[0]) == "" {
+				return nil, fmt.Errorf("prolog: clause head %s is not callable", TermString(c.Args[0]))
+			}
+			return &Clause{Head: c.Args[0], Body: c.Args[1]}, nil
+		case 1:
+			return nil, fmt.Errorf("prolog: directives are not supported: %s", TermString(t))
+		}
+	}
+	if Indicator(t) == "" {
+		return nil, fmt.Errorf("prolog: fact %s is not callable", TermString(t))
+	}
+	return &Clause{Head: t}, nil
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokAtom
+	tokVar
+	tokInt
+	tokFloat
+	tokPunct // ( ) [ ] , |
+	tokEnd   // clause-terminating .
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	// funcCall marks an atom immediately followed by '(' (no space),
+	// which begins a compound term's argument list.
+	funcCall bool
+	pos      int
+}
+
+const symbolChars = "+-*/\\^<>=~:.?@#&$"
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks, src: src}, nil
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '%':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("prolog: unterminated block comment at offset %d", i)
+			}
+			i += 2 + end + 2
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			isFloat := false
+			if j+1 < n && src[j] == '.' && src[j+1] >= '0' && src[j+1] <= '9' {
+				isFloat = true
+				j++
+				for j < n && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+			}
+			if j < n && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < n && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				if k < n && src[k] >= '0' && src[k] <= '9' {
+					isFloat = true
+					for k < n && src[k] >= '0' && src[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
+			text := src[i:j]
+			if isFloat {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("prolog: bad float %q at offset %d", text, i)
+				}
+				toks = append(toks, token{kind: tokFloat, text: text, fval: f, pos: i})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("prolog: bad integer %q at offset %d", text, i)
+				}
+				toks = append(toks, token{kind: tokInt, text: text, ival: v, pos: i})
+			}
+			i = j
+		case c == '\'':
+			var sb strings.Builder
+			j := i + 1
+			closed := false
+			for j < n {
+				if src[j] == '\\' && j+1 < n {
+					switch src[j+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\':
+						sb.WriteByte('\\')
+					case '\'':
+						sb.WriteByte('\'')
+					default:
+						sb.WriteByte(src[j+1])
+					}
+					j += 2
+					continue
+				}
+				if src[j] == '\'' {
+					// '' inside quotes is an escaped quote.
+					if j+1 < n && src[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("prolog: unterminated quoted atom at offset %d", i)
+			}
+			tok := token{kind: tokAtom, text: sb.String(), pos: i}
+			if j+1 < n && src[j+1] == '(' {
+				tok.funcCall = true
+			}
+			toks = append(toks, tok)
+			i = j + 1
+		case isAtomStart(rune(c)):
+			j := i
+			for j < n && isIdentChar(rune(src[j])) {
+				j++
+			}
+			tok := token{kind: tokAtom, text: src[i:j], pos: i}
+			if j < n && src[j] == '(' {
+				tok.funcCall = true
+			}
+			toks = append(toks, tok)
+			i = j
+		case isVarStart(rune(c)):
+			j := i
+			for j < n && isIdentChar(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokVar, text: src[i:j], pos: i})
+			i = j
+		case c == '(' || c == ')' || c == '[' || c == ']' || c == ',' || c == '|':
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		case c == '!' || c == ';':
+			toks = append(toks, token{kind: tokAtom, text: string(c), pos: i})
+			i++
+		case strings.IndexByte(symbolChars, c) >= 0:
+			// A '.' followed by layout/EOF/comment terminates a clause.
+			if c == '.' {
+				if i+1 >= n || src[i+1] == ' ' || src[i+1] == '\t' || src[i+1] == '\n' || src[i+1] == '\r' || src[i+1] == '%' {
+					toks = append(toks, token{kind: tokEnd, text: ".", pos: i})
+					i++
+					continue
+				}
+			}
+			j := i
+			for j < n && strings.IndexByte(symbolChars, src[j]) >= 0 {
+				j++
+			}
+			// Do not swallow a clause-terminating '.' at the end of a
+			// symbolic run (e.g. "X = Y.").
+			text := src[i:j]
+			for len(text) > 1 && text[len(text)-1] == '.' &&
+				(i+len(text) >= n || isLayout(src[i+len(text)]) || src[i+len(text)] == '%') {
+				text = text[:len(text)-1]
+				j--
+			}
+			tok := token{kind: tokAtom, text: text, pos: i}
+			if j < n && src[j] == '(' {
+				tok.funcCall = true
+			}
+			toks = append(toks, tok)
+			i = j
+		default:
+			return nil, fmt.Errorf("prolog: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isLayout(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isAtomStart(r rune) bool { return unicode.IsLower(r) }
+
+func isVarStart(r rune) bool { return unicode.IsUpper(r) || r == '_' }
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// --- operator tables ---
+
+type opInfo struct {
+	prec int
+	typ  string // xfx, xfy, yfx for infix; fy, fx for prefix
+}
+
+var infixTable = map[string]opInfo{
+	":-": {1200, "xfx"}, "-->": {1200, "xfx"},
+	";":  {1100, "xfy"},
+	"->": {1050, "xfy"},
+	",":  {1000, "xfy"},
+	"=":  {700, "xfx"}, "\\=": {700, "xfx"},
+	"==": {700, "xfx"}, "\\==": {700, "xfx"},
+	"@<": {700, "xfx"}, "@>": {700, "xfx"}, "@=<": {700, "xfx"}, "@>=": {700, "xfx"},
+	"is": {700, "xfx"}, "=..": {700, "xfx"},
+	"=:=": {700, "xfx"}, "=\\=": {700, "xfx"},
+	"<": {700, "xfx"}, ">": {700, "xfx"}, "=<": {700, "xfx"}, ">=": {700, "xfx"},
+	"+": {500, "yfx"}, "-": {500, "yfx"},
+	"*": {400, "yfx"}, "/": {400, "yfx"}, "//": {400, "yfx"}, "mod": {400, "yfx"},
+	"**": {200, "xfx"}, "^": {200, "xfy"},
+}
+
+var prefixTable = map[string]opInfo{
+	":-": {1200, "fx"}, "?-": {1200, "fx"},
+	"\\+": {900, "fy"},
+	"-":   {200, "fy"}, "+": {200, "fy"},
+}
+
+// --- parser ---
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.toks[p.i].kind == tokEOF }
+
+func (p *parser) expectEnd() error {
+	t := p.next()
+	if t.kind != tokEnd {
+		return fmt.Errorf("prolog: expected '.' at offset %d, found %q", t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("prolog: expected %q at offset %d, found %q", s, t.pos, t.text)
+	}
+	return nil
+}
+
+// parseTerm parses a term whose principal operator has precedence at most
+// maxPrec, using precedence climbing.
+func (p *parser) parseTerm(maxPrec int, vars map[string]*Var) (Term, error) {
+	left, err := p.parsePrimary(maxPrec, vars)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		var opName string
+		switch {
+		case t.kind == tokAtom:
+			opName = t.text
+		case t.kind == tokPunct && (t.text == "," || t.text == "|"):
+			opName = t.text
+			if opName == "|" {
+				opName = ";" // X | Y is an alternative for disjunction
+			}
+		default:
+			return left, nil
+		}
+		op, ok := infixTable[opName]
+		if !ok || op.prec > maxPrec {
+			return left, nil
+		}
+		p.next()
+		rightMax := op.prec
+		if op.typ == "xfx" || op.typ == "yfx" {
+			rightMax = op.prec - 1
+		}
+		right, err := p.parseTerm(rightMax, vars)
+		if err != nil {
+			return nil, err
+		}
+		left = Comp(opName, left, right)
+	}
+}
+
+func (p *parser) parsePrimary(maxPrec int, vars map[string]*Var) (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		return Int(t.ival), nil
+	case tokFloat:
+		return Float(t.fval), nil
+	case tokVar:
+		if t.text == "_" {
+			return NewVar("_"), nil
+		}
+		if v, ok := vars[t.text]; ok {
+			return v, nil
+		}
+		v := NewVar(t.text)
+		vars[t.text] = v
+		return v, nil
+	case tokPunct:
+		switch t.text {
+		case "(":
+			inner, err := p.parseTerm(1200, vars)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		case "[":
+			return p.parseList(vars)
+		}
+		return nil, fmt.Errorf("prolog: unexpected %q at offset %d", t.text, t.pos)
+	case tokAtom:
+		if t.funcCall {
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			args, err := p.parseArgs(vars)
+			if err != nil {
+				return nil, err
+			}
+			return Comp(t.text, args...), nil
+		}
+		// Prefix operator?
+		if op, ok := prefixTable[t.text]; ok && op.prec <= maxPrec && p.canStartTerm() {
+			operandMax := op.prec
+			if op.typ == "fx" {
+				operandMax = op.prec - 1
+			}
+			operand, err := p.parseTerm(operandMax, vars)
+			if err != nil {
+				return nil, err
+			}
+			// Fold unary minus on numeric literals.
+			if t.text == "-" {
+				switch v := operand.(type) {
+				case Int:
+					return -v, nil
+				case Float:
+					return -v, nil
+				}
+			}
+			if t.text == "+" {
+				switch operand.(type) {
+				case Int, Float:
+					return operand, nil
+				}
+			}
+			return Comp(t.text, operand), nil
+		}
+		return Atom(t.text), nil
+	case tokEnd:
+		return nil, fmt.Errorf("prolog: unexpected '.' at offset %d", t.pos)
+	}
+	return nil, fmt.Errorf("prolog: unexpected end of input")
+}
+
+// canStartTerm reports whether the next token can begin a term, which
+// disambiguates prefix operators from bare atoms (e.g. `- 1` vs `(-)`).
+func (p *parser) canStartTerm() bool {
+	t := p.peek()
+	switch t.kind {
+	case tokInt, tokFloat, tokVar:
+		return true
+	case tokAtom:
+		// An infix-only operator cannot start a term.
+		if _, isInfix := infixTable[t.text]; isInfix {
+			_, isPrefix := prefixTable[t.text]
+			return isPrefix || t.funcCall
+		}
+		return true
+	case tokPunct:
+		return t.text == "(" || t.text == "["
+	}
+	return false
+}
+
+func (p *parser) parseArgs(vars map[string]*Var) ([]Term, error) {
+	var args []Term
+	for {
+		a, err := p.parseTerm(999, vars)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		t := p.next()
+		if t.kind == tokPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tokPunct && t.text == ")" {
+			return args, nil
+		}
+		return nil, fmt.Errorf("prolog: expected ',' or ')' at offset %d, found %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) parseList(vars map[string]*Var) (Term, error) {
+	if t := p.peek(); t.kind == tokPunct && t.text == "]" {
+		p.next()
+		return emptyList, nil
+	}
+	var elems []Term
+	var tail Term = emptyList
+	for {
+		e, err := p.parseTerm(999, vars)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		t := p.next()
+		if t.kind == tokPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tokPunct && t.text == "|" {
+			tail, err = p.parseTerm(999, vars)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if t.kind == tokPunct && t.text == "]" {
+			break
+		}
+		return nil, fmt.Errorf("prolog: expected ',', '|' or ']' at offset %d, found %q", t.pos, t.text)
+	}
+	list := tail
+	for i := len(elems) - 1; i >= 0; i-- {
+		list = Comp(".", elems[i], list)
+	}
+	return list, nil
+}

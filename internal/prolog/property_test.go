@@ -1,0 +1,216 @@
+package prolog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTerm builds a random ground-ish term from a seed stream.
+func randTerm(rng *rand.Rand, depth int, vars []*Var) Term {
+	switch n := rng.Intn(6); {
+	case n == 0 && len(vars) > 0:
+		return vars[rng.Intn(len(vars))]
+	case n <= 2:
+		return Atom([]string{"a", "b", "c", "f", "g"}[rng.Intn(5)])
+	case n == 3:
+		return Int(rng.Intn(10))
+	default:
+		if depth <= 0 {
+			return Atom("leaf")
+		}
+		arity := 1 + rng.Intn(3)
+		args := make([]Term, arity)
+		for i := range args {
+			args[i] = randTerm(rng, depth-1, vars)
+		}
+		return Comp([]string{"f", "g", "h"}[rng.Intn(3)], args...)
+	}
+}
+
+// TestUnifySymmetric: unify(a,b) succeeds iff unify(b,a) does.
+func TestUnifySymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars := []*Var{NewVar("X"), NewVar("Y"), NewVar("Z")}
+		a := randTerm(rng, 3, vars)
+		b := randTerm(rng, 3, vars)
+
+		m1 := &Machine{db: map[string][]*Clause{}}
+		ok1 := m1.Unify(a, b)
+		m1.undoTo(0)
+
+		m2 := &Machine{db: map[string][]*Clause{}}
+		ok2 := m2.Unify(b, a)
+		m2.undoTo(0)
+		return ok1 == ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnifyReflexive: every term unifies with itself, and after undo the
+// variables are unbound again.
+func TestUnifyReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars := []*Var{NewVar("X"), NewVar("Y")}
+		a := randTerm(rng, 3, vars)
+		m := &Machine{db: map[string][]*Clause{}}
+		if !m.Unify(a, a) {
+			return false
+		}
+		m.undoTo(0)
+		for _, v := range vars {
+			if v.Ref != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnifyMakesEqual: when unification succeeds, both sides resolve to
+// structurally identical terms.
+func TestUnifyMakesEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars := []*Var{NewVar("X"), NewVar("Y"), NewVar("Z")}
+		a := randTerm(rng, 3, vars)
+		b := randTerm(rng, 3, vars)
+		m := &Machine{db: map[string][]*Clause{}}
+		if !m.Unify(a, b) {
+			return true // nothing to check
+		}
+		equal := compareTerms(Resolve(a), Resolve(b)) == 0
+		m.undoTo(0)
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSortIdempotent: sort/2 output is sorted, deduplicated, and stable
+// under re-sorting.
+func TestSortIdempotent(t *testing.T) {
+	f := func(xs []int8) bool {
+		elems := make([]Term, len(xs))
+		for i, x := range xs {
+			elems[i] = Int(x)
+		}
+		sorted := sortUnique(append([]Term(nil), elems...))
+		for i := 1; i < len(sorted); i++ {
+			if compareTerms(sorted[i-1], sorted[i]) >= 0 {
+				return false
+			}
+		}
+		again := sortUnique(append([]Term(nil), sorted...))
+		if len(again) != len(sorted) {
+			return false
+		}
+		for i := range again {
+			if compareTerms(again[i], sorted[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTermOrderTotal: compareTerms is antisymmetric and transitive on
+// random term triples.
+func TestTermOrderTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randTerm(rng, 2, nil)
+		b := randTerm(rng, 2, nil)
+		c := randTerm(rng, 2, nil)
+		// Antisymmetry.
+		if sign(compareTerms(a, b)) != -sign(compareTerms(b, a)) {
+			return false
+		}
+		// Transitivity: a<=b && b<=c => a<=c.
+		if compareTerms(a, b) <= 0 && compareTerms(b, c) <= 0 && compareTerms(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+// TestListRoundTrip: MkList/ListSlice are inverse.
+func TestListRoundTrip(t *testing.T) {
+	f := func(xs []int16) bool {
+		elems := make([]Term, len(xs))
+		for i, x := range xs {
+			elems[i] = Int(x)
+		}
+		back, ok := ListSlice(MkList(elems...))
+		if !ok || len(back) != len(elems) {
+			return false
+		}
+		for i := range back {
+			if compareTerms(back[i], elems[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueryDeterminism: the same program and query yield the same
+// solutions in the same order, twice.
+func TestQueryDeterminism(t *testing.T) {
+	prog := `
+		edge(a,b). edge(b,c). edge(a,c). edge(c,d).
+		path(X,Y) :- edge(X,Y).
+		path(X,Y) :- edge(X,Z), path(Z,Y).
+	`
+	run := func() []string {
+		m := NewMachine()
+		if err := m.ConsultString(prog); err != nil {
+			t.Fatal(err)
+		}
+		sols, err := m.Query("path(a, W)", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, s := range sols {
+			out = append(out, s.Atom("W"))
+		}
+		return out
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatalf("lengths differ: %v vs %v", r1, r2)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("solution %d differs: %v vs %v", i, r1, r2)
+		}
+	}
+}

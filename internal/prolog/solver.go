@@ -1,0 +1,147 @@
+package prolog
+
+import "fmt"
+
+// cont is a solver continuation: invoked once per proof with bindings in
+// place; it returns stop=true to end the search (bindings are retained
+// while unwinding so the caller's yield sees them).
+type cont func() (stop bool, err error)
+
+// cutSignal implements cut: it unwinds choice points until it reaches the
+// predicate-call boundary identified by barrier, which consumes it.
+type cutSignal struct{ barrier int }
+
+func (cutSignal) Error() string { return "prolog: cut" }
+
+func isCut(err error) bool {
+	_, ok := err.(cutSignal)
+	return ok
+}
+
+// solve proves goal, calling k for every proof. depth is the current
+// resolution depth (for the depth guard and for cut barriers); cutParent
+// is the barrier a cut in this goal should cut to.
+func (m *Machine) solve(goal Term, depth int, k cont) (bool, error) {
+	return m.solveCtl(goal, depth, depth, k)
+}
+
+func (m *Machine) solveCtl(goal Term, depth, cutParent int, k cont) (bool, error) {
+	m.steps++
+	if max := m.MaxSteps; max <= 0 {
+		if m.steps > DefaultMaxSteps {
+			return false, ErrStepLimit
+		}
+	} else if m.steps > max {
+		return false, ErrStepLimit
+	}
+	if max := m.MaxDepth; max <= 0 {
+		if depth > DefaultMaxDepth {
+			return false, ErrDepthLimit
+		}
+	} else if depth > max {
+		return false, ErrDepthLimit
+	}
+
+	goal = deref(goal)
+	switch g := goal.(type) {
+	case *Var:
+		return false, fmt.Errorf("prolog: unbound variable used as goal")
+	case Int, Float:
+		return false, fmt.Errorf("prolog: number %s used as goal", TermString(goal))
+	case *Compound:
+		switch {
+		case g.Functor == "," && len(g.Args) == 2:
+			return m.solveCtl(g.Args[0], depth, cutParent, func() (bool, error) {
+				return m.solveCtl(g.Args[1], depth, cutParent, k)
+			})
+		case g.Functor == ";" && len(g.Args) == 2:
+			// If-then-else when the left branch is (Cond -> Then).
+			if ite, ok := deref(g.Args[0]).(*Compound); ok && ite.Functor == "->" && len(ite.Args) == 2 {
+				return m.solveITE(ite.Args[0], ite.Args[1], g.Args[1], depth, cutParent, k)
+			}
+			stop, err := m.solveCtl(g.Args[0], depth, cutParent, k)
+			if stop || err != nil {
+				return stop, err
+			}
+			return m.solveCtl(g.Args[1], depth, cutParent, k)
+		case g.Functor == "->" && len(g.Args) == 2:
+			// Bare if-then: (Cond -> Then) == (Cond -> Then ; fail).
+			return m.solveITE(g.Args[0], g.Args[1], Atom("fail"), depth, cutParent, k)
+		}
+	}
+
+	key := Indicator(goal)
+	if b := builtins[key]; b != nil {
+		var args []Term
+		if c, ok := goal.(*Compound); ok {
+			args = c.Args
+		}
+		return b(m, args, depth, cutParent, k)
+	}
+
+	clauses := m.clausesFor(goal)
+	if clauses == nil {
+		return false, fmt.Errorf("prolog: unknown predicate %s", key)
+	}
+	callDepth := depth + 1
+	for _, c := range clauses {
+		mark := len(m.trail)
+		seen := make(map[*Var]*Var)
+		head := renameTerm(c.Head, seen)
+		if m.unify(goal, head) {
+			var stop bool
+			var err error
+			if c.Body == nil {
+				stop, err = k()
+			} else {
+				body := renameTerm(c.Body, seen)
+				stop, err = m.solveCtl(body, callDepth, callDepth, k)
+			}
+			if stop {
+				return true, err
+			}
+			if err != nil {
+				if cs, ok := err.(cutSignal); ok && cs.barrier == callDepth {
+					// Cut originating in this clause body: discard the
+					// remaining clause alternatives.
+					m.undoTo(mark)
+					return false, nil
+				}
+				return false, err
+			}
+		}
+		m.undoTo(mark)
+	}
+	return false, nil
+}
+
+// solveITE implements (Cond -> Then ; Else) with commit-to-first-solution
+// semantics for Cond; cut inside Cond is local, cut inside Then/Else is
+// transparent to the enclosing clause.
+func (m *Machine) solveITE(cond, then, els Term, depth, cutParent int, k cont) (bool, error) {
+	condBarrier := depth + 1
+	committed := false
+	stop, err := m.solveCtl(cond, condBarrier, condBarrier, func() (bool, error) {
+		committed = true
+		stop, err := m.solveCtl(then, depth+1, cutParent, k)
+		if stop || err != nil {
+			return stop, err
+		}
+		// Then is exhausted; kill the remaining Cond choice points so we
+		// do not re-enter Then under a different Cond solution.
+		return false, cutSignal{barrier: condBarrier}
+	})
+	if err != nil {
+		if cs, ok := err.(cutSignal); ok && cs.barrier == condBarrier {
+			return stop, nil
+		}
+		return stop, err
+	}
+	if stop {
+		return true, nil
+	}
+	if committed {
+		return false, nil
+	}
+	return m.solveCtl(els, depth+1, cutParent, k)
+}

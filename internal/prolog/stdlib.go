@@ -1,0 +1,86 @@
+package prolog
+
+// stdlib is the library of list/control predicates written in Prolog
+// itself and consulted into every new Machine. It provides the predicates
+// the paper's view templates and constraint mining rules rely on
+// (member/2, append/3, foldl/4, convlist/3, ...).
+const stdlib = `
+% --- list membership and construction ---
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], Acc, Acc).
+reverse_([H|T], Acc, R) :- reverse_(T, [H|Acc], R).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+nth0(I, L, E) :- nth_(L, 0, I, E).
+nth1(I, L, E) :- nth_(L, 1, I, E).
+nth_([H|_], N, N, H).
+nth_([_|T], N0, N, E) :- N1 is N0 + 1, nth_(T, N1, N, E).
+
+% --- arithmetic over lists ---
+
+sum_list(L, S) :- foldl(plus_, L, 0, S).
+plus_(X, A, R) :- R is A + X.
+
+max_list([H|T], M) :- foldl(max_, T, H, M).
+max_(X, A, R) :- R is max(A, X).
+
+min_list([H|T], M) :- foldl(min_, T, H, M).
+min_(X, A, R) :- R is min(A, X).
+
+% --- higher-order predicates ---
+
+maplist(_, []).
+maplist(G, [X|Xs]) :- call(G, X), maplist(G, Xs).
+
+maplist(_, [], []).
+maplist(G, [X|Xs], [Y|Ys]) :- call(G, X, Y), maplist(G, Xs, Ys).
+
+maplist(_, [], [], []).
+maplist(G, [X|Xs], [Y|Ys], [Z|Zs]) :- call(G, X, Y, Z), maplist(G, Xs, Ys, Zs).
+
+foldl(_, [], A, A).
+foldl(G, [X|Xs], A0, A) :- call(G, X, A0, A1), foldl(G, Xs, A1, A).
+
+foldl(_, [], [], A, A).
+foldl(G, [X|Xs], [Y|Ys], A0, A) :- call(G, X, Y, A0, A1), foldl(G, Xs, Ys, A1, A).
+
+% convlist(G, In, Out): apply G to each element, keeping the results for
+% the elements on which G succeeds.
+convlist(_, [], []).
+convlist(G, [X|Xs], Out) :-
+    ( call(G, X, Y) -> Out = [Y|Rest] ; Out = Rest ),
+    convlist(G, Xs, Rest).
+
+% include/exclude by predicate.
+include(_, [], []).
+include(G, [X|Xs], Out) :-
+    ( call(G, X) -> Out = [X|Rest] ; Out = Rest ),
+    include(G, Xs, Rest).
+
+exclude(_, [], []).
+exclude(G, [X|Xs], Out) :-
+    ( call(G, X) -> Out = Rest ; Out = [X|Rest] ),
+    exclude(G, Xs, Rest).
+
+forall(C, A) :- \+ (C, \+ A).
+
+% --- misc ---
+
+ignore(G) :- ( call(G) -> true ; true ).
+
+once(G) :- call(G), !.
+`

@@ -1,0 +1,399 @@
+// Package prolog implements the logic-programming inference engine that
+// Kaskade uses for constraint-based view enumeration (§IV of the paper).
+// It stands in for SWI-Prolog: a Prolog interpreter with unification,
+// SLD resolution with chronological backtracking, negation as failure,
+// cut, if-then-else, integer/float arithmetic, list syntax, findall/setof,
+// and a parser for rule/fact source text, so the paper's view templates
+// and constraint mining rules (Listings 2, 3, 5, 6) run essentially
+// verbatim.
+//
+// The engine is deterministic: clauses are tried in assertion order and
+// solutions are delivered in SLD order, which keeps view enumeration
+// reproducible.
+package prolog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a Prolog term: Atom, Int, Float, *Var, or *Compound.
+type Term interface {
+	isTerm()
+}
+
+// Atom is a Prolog atom such as foo, 'Job', or [].
+type Atom string
+
+// Int is a Prolog integer.
+type Int int64
+
+// Float is a Prolog floating-point number.
+type Float float64
+
+// Var is a logic variable. Binding is destructive with trail-based undo:
+// Ref is nil while unbound. Vars are compared by identity.
+type Var struct {
+	Name string // for display; not identity
+	Ref  Term   // nil when unbound
+}
+
+// Compound is a compound term Functor(Args...). Lists use the functor "."
+// with two arguments in the traditional way, with Atom("[]") as nil.
+type Compound struct {
+	Functor string
+	Args    []Term
+}
+
+func (Atom) isTerm()      {}
+func (Int) isTerm()       {}
+func (Float) isTerm()     {}
+func (*Var) isTerm()      {}
+func (*Compound) isTerm() {}
+
+// emptyList is the list terminator atom.
+const emptyList = Atom("[]")
+
+// NewVar returns a fresh unbound variable with the given display name.
+func NewVar(name string) *Var { return &Var{Name: name} }
+
+// Comp builds a compound term.
+func Comp(functor string, args ...Term) *Compound {
+	return &Compound{Functor: functor, Args: args}
+}
+
+// MkList builds a proper list term from elements.
+func MkList(elems ...Term) Term {
+	var list Term = emptyList
+	for i := len(elems) - 1; i >= 0; i-- {
+		list = Comp(".", elems[i], list)
+	}
+	return list
+}
+
+// deref follows variable bindings to the representative term.
+func deref(t Term) Term {
+	for {
+		v, ok := t.(*Var)
+		if !ok || v.Ref == nil {
+			return t
+		}
+		t = v.Ref
+	}
+}
+
+// Resolve returns t with all bound variables substituted, deeply. The
+// result shares no live variable bindings, so it remains valid after
+// backtracking. Unbound variables are left in place.
+func Resolve(t Term) Term {
+	t = deref(t)
+	c, ok := t.(*Compound)
+	if !ok {
+		return t
+	}
+	args := make([]Term, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = Resolve(a)
+	}
+	return &Compound{Functor: c.Functor, Args: args}
+}
+
+// ListSlice converts a proper list term into a Go slice. It reports
+// ok=false for partial lists (unbound tail) or non-lists.
+func ListSlice(t Term) (elems []Term, ok bool) {
+	for {
+		t = deref(t)
+		if t == emptyList {
+			return elems, true
+		}
+		c, isC := t.(*Compound)
+		if !isC || c.Functor != "." || len(c.Args) != 2 {
+			return nil, false
+		}
+		elems = append(elems, c.Args[0])
+		t = c.Args[1]
+	}
+}
+
+// Indicator returns the functor/arity key of a callable term, e.g.
+// "member/2", or "" if t is not callable (not an atom or compound).
+func Indicator(t Term) string {
+	switch t := deref(t).(type) {
+	case Atom:
+		return string(t) + "/0"
+	case *Compound:
+		return fmt.Sprintf("%s/%d", t.Functor, len(t.Args))
+	}
+	return ""
+}
+
+// renameTerm copies t, replacing every distinct variable with a fresh one.
+// Used to standardize clauses apart before resolution.
+func renameTerm(t Term, seen map[*Var]*Var) Term {
+	switch t := t.(type) {
+	case *Var:
+		if t.Ref != nil {
+			return renameTerm(t.Ref, seen)
+		}
+		if fresh, ok := seen[t]; ok {
+			return fresh
+		}
+		fresh := NewVar(t.Name)
+		seen[t] = fresh
+		return fresh
+	case *Compound:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = renameTerm(a, seen)
+		}
+		return &Compound{Functor: t.Functor, Args: args}
+	default:
+		return t
+	}
+}
+
+// compareTerms implements the standard order of terms:
+// Var < Float,Int (by value) < Atom < Compound (arity, then functor, then args).
+func compareTerms(a, b Term) int {
+	a, b = deref(a), deref(b)
+	oa, ob := termOrder(a), termOrder(b)
+	if oa != ob {
+		return oa - ob
+	}
+	switch a := a.(type) {
+	case *Var:
+		// Arbitrary but stable within a run: compare pointers via name then identity.
+		bv := b.(*Var)
+		if a == bv {
+			return 0
+		}
+		if c := strings.Compare(a.Name, bv.Name); c != 0 {
+			return c
+		}
+		// Same name, distinct vars: fall back to address-ish inequality.
+		return -1
+	case Int:
+		switch b := b.(type) {
+		case Int:
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		case Float:
+			return compareFloats(float64(a), float64(b))
+		}
+	case Float:
+		switch b := b.(type) {
+		case Int:
+			return compareFloats(float64(a), float64(b))
+		case Float:
+			return compareFloats(float64(a), float64(b))
+		}
+	case Atom:
+		return strings.Compare(string(a), string(b.(Atom)))
+	case *Compound:
+		bc := b.(*Compound)
+		if d := len(a.Args) - len(bc.Args); d != 0 {
+			return d
+		}
+		if c := strings.Compare(a.Functor, bc.Functor); c != 0 {
+			return c
+		}
+		for i := range a.Args {
+			if c := compareTerms(a.Args[i], bc.Args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	return 0
+}
+
+func compareFloats(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func termOrder(t Term) int {
+	switch t.(type) {
+	case *Var:
+		return 0
+	case Float, Int:
+		return 1
+	case Atom:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// sortUnique sorts terms by the standard order and removes duplicates
+// (for sort/2 and setof/3).
+func sortUnique(ts []Term) []Term {
+	sort.SliceStable(ts, func(i, j int) bool { return compareTerms(ts[i], ts[j]) < 0 })
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || compareTerms(out[len(out)-1], t) != 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// needsQuote reports whether an atom requires single quotes when printed.
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	if s == "[]" || s == "!" || s == ";" || s == "," {
+		return false
+	}
+	c := s[0]
+	if c >= 'a' && c <= 'z' {
+		for i := 1; i < len(s); i++ {
+			c := s[i]
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_') {
+				return true
+			}
+		}
+		return false
+	}
+	// All-symbolic atoms print bare.
+	for i := 0; i < len(s); i++ {
+		if !strings.ContainsRune("+-*/\\^<>=~:.?@#&", rune(s[i])) {
+			return true
+		}
+	}
+	return false
+}
+
+// TermString renders a term in canonical-ish Prolog syntax (lists and
+// operators in natural notation).
+func TermString(t Term) string {
+	var b strings.Builder
+	writeTerm(&b, t, 1200)
+	return b.String()
+}
+
+var infixOps = map[string]struct{ prec, lp, rp int }{
+	":-":   {1200, 1199, 1199},
+	";":    {1100, 1099, 1100},
+	"->":   {1050, 1049, 1050},
+	",":    {1000, 999, 1000},
+	"=":    {700, 699, 699},
+	"\\=":  {700, 699, 699},
+	"==":   {700, 699, 699},
+	"\\==": {700, 699, 699},
+	"is":   {700, 699, 699},
+	"=:=":  {700, 699, 699},
+	"=\\=": {700, 699, 699},
+	"<":    {700, 699, 699},
+	">":    {700, 699, 699},
+	"=<":   {700, 699, 699},
+	">=":   {700, 699, 699},
+	"+":    {500, 500, 499},
+	"-":    {500, 500, 499},
+	"*":    {400, 400, 399},
+	"/":    {400, 400, 399},
+	"//":   {400, 400, 399},
+	"mod":  {400, 400, 399},
+}
+
+func writeTerm(b *strings.Builder, t Term, maxPrec int) {
+	switch t := deref(t).(type) {
+	case Atom:
+		s := string(t)
+		if needsQuote(s) {
+			fmt.Fprintf(b, "'%s'", strings.ReplaceAll(s, "'", "\\'"))
+		} else {
+			b.WriteString(s)
+		}
+	case Int:
+		fmt.Fprintf(b, "%d", int64(t))
+	case Float:
+		fmt.Fprintf(b, "%g", float64(t))
+	case *Var:
+		switch {
+		case t.Name == "" || t.Name == "_":
+			fmt.Fprintf(b, "_G%p", t)
+		case t.Name[0] == '_':
+			b.WriteString(t.Name)
+		default:
+			b.WriteString("_" + t.Name)
+		}
+	case *Compound:
+		if t.Functor == "." && len(t.Args) == 2 {
+			writeList(b, t)
+			return
+		}
+		if op, ok := infixOps[t.Functor]; ok && len(t.Args) == 2 {
+			paren := op.prec > maxPrec
+			if paren {
+				b.WriteByte('(')
+			}
+			writeTerm(b, t.Args[0], op.lp)
+			if t.Functor == "," {
+				b.WriteString(",")
+			} else {
+				b.WriteString(string(t.Functor))
+			}
+			writeTerm(b, t.Args[1], op.rp)
+			if paren {
+				b.WriteByte(')')
+			}
+			return
+		}
+		if t.Functor == "\\+" && len(t.Args) == 1 {
+			b.WriteString("\\+")
+			writeTerm(b, t.Args[0], 900)
+			return
+		}
+		if needsQuote(t.Functor) {
+			fmt.Fprintf(b, "'%s'", strings.ReplaceAll(t.Functor, "'", "\\'"))
+		} else {
+			b.WriteString(t.Functor)
+		}
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeTerm(b, a, 999)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func writeList(b *strings.Builder, c *Compound) {
+	b.WriteByte('[')
+	first := true
+	var t Term = c
+	for {
+		t = deref(t)
+		if t == emptyList {
+			break
+		}
+		cc, ok := t.(*Compound)
+		if !ok || cc.Functor != "." || len(cc.Args) != 2 {
+			b.WriteByte('|')
+			writeTerm(b, t, 999)
+			break
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		writeTerm(b, cc.Args[0], 999)
+		t = cc.Args[1]
+	}
+	b.WriteByte(']')
+}

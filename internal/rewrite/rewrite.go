@@ -1,0 +1,393 @@
+// Package rewrite implements view-based query rewriting (§V-C): given a
+// query and a connector view candidate anchored at two projected query
+// variables, it replaces the path segment between the anchors with a
+// traversal of the contracted connector edges, recomputing the
+// variable-length bounds (the Listing 1 → Listing 4 transformation).
+// Summarizer views keep the query text unchanged — the rewrite is the
+// redirection of the query to the summarized graph — so for them this
+// package only validates applicability.
+package rewrite
+
+import (
+	"fmt"
+
+	"kaskade/internal/constraints"
+	"kaskade/internal/enum"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+	"kaskade/internal/views"
+)
+
+// step is one edge of the query's unified pattern graph, normalized to
+// forward orientation.
+type step struct {
+	from, to string // vertex variable names
+	fromType string
+	toType   string
+	edge     gql.EdgePattern
+	pattern  int // index of the owning pattern (for reconstruction)
+}
+
+// OverKHopConnector rewrites q's innermost MATCH to traverse the k-hop
+// connector view of the candidate instead of the base-graph path between
+// cand.SrcVar and cand.DstVar. The rewritten query is meant to run
+// against the materialized view graph.
+//
+// Bound arithmetic: if the consumed segment spans path lengths [L, U] in
+// the base graph, the connector traversal spans [max(1, ⌈L/k⌉), ⌊U/k⌋]
+// hops. (For the paper's Listing 1 — L=2, U=10, k=2 — this yields *1..5.)
+func OverKHopConnector(q gql.Query, cand enum.Candidate) (gql.Query, error) {
+	kc, ok := cand.View.(views.KHopConnector)
+	if !ok {
+		return nil, fmt.Errorf("rewrite: candidate %s is not a k-hop connector", cand.View.Name())
+	}
+	if cand.SrcVar == "" || cand.DstVar == "" {
+		return nil, fmt.Errorf("rewrite: candidate %s has no anchor variables", cand.View.Name())
+	}
+	m := gql.InnermostMatch(q)
+	if m == nil {
+		return nil, fmt.Errorf("rewrite: query has no MATCH block")
+	}
+	steps, err := unifySteps(m)
+	if err != nil {
+		return nil, err
+	}
+	segment, err := chase(steps, cand.SrcVar, cand.DstVar)
+	if err != nil {
+		return nil, err
+	}
+	// Intermediate variables must not escape the segment.
+	inner := make(map[string]bool)
+	for _, s := range segment[:len(segment)-1] {
+		inner[s.to] = true
+	}
+	for _, v := range constraints.ProjectedVars(m) {
+		if inner[v] {
+			return nil, fmt.Errorf("rewrite: intermediate variable %s is projected; cannot contract", v)
+		}
+	}
+	if m.Where != nil {
+		for _, v := range exprVars(m.Where) {
+			if inner[v] {
+				return nil, fmt.Errorf("rewrite: intermediate variable %s appears in WHERE; cannot contract", v)
+			}
+		}
+	}
+	// Hop-range arithmetic.
+	lo, hi := 0, 0
+	edgeVar := ""
+	edgeVars := 0
+	for _, s := range segment {
+		lo += s.edge.MinHops
+		if hi >= 0 {
+			if s.edge.MaxHops < 0 {
+				hi = -1
+			} else {
+				hi += s.edge.MaxHops
+			}
+		}
+		if s.edge.Var != "" {
+			edgeVar = s.edge.Var
+			edgeVars++
+		}
+	}
+	if hi < 0 {
+		hi = constraints.DefaultMaxHops
+	}
+	newLo := (lo + kc.K - 1) / kc.K
+	if newLo < 1 {
+		newLo = 1
+	}
+	newHi := hi / kc.K
+	if newHi < newLo {
+		return nil, fmt.Errorf("rewrite: segment spans %d..%d hops; no multiple of k=%d fits", lo, hi, kc.K)
+	}
+	if edgeVars > 1 {
+		return nil, fmt.Errorf("rewrite: segment binds %d edge variables; at most one survives contraction", edgeVars)
+	}
+	if edgeVar == "" {
+		edgeVar = "r_conn"
+	}
+
+	// Rebuild the MATCH: surviving steps plus the connector pattern.
+	consumed := make(map[*gql.EdgePattern]bool)
+	for i := range segment {
+		consumed[segment[i].edgeRef] = true
+	}
+	nm := &gql.MatchQuery{Where: m.Where, Return: m.Return}
+	for _, s := range steps {
+		if consumed[s.edgeRef] {
+			continue
+		}
+		nm.Patterns = append(nm.Patterns, gql.PathPattern{
+			Nodes: []gql.NodePattern{
+				{Var: s.from, Type: s.fromType},
+				{Var: s.to, Type: s.toType},
+			},
+			Edges: []gql.EdgePattern{s.edge},
+		})
+	}
+	connEdge := gql.EdgePattern{
+		Var:       edgeVar,
+		Type:      kc.Name(),
+		VarLength: true,
+		MinHops:   newLo,
+		MaxHops:   newHi,
+	}
+	if newLo == 1 && newHi == 1 {
+		connEdge.VarLength = false
+	}
+	nm.Patterns = append(nm.Patterns, gql.PathPattern{
+		Nodes: []gql.NodePattern{
+			{Var: cand.SrcVar, Type: kc.SrcType},
+			{Var: cand.DstVar, Type: kc.DstType},
+		},
+		Edges: []gql.EdgePattern{connEdge},
+	})
+	return gql.ReplaceInnermostMatch(q, nm), nil
+}
+
+// OverKHopConnectorExact is OverKHopConnector with a result-preservation
+// guarantee: it additionally verifies, against the schema, that every
+// schema-feasible path length in the consumed segment's span is a
+// multiple of k, so that traversing the connector reaches exactly the
+// pairs the base query reaches. (On the bipartite lineage schema the
+// job-to-job feasible lengths are {2,4,...}, so only k=2 passes; on a
+// homogeneous schema every k>1 is rejected because odd lengths exist —
+// those rewritings are the paper's "approximate" homogeneous scenarios.)
+func OverKHopConnectorExact(q gql.Query, cand enum.Candidate, schema *graph.Schema) (gql.Query, error) {
+	kc, ok := cand.View.(views.KHopConnector)
+	if !ok {
+		return nil, fmt.Errorf("rewrite: candidate %s is not a k-hop connector", cand.View.Name())
+	}
+	rw, err := OverKHopConnector(q, cand)
+	if err != nil {
+		return nil, err
+	}
+	if schema == nil {
+		return rw, nil
+	}
+	m := gql.InnermostMatch(q)
+	steps, err := unifySteps(m)
+	if err != nil {
+		return nil, err
+	}
+	segment, err := chase(steps, cand.SrcVar, cand.DstVar)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := 0, 0
+	for _, s := range segment {
+		lo += s.edge.MinHops
+		if s.edge.MaxHops < 0 {
+			hi += constraints.DefaultMaxHops
+		} else {
+			hi += s.edge.MaxHops
+		}
+	}
+	for _, l := range feasibleLengths(schema, kc.SrcType, kc.DstType, lo, hi) {
+		if l%kc.K != 0 {
+			return nil, fmt.Errorf("rewrite: schema allows a %d-hop %s->%s path, not expressible over the %d-hop connector",
+				l, kc.SrcType, kc.DstType, kc.K)
+		}
+	}
+	return rw, nil
+}
+
+// feasibleLengths returns the lengths in [lo, hi] for which the schema
+// admits a directed path from srcType to dstType, by frontier expansion
+// over the schema's type graph.
+func feasibleLengths(schema *graph.Schema, srcType, dstType string, lo, hi int) []int {
+	if srcType == "" || dstType == "" {
+		// Untyped endpoints: every length is feasible.
+		var all []int
+		for l := max(lo, 1); l <= hi; l++ {
+			all = append(all, l)
+		}
+		return all
+	}
+	var out []int
+	frontier := map[string]bool{srcType: true}
+	for l := 1; l <= hi; l++ {
+		next := map[string]bool{}
+		for t := range frontier {
+			for _, et := range schema.EdgeTypesFrom(t) {
+				next[et.To] = true
+			}
+		}
+		frontier = next
+		if l >= lo && l >= 1 && frontier[dstType] {
+			out = append(out, l)
+		}
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ValidateOnSummarizer reports whether q can run unchanged against the
+// materialization of the given summarizer view: every vertex type the
+// query names must be kept, and every edge type must survive.
+func ValidateOnSummarizer(q gql.Query, v views.View) error {
+	m := gql.InnermostMatch(q)
+	if m == nil {
+		return fmt.Errorf("rewrite: query has no MATCH block")
+	}
+	keptV, removedV, keptE, removedE := summarizerEffect(v)
+	for _, pat := range m.Patterns {
+		for _, n := range pat.Nodes {
+			if n.Type == "" {
+				continue
+			}
+			if removedV[n.Type] {
+				return fmt.Errorf("rewrite: query uses vertex type %s removed by %s", n.Type, v.Name())
+			}
+			if keptV != nil && !keptV[n.Type] {
+				return fmt.Errorf("rewrite: query uses vertex type %s not kept by %s", n.Type, v.Name())
+			}
+		}
+		for _, e := range pat.Edges {
+			if e.Type == "" {
+				continue
+			}
+			if removedE[e.Type] {
+				return fmt.Errorf("rewrite: query uses edge type %s removed by %s", e.Type, v.Name())
+			}
+			if keptE != nil && !keptE[e.Type] {
+				return fmt.Errorf("rewrite: query uses edge type %s not kept by %s", e.Type, v.Name())
+			}
+		}
+	}
+	return nil
+}
+
+func summarizerEffect(v views.View) (keptV, removedV, keptE, removedE map[string]bool) {
+	toSet := func(ts []string) map[string]bool {
+		s := make(map[string]bool, len(ts))
+		for _, t := range ts {
+			s[t] = true
+		}
+		return s
+	}
+	removedV = map[string]bool{}
+	removedE = map[string]bool{}
+	switch v := v.(type) {
+	case views.VertexInclusionSummarizer:
+		keptV = toSet(v.Types)
+	case views.VertexRemovalSummarizer:
+		removedV = toSet(v.Types)
+	case views.EdgeInclusionSummarizer:
+		keptE = toSet(v.Types)
+	case views.EdgeRemovalSummarizer:
+		removedE = toSet(v.Types)
+	}
+	return
+}
+
+// --- pattern graph helpers ---
+
+// stepWithRef extends step with the identity of the original edge
+// pattern, needed to mark steps consumed.
+type stepRef struct {
+	step
+	edgeRef *gql.EdgePattern
+}
+
+// unifySteps flattens all patterns into forward-oriented steps. Anonymous
+// vertices get synthesized names matching the constraint miner's.
+func unifySteps(m *gql.MatchQuery) ([]stepRef, error) {
+	var steps []stepRef
+	for pi := range m.Patterns {
+		pat := &m.Patterns[pi]
+		names := make([]string, len(pat.Nodes))
+		for ni, n := range pat.Nodes {
+			if n.Var != "" {
+				names[ni] = n.Var
+			} else {
+				names[ni] = fmt.Sprintf("anon_%d_%d", pi, ni)
+			}
+		}
+		for ei := range pat.Edges {
+			e := &pat.Edges[ei]
+			s := stepRef{
+				step: step{
+					from:     names[ei],
+					to:       names[ei+1],
+					fromType: pat.Nodes[ei].Type,
+					toType:   pat.Nodes[ei+1].Type,
+					edge:     *e,
+					pattern:  pi,
+				},
+				edgeRef: e,
+			}
+			if e.Reversed {
+				s.from, s.to = s.to, s.from
+				s.fromType, s.toType = s.toType, s.fromType
+				s.edge.Reversed = false
+			}
+			steps = append(steps, s)
+		}
+	}
+	return steps, nil
+}
+
+// chase walks the unique forward chain from src to dst through the step
+// graph, returning the steps it consumed.
+func chase(steps []stepRef, src, dst string) ([]stepRef, error) {
+	out := make(map[string][]stepRef)
+	for _, s := range steps {
+		out[s.from] = append(out[s.from], s)
+	}
+	var segment []stepRef
+	at := src
+	seen := map[string]bool{src: true}
+	for at != dst {
+		nexts := out[at]
+		if len(nexts) == 0 {
+			return nil, fmt.Errorf("rewrite: no path from %s to %s in the query pattern", src, dst)
+		}
+		if len(nexts) > 1 {
+			return nil, fmt.Errorf("rewrite: pattern branches at %s; cannot contract a unique segment", at)
+		}
+		s := nexts[0]
+		segment = append(segment, s)
+		at = s.to
+		if seen[at] {
+			return nil, fmt.Errorf("rewrite: pattern cycles at %s", at)
+		}
+		seen[at] = true
+	}
+	return segment, nil
+}
+
+func exprVars(e gql.Expr) []string {
+	var out []string
+	var walk func(gql.Expr)
+	walk = func(e gql.Expr) {
+		switch e := e.(type) {
+		case *gql.Ident:
+			out = append(out, e.Name)
+		case *gql.PropAccess:
+			out = append(out, e.Base)
+		case *gql.BinaryExpr:
+			walk(e.Left)
+			walk(e.Right)
+		case *gql.UnaryExpr:
+			walk(e.Operand)
+		case *gql.FuncCall:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

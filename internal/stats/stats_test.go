@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kaskade/internal/graph"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	sample := []int{15, 20, 35, 40, 50}
+	cases := []struct {
+		alpha float64
+		want  int
+	}{
+		{5, 15},
+		{30, 20},
+		{40, 20},
+		{50, 35},
+		{100, 50},
+	}
+	for _, tc := range cases {
+		if got := Percentile(sample, tc.alpha); got != tc.want {
+			t.Errorf("Percentile(%v) = %d, want %d", tc.alpha, got, tc.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty sample should give 0")
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]int, len(raw))
+		for i, v := range raw {
+			sample[i] = int(v)
+		}
+		sorted := append([]int(nil), sample...)
+		sort.Ints(sorted)
+		p50 := Percentile(sample, 50)
+		p95 := Percentile(sample, 95)
+		p100 := Percentile(sample, 100)
+		// Monotone in α and bounded by min/max.
+		return p50 <= p95 && p95 <= p100 &&
+			p100 == sorted[len(sorted)-1] &&
+			p50 >= sorted[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := graph.NewGraph(nil)
+	hub := g.MustAddVertex("V", nil)
+	var others []graph.VertexID
+	for i := 0; i < 9; i++ {
+		others = append(others, g.MustAddVertex("V", nil))
+	}
+	for _, o := range others {
+		g.MustAddEdge(hub, o, "E", nil) // hub out-degree 9
+	}
+	g.MustAddEdge(others[0], hub, "E", nil) // one vertex with out-degree 1
+
+	s := Summarize(g, "V")
+	if s.Count != 10 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.Max != 9 {
+		t.Errorf("max = %d, want 9", s.Max)
+	}
+	if s.P50 != 0 {
+		t.Errorf("p50 = %d, want 0 (most vertices have no out-edges)", s.P50)
+	}
+	if d, err := s.Degree(95); err != nil || d != s.P95 {
+		t.Errorf("Degree(95) = %d,%v", d, err)
+	}
+	if _, err := s.Degree(42); err == nil {
+		t.Error("Degree(42) should be unsupported")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	pts := CCDF([]int{1, 1, 2, 3, 3, 3})
+	// deg 1: 4 vertices above; deg 2: 3 above; deg 3: 0 above.
+	want := []CCDFPoint{{1, 4}, {2, 3}, {3, 0}}
+	if len(pts) != len(want) {
+		t.Fatalf("CCDF = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("CCDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	// CCDF counts are non-increasing in degree.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Count > pts[i-1].Count {
+			t.Error("CCDF not monotone")
+		}
+	}
+}
+
+func TestFitPowerLawOnSyntheticPowerLaw(t *testing.T) {
+	// Sample degrees from P(deg > x) ~ x^-(γ-1) with γ=2.5 via inverse
+	// transform sampling.
+	rng := rand.New(rand.NewSource(7))
+	gamma := 2.5
+	degrees := make([]int, 20000)
+	for i := range degrees {
+		u := rng.Float64()
+		d := math.Pow(1-u, -1/(gamma-1)) // Pareto with x_min=1
+		if d > 1e6 {
+			d = 1e6
+		}
+		degrees[i] = int(d)
+	}
+	fit, err := FitPowerLaw(degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fit.Gamma(); math.Abs(got-gamma) > 0.5 {
+		t.Errorf("fitted γ = %.2f, want ≈ %.1f", got, gamma)
+	}
+	if fit.R2 < 0.9 {
+		t.Errorf("R² = %.3f, want > 0.9 for a true power law", fit.R2)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLaw([]int{5}); err == nil {
+		t.Error("single point: want error")
+	}
+	if _, err := FitPowerLaw(nil); err == nil {
+		t.Error("empty: want error")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	// y = 2x + 1 exactly.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	slope, intercept, r2 := linearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("fit = (%.3f, %.3f, %.3f), want (2, 1, 1)", slope, intercept, r2)
+	}
+}
+
+func TestHistogramAndMean(t *testing.T) {
+	h := Histogram([]int{1, 2, 2, 3})
+	if h[2] != 2 || h[1] != 1 || h[3] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	if m := Mean([]int{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %v", m)
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+}

@@ -1,0 +1,489 @@
+package views
+
+import (
+	"fmt"
+
+	"kaskade/internal/graph"
+)
+
+// KHopConnector contracts every k-length (edge-unique) path between a
+// vertex of SrcType and a vertex of DstType into a single edge (Table I,
+// "k-hop connector"; Fig. 3's running example is the job-to-job K=2
+// instance). An empty SrcType/DstType matches any vertex type
+// (vertex-to-vertex connectors on homogeneous graphs).
+type KHopConnector struct {
+	SrcType string
+	DstType string
+	K       int
+	// EdgeTypes restricts which edge types paths may traverse (nil = any).
+	EdgeTypes []string
+	// DedupPairs collapses parallel connector edges (one edge per
+	// reachable pair instead of one per path).
+	DedupPairs bool
+}
+
+var _ EstimatableView = KHopConnector{}
+
+// Name returns the connector's identifier, which doubles as the
+// contracted edge's type, e.g. CONN_2HOP_Job_Job.
+func (c KHopConnector) Name() string {
+	st, dt := c.SrcType, c.DstType
+	if st == "" {
+		st = "ANY"
+	}
+	if dt == "" {
+		dt = "ANY"
+	}
+	return fmt.Sprintf("CONN_%dHOP_%s_%s", c.K, st, dt)
+}
+
+// Kind reports connector.
+func (c KHopConnector) Kind() Kind { return KindConnector }
+
+// PathLength returns k.
+func (c KHopConnector) PathLength() int { return c.K }
+
+// Describe returns a Table I style description.
+func (c KHopConnector) Describe() string {
+	return fmt.Sprintf("%d-hop connector %s->%s (one edge per contracted %d-length path)",
+		c.K, orAny(c.SrcType), orAny(c.DstType), c.K)
+}
+
+// Cypher renders the defining pattern.
+func (c KHopConnector) Cypher() string {
+	return fmt.Sprintf("MATCH (x%s)-[p*%d..%d]->(y%s) RETURN x, y",
+		colonType(c.SrcType), c.K, c.K, colonType(c.DstType))
+}
+
+// Materialize builds the connector view graph: all vertices of the
+// endpoint types plus one contracted edge per k-length path. The
+// contracted edge aggregates path properties: ts = max constituent ts
+// (so per-path max-timestamp queries keep working), hops = k.
+func (c KHopConnector) Materialize(g *graph.Graph) (*graph.Graph, error) {
+	if c.K < 1 {
+		return nil, fmt.Errorf("views: k-hop connector needs K >= 1, got %d", c.K)
+	}
+	if err := validateTypes(g, c.SrcType, c.DstType); err != nil {
+		return nil, err
+	}
+	schema, err := connectorSchema(g, c.SrcType, c.DstType, c.Name())
+	if err != nil {
+		return nil, err
+	}
+	out := graph.NewGraph(schema)
+	var keepTypes []string
+	if c.SrcType != "" && c.DstType != "" {
+		keepTypes = []string{c.SrcType, c.DstType}
+	}
+	remap, err := copyVerticesOfTypes(g, out, keepTypes)
+	if err != nil {
+		return nil, err
+	}
+
+	allowEdge := edgeTypeFilter(c.EdgeTypes)
+	seenPair := make(map[[2]graph.VertexID]bool)
+
+	sources := sourceIDs(g, c.SrcType)
+	used := make(map[graph.EdgeID]bool)
+	for _, s := range sources {
+		var dfs func(at graph.VertexID, hops int, maxTS int64) error
+		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
+			if hops == c.K {
+				if c.DstType != "" && g.Vertex(at).Type != c.DstType {
+					return nil
+				}
+				from, to := remap[s], remap[at]
+				if c.DedupPairs {
+					key := [2]graph.VertexID{from, to}
+					if seenPair[key] {
+						return nil
+					}
+					seenPair[key] = true
+				}
+				_, err := out.AddEdge(from, to, c.Name(), graph.Properties{
+					"ts":   maxTS,
+					"hops": int64(c.K),
+				})
+				return err
+			}
+			for _, eid := range g.Out(at) {
+				if used[eid] {
+					continue
+				}
+				e := g.Edge(eid)
+				if !allowEdge(e.Type) {
+					continue
+				}
+				used[eid] = true
+				err := dfs(e.To, hops+1, maxInt64(maxTS, tsOf(e)))
+				used[eid] = false
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := dfs(s, 0, 0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SameVertexTypeConnector contracts directed paths (up to MaxLen hops)
+// whose endpoints are both of VType and whose intermediate vertices are
+// not (Table I, "same-vertex-type connector"): e.g. author-paper-author
+// becomes author-author regardless of intermediate hops.
+type SameVertexTypeConnector struct {
+	VType      string
+	MaxLen     int // cap on contracted path length; required (>0)
+	DedupPairs bool
+}
+
+var _ View = SameVertexTypeConnector{}
+
+// Name returns e.g. CONN_SAMEVT_Author.
+func (c SameVertexTypeConnector) Name() string {
+	return fmt.Sprintf("CONN_SAMEVT_%s", c.VType)
+}
+
+// Kind reports connector.
+func (c SameVertexTypeConnector) Kind() Kind { return KindConnector }
+
+// Describe returns a Table I style description.
+func (c SameVertexTypeConnector) Describe() string {
+	return fmt.Sprintf("same-vertex-type connector over %s (paths up to %d hops, no intermediate %s)",
+		c.VType, c.MaxLen, c.VType)
+}
+
+// Cypher renders the defining pattern.
+func (c SameVertexTypeConnector) Cypher() string {
+	return fmt.Sprintf("MATCH (x:%s)-[p*1..%d]->(y:%s) RETURN x, y", c.VType, c.MaxLen, c.VType)
+}
+
+// Materialize contracts each qualifying path into one edge.
+func (c SameVertexTypeConnector) Materialize(g *graph.Graph) (*graph.Graph, error) {
+	if c.VType == "" || c.MaxLen < 1 {
+		return nil, fmt.Errorf("views: same-vertex-type connector needs a type and MaxLen >= 1")
+	}
+	if err := validateTypes(g, c.VType); err != nil {
+		return nil, err
+	}
+	schema, err := connectorSchema(g, c.VType, c.VType, c.Name())
+	if err != nil {
+		return nil, err
+	}
+	out := graph.NewGraph(schema)
+	remap, err := copyVerticesOfTypes(g, out, []string{c.VType})
+	if err != nil {
+		return nil, err
+	}
+	seenPair := make(map[[2]graph.VertexID]bool)
+	used := make(map[graph.EdgeID]bool)
+	for _, s := range g.VerticesOfType(c.VType) {
+		var dfs func(at graph.VertexID, hops int, maxTS int64) error
+		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
+			if hops > 0 && g.Vertex(at).Type == c.VType {
+				from, to := remap[s], remap[at]
+				if c.DedupPairs {
+					key := [2]graph.VertexID{from, to}
+					if seenPair[key] {
+						return nil
+					}
+					seenPair[key] = true
+				}
+				_, err := out.AddEdge(from, to, c.Name(), graph.Properties{
+					"ts": maxTS, "hops": int64(hops),
+				})
+				return err // path ends at the first same-type vertex
+			}
+			if hops == c.MaxLen {
+				return nil
+			}
+			for _, eid := range g.Out(at) {
+				if used[eid] {
+					continue
+				}
+				e := g.Edge(eid)
+				used[eid] = true
+				err := dfs(e.To, hops+1, maxInt64(maxTS, tsOf(e)))
+				used[eid] = false
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := dfs(s, 0, 0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SameEdgeTypeConnector contracts maximal directed paths made of a single
+// edge type into one edge (Table I, "same-edge-type connector"), e.g.
+// chains of task TRANSFERS_TO edges.
+type SameEdgeTypeConnector struct {
+	EType      string
+	MaxLen     int
+	DedupPairs bool
+}
+
+var _ View = SameEdgeTypeConnector{}
+
+// Name returns e.g. CONN_SAMEET_TRANSFERS_TO.
+func (c SameEdgeTypeConnector) Name() string {
+	return fmt.Sprintf("CONN_SAMEET_%s", c.EType)
+}
+
+// Kind reports connector.
+func (c SameEdgeTypeConnector) Kind() Kind { return KindConnector }
+
+// Describe returns a Table I style description.
+func (c SameEdgeTypeConnector) Describe() string {
+	return fmt.Sprintf("same-edge-type connector over %s paths up to %d hops", c.EType, c.MaxLen)
+}
+
+// Cypher renders the defining pattern.
+func (c SameEdgeTypeConnector) Cypher() string {
+	return fmt.Sprintf("MATCH (x)-[p:%s*1..%d]->(y) RETURN x, y", c.EType, c.MaxLen)
+}
+
+// Materialize contracts each path of EType edges (length 1..MaxLen).
+func (c SameEdgeTypeConnector) Materialize(g *graph.Graph) (*graph.Graph, error) {
+	if c.EType == "" || c.MaxLen < 1 {
+		return nil, fmt.Errorf("views: same-edge-type connector needs an edge type and MaxLen >= 1")
+	}
+	// Determine endpoint vertex types from the schema when available.
+	out := graph.NewGraph(nil)
+	remap, err := copyVerticesOfTypes(g, out, nil)
+	if err != nil {
+		return nil, err
+	}
+	seenPair := make(map[[2]graph.VertexID]bool)
+	used := make(map[graph.EdgeID]bool)
+	for s := 0; s < g.NumVertices(); s++ {
+		src := graph.VertexID(s)
+		var dfs func(at graph.VertexID, hops int, maxTS int64) error
+		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
+			if hops > 0 {
+				from, to := remap[src], remap[at]
+				key := [2]graph.VertexID{from, to}
+				if !c.DedupPairs || !seenPair[key] {
+					seenPair[key] = true
+					if _, err := out.AddEdge(from, to, c.Name(), graph.Properties{
+						"ts": maxTS, "hops": int64(hops),
+					}); err != nil {
+						return err
+					}
+				}
+			}
+			if hops == c.MaxLen {
+				return nil
+			}
+			for _, eid := range g.Out(at) {
+				if used[eid] {
+					continue
+				}
+				e := g.Edge(eid)
+				if e.Type != c.EType {
+					continue
+				}
+				used[eid] = true
+				err := dfs(e.To, hops+1, maxInt64(maxTS, tsOf(e)))
+				used[eid] = false
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := dfs(src, 0, 0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SourceToSinkConnector contracts paths from source vertices (no
+// incoming edges) to sink vertices (no outgoing edges) — Table I's last
+// row, useful for end-to-end lineage.
+type SourceToSinkConnector struct {
+	MaxLen     int
+	DedupPairs bool
+}
+
+var _ View = SourceToSinkConnector{}
+
+// Name returns CONN_SRCSINK.
+func (c SourceToSinkConnector) Name() string { return "CONN_SRCSINK" }
+
+// Kind reports connector.
+func (c SourceToSinkConnector) Kind() Kind { return KindConnector }
+
+// Describe returns a Table I style description.
+func (c SourceToSinkConnector) Describe() string {
+	return fmt.Sprintf("source-to-sink connector (paths up to %d hops from in-degree-0 to out-degree-0 vertices)", c.MaxLen)
+}
+
+// Cypher renders the defining pattern (source/sink predicates are not
+// expressible in the pattern language; noted as a comment).
+func (c SourceToSinkConnector) Cypher() string {
+	return fmt.Sprintf("MATCH (x)-[p*1..%d]->(y) RETURN x, y -- WHERE indeg(x)=0 AND outdeg(y)=0", c.MaxLen)
+}
+
+// Materialize contracts each source-to-sink path.
+func (c SourceToSinkConnector) Materialize(g *graph.Graph) (*graph.Graph, error) {
+	if c.MaxLen < 1 {
+		return nil, fmt.Errorf("views: source-to-sink connector needs MaxLen >= 1")
+	}
+	out := graph.NewGraph(nil)
+	remap, err := copyVerticesOfTypes(g, out, nil)
+	if err != nil {
+		return nil, err
+	}
+	seenPair := make(map[[2]graph.VertexID]bool)
+	used := make(map[graph.EdgeID]bool)
+	for s := 0; s < g.NumVertices(); s++ {
+		src := graph.VertexID(s)
+		if g.InDegree(src) != 0 || g.OutDegree(src) == 0 {
+			continue
+		}
+		var dfs func(at graph.VertexID, hops int, maxTS int64) error
+		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
+			if hops > 0 && g.OutDegree(at) == 0 {
+				from, to := remap[src], remap[at]
+				key := [2]graph.VertexID{from, to}
+				if !c.DedupPairs || !seenPair[key] {
+					seenPair[key] = true
+					if _, err := out.AddEdge(from, to, c.Name(), graph.Properties{
+						"ts": maxTS, "hops": int64(hops),
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if hops == c.MaxLen {
+				return nil
+			}
+			for _, eid := range g.Out(at) {
+				if used[eid] {
+					continue
+				}
+				e := g.Edge(eid)
+				used[eid] = true
+				err := dfs(e.To, hops+1, maxInt64(maxTS, tsOf(e)))
+				used[eid] = false
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := dfs(src, 0, 0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CountKHopPaths counts the k-length (edge-unique) directed paths from
+// srcType vertices to dstType vertices ("" = any) without materializing
+// the connector — the "actual" series of Fig. 5 at sizes where building
+// the parallel-edge view graph would be wasteful. By §V-A this count
+// equals the edge count of the corresponding k-hop connector.
+func CountKHopPaths(g *graph.Graph, srcType, dstType string, k int) int64 {
+	if k < 1 {
+		return 0
+	}
+	var count int64
+	used := make(map[graph.EdgeID]bool)
+	var dfs func(at graph.VertexID, hops int)
+	dfs = func(at graph.VertexID, hops int) {
+		if hops == k {
+			if dstType == "" || g.Vertex(at).Type == dstType {
+				count++
+			}
+			return
+		}
+		for _, eid := range g.Out(at) {
+			if used[eid] {
+				continue
+			}
+			used[eid] = true
+			dfs(g.Edge(eid).To, hops+1)
+			used[eid] = false
+		}
+	}
+	for _, s := range sourceIDs(g, srcType) {
+		dfs(s, 0)
+	}
+	return count
+}
+
+// --- helpers ---
+
+func orAny(t string) string {
+	if t == "" {
+		return "ANY"
+	}
+	return t
+}
+
+func colonType(t string) string {
+	if t == "" {
+		return ""
+	}
+	return ":" + t
+}
+
+// connectorSchema builds the view graph's schema: the endpoint types plus
+// the contracted edge type. Unconstrained graphs stay unconstrained.
+func connectorSchema(g *graph.Graph, src, dst, edgeName string) (*graph.Schema, error) {
+	if g.Schema() == nil || src == "" || dst == "" {
+		return nil, nil
+	}
+	return graph.NewSchema(
+		dedupeStrings([]string{src, dst}),
+		[]graph.EdgeType{{From: src, To: dst, Name: edgeName}},
+	)
+}
+
+func dedupeStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// edgeTypeFilter returns a predicate accepting the listed edge types
+// (everything when the list is empty).
+func edgeTypeFilter(types []string) func(string) bool {
+	if len(types) == 0 {
+		return func(string) bool { return true }
+	}
+	set := make(map[string]bool, len(types))
+	for _, t := range types {
+		set[t] = true
+	}
+	return func(t string) bool { return set[t] }
+}
+
+// sourceIDs returns the vertices the path search starts from.
+func sourceIDs(g *graph.Graph, srcType string) []graph.VertexID {
+	if srcType != "" {
+		return g.VerticesOfType(srcType)
+	}
+	ids := make([]graph.VertexID, g.NumVertices())
+	for i := range ids {
+		ids[i] = graph.VertexID(i)
+	}
+	return ids
+}

@@ -1,0 +1,128 @@
+// Package views implements Kaskade's graph view classes (§III-C, §VI):
+// connectors (path contractions — Table I) and summarizers (filters and
+// aggregations — Table II), together with their materialization over a
+// property graph.
+//
+// Materialized connector semantics follow §V-A: "the number of edges in a
+// k-hop connector over a graph G equals the number of k-length simple
+// paths in G" — each contracted path becomes one (possibly parallel)
+// connector edge carrying aggregated path properties, so path-sensitive
+// queries (counts, per-path aggregates like Q4's max timestamp) remain
+// answerable on the view. A DedupPairs option collapses parallel edges
+// for reachability-only workloads.
+package views
+
+import (
+	"fmt"
+
+	"kaskade/internal/graph"
+)
+
+// Kind distinguishes the two view classes of §III-C.
+type Kind string
+
+// View kinds.
+const (
+	KindConnector  Kind = "connector"
+	KindSummarizer Kind = "summarizer"
+)
+
+// View is a graph view: a derivation that, when materialized, produces a
+// new physical graph from a base graph (§III-C's definition following
+// Zhuge & Garcia-Molina).
+type View interface {
+	// Name is a unique, stable identifier used by the catalog and as the
+	// contracted edge type for connectors.
+	Name() string
+	// Kind reports the view class.
+	Kind() Kind
+	// Describe returns a human-readable one-liner (for the CLI and
+	// Table I/II style listings).
+	Describe() string
+	// Cypher renders the view's defining query in the hybrid language
+	// (the paper translates Prolog view instantiations to Cypher for
+	// materialization; we keep the translation for display and
+	// engine-agnostic export).
+	Cypher() string
+	// Materialize executes the view over the base graph.
+	Materialize(g *graph.Graph) (*graph.Graph, error)
+}
+
+// EstimatableView is implemented by views whose materialized edge count
+// the §V-A cost model can predict (k-hop connectors).
+type EstimatableView interface {
+	View
+	// PathLength returns the k of the contraction.
+	PathLength() int
+}
+
+// copyVerticesOfTypes adds all vertices of the given types (all types
+// when nil) from src to dst, sharing property bags, and returns the ID
+// remapping.
+func copyVerticesOfTypes(src *graph.Graph, dst *graph.Graph, types []string) (map[graph.VertexID]graph.VertexID, error) {
+	remap := make(map[graph.VertexID]graph.VertexID)
+	add := func(id graph.VertexID) error {
+		v := src.Vertex(id)
+		nid, err := dst.AddVertex(v.Type, v.Props)
+		if err != nil {
+			return err
+		}
+		remap[id] = nid
+		return nil
+	}
+	if types == nil {
+		for i := 0; i < src.NumVertices(); i++ {
+			if err := add(graph.VertexID(i)); err != nil {
+				return nil, err
+			}
+		}
+		return remap, nil
+	}
+	seen := make(map[string]bool)
+	for _, t := range types {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		for _, id := range src.VerticesOfType(t) {
+			if _, dup := remap[id]; !dup {
+				if err := add(id); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return remap, nil
+}
+
+// maxInt64 returns the larger of two int64s.
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// tsOf reads an edge's int64 "ts" property (0 when absent), the
+// timestamp connectors aggregate during contraction.
+func tsOf(e *graph.Edge) int64 {
+	if v, ok := e.Prop("ts").(int64); ok {
+		return v
+	}
+	return 0
+}
+
+// validateTypes checks that every named vertex type exists in the schema
+// (when there is one).
+func validateTypes(g *graph.Graph, types ...string) error {
+	s := g.Schema()
+	if s == nil {
+		return nil
+	}
+	for _, t := range types {
+		if t != "" && !s.HasVertexType(t) {
+			return fmt.Errorf("views: vertex type %q not in schema", t)
+		}
+	}
+	return nil
+}

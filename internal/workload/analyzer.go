@@ -1,0 +1,342 @@
+// Package workload implements Kaskade's workload analyzer (§V-B): given
+// a query workload and a space budget, it enumerates candidate views for
+// every query, prices them with the §V-A cost model, formulates view
+// selection as 0/1 knapsack (weight = estimated view size, value =
+// workload performance improvement divided by creation cost), and
+// materializes the chosen views into a catalog used for view-based query
+// rewriting (§V-C). It also defines the Table IV evaluation queries.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kaskade/internal/cost"
+	"kaskade/internal/enum"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+	"kaskade/internal/knapsack"
+	"kaskade/internal/rewrite"
+	"kaskade/internal/stats"
+	"kaskade/internal/views"
+)
+
+// Analyzer drives view selection over a workload.
+type Analyzer struct {
+	Schema *graph.Schema
+	// MaxK bounds enumerated connectors (default enum.DefaultMaxK).
+	MaxK int
+	// Alpha is the degree percentile for size estimation (default
+	// cost.DefaultAlpha = 95, per §V-A).
+	Alpha int
+}
+
+func (a *Analyzer) alpha() int {
+	if a.Alpha != 0 {
+		return a.Alpha
+	}
+	return cost.DefaultAlpha
+}
+
+// Evaluated is a candidate view priced against the workload.
+type Evaluated struct {
+	Candidate      enum.Candidate
+	EstimatedEdges float64
+	CreationCost   float64
+	// Improvement is Σ_q EvalCost(q) / EvalCost(rewrite(q, v)) over the
+	// queries the view applies to (§V-B).
+	Improvement float64
+	// Value is Improvement / CreationCost — the knapsack item value.
+	Value float64
+	// Rewrites maps workload query index -> the rewritten query (saved
+	// from enumeration, reused at query time per §V-C).
+	Rewrites map[int]gql.Query
+	Chosen   bool
+}
+
+// Selection is the outcome of view selection.
+type Selection struct {
+	Candidates []*Evaluated // all priced candidates, deterministic order
+	Chosen     []*Evaluated // knapsack winners (subset of Candidates)
+	Budget     int64
+	TotalValue float64
+}
+
+// Analyze runs view selection for the workload under a space budget
+// expressed in edges (§V-B's knapsack capacity; the paper uses a
+// fraction of memory — edges are our unit of storage). All queries are
+// weighted equally; use AnalyzeWeighted to prioritize frequent or
+// expensive queries.
+func (a *Analyzer) Analyze(g *graph.Graph, queries []gql.Query, budgetEdges int64) (*Selection, error) {
+	return a.AnalyzeWeighted(g, queries, nil, budgetEdges)
+}
+
+// AnalyzeWeighted is Analyze with per-query weights — §V-B's extension:
+// "adding weights to the value of each query to reflect its relative
+// importance (e.g., based on the query's frequency ... or estimated
+// execution time)". A nil weights slice means uniform weight 1; a
+// query's contribution to every applicable view's improvement is
+// multiplied by its weight.
+func (a *Analyzer) AnalyzeWeighted(g *graph.Graph, queries []gql.Query, weights []float64, budgetEdges int64) (*Selection, error) {
+	if a.Schema == nil {
+		a.Schema = g.Schema()
+	}
+	if weights != nil && len(weights) != len(queries) {
+		return nil, fmt.Errorf("workload: %d weights for %d queries", len(weights), len(queries))
+	}
+	props := cost.Collect(g)
+	en := &enum.Enumerator{Schema: a.Schema, MaxK: a.MaxK}
+
+	// Enumerate per query and merge candidates by view identity.
+	merged := make(map[string]*Evaluated)
+	var order []string
+	for qi, q := range queries {
+		res, err := en.Enumerate(q)
+		if err != nil {
+			return nil, fmt.Errorf("workload: enumerating query %d: %w", qi, err)
+		}
+		baseCost, err := cost.EvalCost(q, props, a.Schema, a.alpha())
+		if err != nil {
+			return nil, err
+		}
+		weight := 1.0
+		if weights != nil {
+			weight = weights[qi]
+		}
+		for _, cand := range res.Candidates {
+			ev, rewritten, err := a.evaluate(g, props, cand, q, baseCost)
+			if err != nil || ev == nil {
+				continue // inapplicable candidate for this query
+			}
+			key := cand.View.Name()
+			existing, ok := merged[key]
+			if !ok {
+				existing = &Evaluated{
+					Candidate:      cand,
+					EstimatedEdges: ev.EstimatedEdges,
+					CreationCost:   ev.CreationCost,
+					Rewrites:       make(map[int]gql.Query),
+				}
+				merged[key] = existing
+				order = append(order, key)
+			}
+			existing.Improvement += weight * ev.Improvement
+			if rewritten != nil {
+				existing.Rewrites[qi] = rewritten
+			}
+		}
+	}
+
+	sel := &Selection{Budget: budgetEdges}
+	var items []knapsack.Item
+	for _, key := range order {
+		ev := merged[key]
+		if ev.CreationCost > 0 {
+			ev.Value = ev.Improvement / ev.CreationCost
+		}
+		sel.Candidates = append(sel.Candidates, ev)
+		items = append(items, knapsack.Item{
+			Weight: int64(math.Ceil(ev.EstimatedEdges)),
+			Value:  ev.Value,
+		})
+	}
+	picked, total := knapsack.Solve(items, budgetEdges)
+	sel.TotalValue = total
+	for _, idx := range picked {
+		sel.Candidates[idx].Chosen = true
+		sel.Chosen = append(sel.Chosen, sel.Candidates[idx])
+	}
+	return sel, nil
+}
+
+// evaluate prices one candidate for one query: estimated size, creation
+// cost, and the per-query improvement factor. It returns nil when the
+// candidate does not apply to the query.
+func (a *Analyzer) evaluate(g *graph.Graph, props *cost.GraphProperties, cand enum.Candidate, q gql.Query, baseCost float64) (*Evaluated, gql.Query, error) {
+	switch v := cand.View.(type) {
+	case views.KHopConnector:
+		est, err := cost.EstimateKHopPaths(props, a.Schema, v.K, a.alpha())
+		if err != nil {
+			return nil, nil, err
+		}
+		rw, err := rewrite.OverKHopConnectorExact(q, cand, a.Schema)
+		if err != nil {
+			return nil, nil, nil // not rewritable (or not result-preserving) for this query
+		}
+		vprops, err := estimatedConnectorProps(props, v, a.alpha())
+		if err != nil {
+			return nil, nil, err
+		}
+		rwCost, err := cost.EvalCost(rw, vprops, nil, a.alpha())
+		if err != nil {
+			return nil, nil, err
+		}
+		improvement := 0.0
+		if rwCost > 0 {
+			improvement = baseCost / rwCost
+		}
+		return &Evaluated{
+			EstimatedEdges: est,
+			CreationCost:   cost.CreationCost(est),
+			Improvement:    improvement,
+		}, rw, nil
+
+	case views.VertexInclusionSummarizer, views.VertexRemovalSummarizer,
+		views.EdgeInclusionSummarizer, views.EdgeRemovalSummarizer:
+		if err := rewrite.ValidateOnSummarizer(q, cand.View); err != nil {
+			return nil, nil, nil
+		}
+		nv, ne := summarizerSize(g, cand.View)
+		sprops := estimatedSummarizerProps(g, props, cand.View, nv, ne)
+		rwCost, err := cost.EvalCost(q, sprops, nil, a.alpha())
+		if err != nil {
+			return nil, nil, err
+		}
+		improvement := 0.0
+		if rwCost > 0 {
+			improvement = baseCost / rwCost
+		}
+		return &Evaluated{
+			EstimatedEdges: float64(ne),
+			CreationCost:   cost.CreationCost(float64(ne)),
+			Improvement:    improvement,
+		}, q, nil // summarizer rewriting keeps the query text (§V-C)
+	}
+	// Other view classes (same-vertex-type, source-to-sink) are
+	// materializable but not auto-rewritable yet; skip them in selection
+	// like the paper's prototype does for multi-view rewritings.
+	return nil, nil, nil
+}
+
+// estimatedConnectorProps builds the predicted graph properties of a
+// connector view before materialization. The per-hop fan-out of the view
+// is priced on the same basis as the base graph: one contracted edge
+// spans k base hops, so deg_α(view) = deg_α(base)^k. This keeps the
+// improvement ratio a function of plan structure (join levels saved)
+// rather than of mismatched statistics.
+func estimatedConnectorProps(base *cost.GraphProperties, v views.KHopConnector, alpha int) (*cost.GraphProperties, error) {
+	nSrc, nDst := base.NumVertices, base.NumVertices
+	if s, ok := base.ByType[v.SrcType]; ok && v.SrcType != "" {
+		nSrc = s.Count
+	}
+	if s, ok := base.ByType[v.DstType]; ok && v.DstType != "" {
+		nDst = s.Count
+	}
+	baseDeg, err := base.Overall.Degree(alpha)
+	if err != nil {
+		return nil, err
+	}
+	deg := int(math.Pow(float64(baseDeg), float64(v.K)))
+	flat := stats.DegreeSummary{Count: nSrc, P50: deg, P90: deg, P95: deg, Max: deg}
+	byType := map[string]stats.DegreeSummary{}
+	total := nSrc
+	if v.SrcType != "" {
+		byType[v.SrcType] = flat
+		if v.DstType != v.SrcType {
+			byType[v.DstType] = stats.DegreeSummary{Count: nDst}
+			total += nDst
+		}
+	}
+	overall := flat
+	overall.Count = total
+	return &cost.GraphProperties{
+		NumVertices: total,
+		NumEdges:    nSrc * deg,
+		ByType:      byType,
+		Overall:     overall,
+	}, nil
+}
+
+// estimatedSummarizerProps predicts the summarized graph's properties by
+// scaling the per-type summaries of surviving types.
+func estimatedSummarizerProps(g *graph.Graph, base *cost.GraphProperties, v views.View, nv, ne int) *cost.GraphProperties {
+	byType := map[string]stats.DegreeSummary{}
+	total := 0
+	for t, s := range base.ByType {
+		if summarizerKeepsType(v, t) {
+			byType[t] = s
+			total += s.Count
+		}
+	}
+	overall := base.Overall
+	overall.Count = total
+	return &cost.GraphProperties{
+		NumVertices: nv,
+		NumEdges:    ne,
+		ByType:      byType,
+		Overall:     overall,
+	}
+}
+
+func summarizerKeepsType(v views.View, t string) bool {
+	switch v := v.(type) {
+	case views.VertexInclusionSummarizer:
+		for _, kt := range v.Types {
+			if kt == t {
+				return true
+			}
+		}
+		return false
+	case views.VertexRemovalSummarizer:
+		for _, rt := range v.Types {
+			if rt == t {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// summarizerSize counts the summarized graph's size without building it
+// (filters admit exact cheap cardinalities, §V-A).
+func summarizerSize(g *graph.Graph, v views.View) (nv, ne int) {
+	keepV := func(t string) bool { return summarizerKeepsType(v, t) }
+	keepE := func(t string) bool { return true }
+	switch v := v.(type) {
+	case views.EdgeInclusionSummarizer:
+		set := map[string]bool{}
+		for _, t := range v.Types {
+			set[t] = true
+		}
+		keepE = func(t string) bool { return set[t] }
+	case views.EdgeRemovalSummarizer:
+		set := map[string]bool{}
+		for _, t := range v.Types {
+			set[t] = true
+		}
+		keepE = func(t string) bool { return !set[t] }
+	}
+	g.EachVertex(func(vx *graph.Vertex) {
+		if keepV(vx.Type) {
+			nv++
+		}
+	})
+	g.EachEdge(func(e *graph.Edge) {
+		if keepE(e.Type) && keepV(g.Vertex(e.From).Type) && keepV(g.Vertex(e.To).Type) {
+			ne++
+		}
+	})
+	return nv, ne
+}
+
+// Describe renders the selection as an aligned table for the CLI.
+func (s *Selection) Describe() string {
+	rows := make([]string, 0, len(s.Candidates))
+	cands := append([]*Evaluated(nil), s.Candidates...)
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Value > cands[j].Value })
+	for _, ev := range cands {
+		mark := " "
+		if ev.Chosen {
+			mark = "*"
+		}
+		rows = append(rows, fmt.Sprintf("%s %-40s est_edges=%-12.0f value=%.3g",
+			mark, ev.Candidate.View.Name(), ev.EstimatedEdges, ev.Value))
+	}
+	out := fmt.Sprintf("budget=%d edges, %d candidates, %d chosen\n", s.Budget, len(s.Candidates), len(s.Chosen))
+	for _, r := range rows {
+		out += r + "\n"
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"kaskade/internal/cost"
+	"kaskade/internal/enum"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+	"kaskade/internal/rewrite"
+	"kaskade/internal/views"
+)
+
+// Materialized is one materialized view: its definition, its anchor
+// metadata, and the physical view graph.
+type Materialized struct {
+	Candidate enum.Candidate
+	Graph     *graph.Graph
+	Props     *cost.GraphProperties
+}
+
+// Catalog holds the materialized views over a base graph and implements
+// view-based query rewriting (§V-C): on query arrival it enumerates the
+// applicable materialized views and picks the rewriting with the lowest
+// estimated evaluation cost.
+type Catalog struct {
+	Base      *graph.Graph
+	BaseProps *cost.GraphProperties
+	Schema    *graph.Schema
+	Alpha     int
+	byName    map[string]*Materialized
+	order     []string
+}
+
+// Materialize executes every chosen view of the selection over g and
+// returns the catalog.
+func Materialize(g *graph.Graph, sel *Selection) (*Catalog, error) {
+	c := &Catalog{
+		Base:      g,
+		BaseProps: cost.Collect(g),
+		Schema:    g.Schema(),
+		Alpha:     cost.DefaultAlpha,
+		byName:    make(map[string]*Materialized),
+	}
+	for _, ev := range sel.Chosen {
+		if err := c.Add(ev.Candidate); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// NewCatalog returns an empty catalog over g (views added with Add).
+func NewCatalog(g *graph.Graph) *Catalog {
+	return &Catalog{
+		Base:      g,
+		BaseProps: cost.Collect(g),
+		Schema:    g.Schema(),
+		Alpha:     cost.DefaultAlpha,
+		byName:    make(map[string]*Materialized),
+	}
+}
+
+// Add materializes one candidate view into the catalog (idempotent by
+// view name).
+func (c *Catalog) Add(cand enum.Candidate) error {
+	name := cand.View.Name()
+	if _, dup := c.byName[name]; dup {
+		return nil
+	}
+	vg, err := cand.View.Materialize(c.Base)
+	if err != nil {
+		return fmt.Errorf("workload: materializing %s: %w", name, err)
+	}
+	c.byName[name] = &Materialized{
+		Candidate: cand,
+		Graph:     vg,
+		Props:     cost.Collect(vg),
+	}
+	c.order = append(c.order, name)
+	return nil
+}
+
+// Views returns the materialized view names in creation order.
+func (c *Catalog) Views() []string { return append([]string(nil), c.order...) }
+
+// Get returns a materialized view by name.
+func (c *Catalog) Get(name string) (*Materialized, bool) {
+	m, ok := c.byName[name]
+	return m, ok
+}
+
+// TotalEdges returns the storage the catalog consumes, in edges.
+func (c *Catalog) TotalEdges() int {
+	total := 0
+	for _, m := range c.byName {
+		total += m.Graph.NumEdges()
+	}
+	return total
+}
+
+// Plan is the outcome of view-based rewriting for one query.
+type Plan struct {
+	Query    gql.Query    // the (possibly rewritten) query to execute
+	Graph    *graph.Graph // the graph to execute it against
+	ViewName string       // "" when executing over the base graph
+	Cost     float64      // estimated evaluation cost of the plan
+}
+
+// Rewrite performs view-based query rewriting (§V-C): it enumerates the
+// query's candidates, keeps those whose views are materialized, and
+// returns the plan with the smallest estimated evaluation cost (the base
+// plan when no view helps). Rewritings use a single view, like the
+// paper's prototype.
+func (c *Catalog) Rewrite(q gql.Query) (*Plan, error) {
+	baseCost, err := cost.EvalCost(q, c.BaseProps, c.Schema, c.alpha())
+	if err != nil {
+		return nil, err
+	}
+	best := &Plan{Query: q, Graph: c.Base, Cost: baseCost}
+	if len(c.byName) == 0 {
+		return best, nil
+	}
+	en := &enum.Enumerator{Schema: c.Schema}
+	res, err := en.Enumerate(q)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(res.Candidates))
+	byName := map[string]enum.Candidate{}
+	for _, cand := range res.Candidates {
+		name := cand.View.Name()
+		if _, ok := byName[name]; !ok {
+			byName[name] = cand
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m, ok := c.byName[name]
+		if !ok {
+			continue // §V-C: prune candidates that are not materialized
+		}
+		cand := byName[name]
+		plan, err := c.planFor(q, cand, m)
+		if err != nil || plan == nil {
+			continue
+		}
+		if plan.Cost < best.Cost {
+			best = plan
+		}
+	}
+	return best, nil
+}
+
+func (c *Catalog) planFor(q gql.Query, cand enum.Candidate, m *Materialized) (*Plan, error) {
+	switch cand.View.(type) {
+	case views.KHopConnector:
+		rw, err := rewrite.OverKHopConnectorExact(q, cand, c.Schema)
+		if err != nil {
+			return nil, nil
+		}
+		rwCost, err := cost.EvalCost(rw, m.Props, m.Graph.Schema(), c.alpha())
+		if err != nil {
+			return nil, err
+		}
+		return &Plan{Query: rw, Graph: m.Graph, ViewName: cand.View.Name(), Cost: rwCost}, nil
+	default:
+		if err := rewrite.ValidateOnSummarizer(q, cand.View); err != nil {
+			return nil, nil
+		}
+		rwCost, err := cost.EvalCost(q, m.Props, m.Graph.Schema(), c.alpha())
+		if err != nil {
+			return nil, err
+		}
+		return &Plan{Query: q, Graph: m.Graph, ViewName: cand.View.Name(), Cost: rwCost}, nil
+	}
+}
+
+func (c *Catalog) alpha() int {
+	if c.Alpha != 0 {
+		return c.Alpha
+	}
+	return cost.DefaultAlpha
+}

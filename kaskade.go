@@ -1,0 +1,147 @@
+// Package kaskade is a from-scratch Go implementation of KASKADE
+// ("Kaskade: Graph Views for Efficient Graph Analytics", da Trindade et
+// al., ICDE 2020): a graph query optimization framework that mines
+// structural constraints from graph schemas and query workloads, derives
+// materialized graph views (connectors and summarizers) via inference-
+// based view enumeration, selects the most beneficial views under a
+// space budget with a cost model and a 0/1 knapsack, and rewrites
+// incoming queries over the materialized views.
+//
+// Quick start:
+//
+//	schema := kaskade.MustSchema(
+//		[]string{"Job", "File"},
+//		[]kaskade.EdgeType{
+//			{From: "Job", To: "File", Name: "WRITES_TO"},
+//			{From: "File", To: "Job", Name: "IS_READ_BY"},
+//		})
+//	g := kaskade.NewGraph(schema)
+//	// ... load vertices and edges ...
+//	sys := kaskade.New(g)
+//	sel, _ := sys.SelectViews([]string{blastRadiusQuery}, 1_000_000)
+//	_ = sys.AdoptSelection(sel)
+//	res, _ := sys.Query(blastRadiusQuery) // runs over the 2-hop connector
+//
+// The packages under internal/ implement every substrate the paper
+// depends on: a property-graph engine (for Neo4j), a Prolog-style
+// inference engine (for SWI-Prolog), a hybrid Cypher+SQL language and
+// executor, the §V-A cost model, a branch-and-bound knapsack (for
+// OR-Tools), synthetic dataset generators standing in for the
+// evaluation's graphs, and the full benchmark harness that regenerates
+// every table and figure of the paper.
+package kaskade
+
+import (
+	"io"
+
+	"kaskade/internal/core"
+	"kaskade/internal/cost"
+	"kaskade/internal/enum"
+	"kaskade/internal/exec"
+	"kaskade/internal/graph"
+	"kaskade/internal/views"
+	"kaskade/internal/workload"
+)
+
+// System is a Kaskade instance over one base graph (see core.System).
+type System = core.System
+
+// New creates a Kaskade system over a property graph.
+func New(g *Graph) *System { return core.New(g) }
+
+// Graph types re-exported from the property-graph engine.
+type (
+	// Graph is the in-memory property graph Kaskade operates on.
+	Graph = graph.Graph
+	// Schema declares vertex types and the domain/range of edge types.
+	Schema = graph.Schema
+	// EdgeType declares one typed edge with its endpoint vertex types.
+	EdgeType = graph.EdgeType
+	// Properties is a key-value bag on a vertex or edge.
+	Properties = graph.Properties
+	// VertexID identifies a vertex within a Graph.
+	VertexID = graph.VertexID
+	// EdgeID identifies an edge within a Graph.
+	EdgeID = graph.EdgeID
+)
+
+// NewGraph returns an empty graph governed by schema (nil = unconstrained).
+func NewGraph(schema *Schema) *Graph { return graph.NewGraph(schema) }
+
+// NewSchema builds a schema, validating edge type endpoint declarations.
+func NewSchema(vertexTypes []string, edgeTypes []EdgeType) (*Schema, error) {
+	return graph.NewSchema(vertexTypes, edgeTypes)
+}
+
+// MustSchema is NewSchema that panics on error, for static schemas.
+func MustSchema(vertexTypes []string, edgeTypes []EdgeType) *Schema {
+	return graph.MustSchema(vertexTypes, edgeTypes)
+}
+
+// Result is a query result table.
+type Result = exec.Result
+
+// View types (Tables I and II of the paper).
+type (
+	// View is a graph view: a derivation producing a view graph.
+	View = views.View
+	// KHopConnector contracts k-length paths between two vertex types.
+	KHopConnector = views.KHopConnector
+	// SameVertexTypeConnector contracts paths between same-type endpoints.
+	SameVertexTypeConnector = views.SameVertexTypeConnector
+	// SameEdgeTypeConnector contracts single-edge-type paths.
+	SameEdgeTypeConnector = views.SameEdgeTypeConnector
+	// SourceToSinkConnector contracts source-to-sink paths.
+	SourceToSinkConnector = views.SourceToSinkConnector
+	// VertexInclusionSummarizer keeps only the listed vertex types.
+	VertexInclusionSummarizer = views.VertexInclusionSummarizer
+	// VertexRemovalSummarizer drops the listed vertex types.
+	VertexRemovalSummarizer = views.VertexRemovalSummarizer
+	// EdgeInclusionSummarizer keeps only the listed edge types.
+	EdgeInclusionSummarizer = views.EdgeInclusionSummarizer
+	// EdgeRemovalSummarizer drops the listed edge types.
+	EdgeRemovalSummarizer = views.EdgeRemovalSummarizer
+	// VertexAggregatorSummarizer groups vertices into supervertices.
+	VertexAggregatorSummarizer = views.VertexAggregatorSummarizer
+	// EdgeAggregatorSummarizer merges parallel edges into superedges.
+	EdgeAggregatorSummarizer = views.EdgeAggregatorSummarizer
+	// SubgraphAggregatorSummarizer contracts group subgraphs.
+	SubgraphAggregatorSummarizer = views.SubgraphAggregatorSummarizer
+)
+
+// Optimizer-facing types.
+type (
+	// Candidate is an enumerated view with its rewrite anchors.
+	Candidate = enum.Candidate
+	// Selection is the outcome of view selection (§V-B).
+	Selection = workload.Selection
+	// Plan is the outcome of view-based rewriting for one query (§V-C).
+	Plan = workload.Plan
+	// GraphProperties are the §V-A statistics behind size estimation.
+	GraphProperties = cost.GraphProperties
+)
+
+// ViewInventory renders Tables I and II (the supported view classes).
+func ViewInventory() string { return core.ViewInventory() }
+
+// DescribeCandidates renders enumerated candidates for display.
+func DescribeCandidates(cands []Candidate) string { return core.DescribeCandidates(cands) }
+
+// MaintainedConnector keeps a materialized k-hop connector incrementally
+// consistent with its base graph under vertex/edge insertions — the view
+// maintenance side of graph views (Zhuge & Garcia-Molina, which the
+// paper builds on).
+type MaintainedConnector = views.MaintainedConnector
+
+// NewMaintainedConnector materializes the connector over base and
+// returns a maintainer; route subsequent mutations through it.
+func NewMaintainedConnector(def KHopConnector, base *Graph) (*MaintainedConnector, error) {
+	return views.NewMaintainedConnector(def, base)
+}
+
+// SaveGraph serializes a graph (schema, vertices, edges, properties) to
+// a line-oriented text format that LoadGraph reads back losslessly.
+func SaveGraph(w io.Writer, g *Graph) error { return graph.Save(w, g) }
+
+// LoadGraph reads a graph written by SaveGraph.
+func LoadGraph(r io.Reader) (*Graph, error) { return graph.Load(r) }
