@@ -8,7 +8,9 @@
 package kaskade_test
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"kaskade"
@@ -239,6 +241,75 @@ func BenchmarkPatternMatch2Hop(b *testing.B) {
 		if _, err := ex.Execute(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWorkerCounts are the parallelism levels the parallel-executor
+// benchmarks sweep: sequential baseline, 2, 4, and every CPU.
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkParallelPatternMatch measures the worker-pool matcher on the
+// multi-core datagen workload: the 2-hop lineage join over the filtered
+// provenance graph. workers=1 is the sequential path; higher counts
+// partition the Job candidate list (results are identical either way).
+func BenchmarkParallelPatternMatch(b *testing.B) {
+	g := filteredProvBench(b)
+	q := gql.MustParse(`MATCH (a:Job)-[:WRITES_TO]->(f:File)-[:IS_READ_BY]->(c:Job) RETURN a, c`)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ex := &exec.Executor{G: g, Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelVarLengthMatch stresses the matcher's hardest case —
+// variable-length path enumeration with edge uniqueness — where each
+// first-node subtree is expensive and worker partitioning pays most.
+func BenchmarkParallelVarLengthMatch(b *testing.B) {
+	g := filteredProvBench(b)
+	q := gql.MustParse(`MATCH (a:Job)-[r*1..3]->(v) RETURN COUNT(r) AS n`)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ex := &exec.Executor{G: g, Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelViewMaterialization measures concurrent catalog
+// builds: four independent views over one read-only base graph.
+func BenchmarkParallelViewMaterialization(b *testing.B) {
+	g := filteredProvBench(b)
+	cands := []enum.Candidate{
+		{View: views.KHopConnector{SrcType: "Job", DstType: "Job", K: 2}},
+		{View: views.KHopConnector{SrcType: "File", DstType: "File", K: 2}},
+		{View: views.VertexInclusionSummarizer{Types: []string{"Job"}}},
+		{View: views.EdgeInclusionSummarizer{Types: []string{"WRITES_TO"}}},
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := workload.NewCatalog(g)
+				if err := c.AddAll(cands, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -25,9 +25,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper-shaped laptop defaults)")
 	sample := flag.Int("sample", 200, "per-source traversal sample for Fig. 7 queries")
 	seed := flag.Int64("seed", 0, "generator seed override (0 = defaults)")
+	workers := flag.Int("workers", 1, "pattern-match parallelism (1 = sequential, -1 = one per CPU); results are identical either way")
 	flag.Parse()
 
-	cfg := harness.Config{Scale: *scale, Seed: *seed, Sample: *sample}
+	cfg := harness.Config{Scale: *scale, Seed: *seed, Sample: *sample, Workers: *workers}
 	if err := run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kaskade-bench:", err)
 		os.Exit(1)

@@ -39,16 +39,17 @@ func main() {
 		rawRun  = flag.Bool("raw", true, "for -cmd run, also execute the query without views for comparison")
 		load    = flag.String("load", "", "load the graph from a file (written with -save) instead of generating")
 		save    = flag.String("save", "", "save the (possibly filtered) graph to a file and exit")
+		workers = flag.Int("workers", 1, "pattern-match and view-materialization parallelism (1 = sequential, -1 = one per CPU)")
 	)
 	flag.Parse()
 
-	if err := run(*cmd, *dataset, *scale, *seed, *query, *budget, *filter, *rawRun, *load, *save); err != nil {
+	if err := run(*cmd, *dataset, *scale, *seed, *query, *budget, *filter, *rawRun, *load, *save, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "kaskade:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd, dataset string, scale float64, seed int64, query string, budget int64, filter, rawRun bool, load, save string) error {
+func run(cmd, dataset string, scale float64, seed int64, query string, budget int64, filter, rawRun bool, load, save string, workers int) error {
 	if (cmd == "help" || cmd == "") && save == "" {
 		flag.Usage()
 		return nil
@@ -105,6 +106,7 @@ func run(cmd, dataset string, scale float64, seed int64, query string, budget in
 	}
 
 	sys := kaskade.New(g)
+	sys.Parallelism = workers
 
 	if query == "" {
 		query = harness.BlastRadiusQuery

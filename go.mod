@@ -1,0 +1,3 @@
+module kaskade
+
+go 1.22

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesAndParallelMaterialization is the -race coverage
+// for the parallel subsystem. The invariant it documents and exercises:
+// a graph.Graph is read-only after load (the graph package is
+// append-only and nothing mutates a graph once a System owns it), so
+//
+//   - AdoptSelection may materialize independent views concurrently,
+//     each derived from the shared read-only base, and
+//   - any number of goroutines may call Query/QueryRaw against one
+//     System — including with Parallelism > 1, which nests the
+//     matcher's own worker pool inside the callers' concurrency —
+//
+// without locks. Catalog mutation (AdoptSelection) is the one phase
+// that must not overlap queries, which this test keeps sequenced the
+// way the CLI and harness do: adopt first, then serve.
+func TestConcurrentQueriesAndParallelMaterialization(t *testing.T) {
+	sys := testSystem(t)
+	sys.Parallelism = 4
+
+	sel, err := sys.SelectViews([]string{blastRadius}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel materialization of the chosen views.
+	if err := sys.AdoptSelection(sel); err != nil {
+		t.Fatal(err)
+	}
+	// The catalog must agree with a sequentially-built one.
+	seq := testSystem(t)
+	if err := seq.AdoptSelection(sel); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sys.Catalog().Views(), seq.Catalog().Views(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel catalog order %v != sequential %v", got, want)
+	}
+	if got, want := sys.Catalog().TotalEdges(), seq.Catalog().TotalEdges(); got != want {
+		t.Fatalf("parallel catalog edges %d != sequential %d", got, want)
+	}
+
+	want, err := sys.Query(blastRadius)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		blastRadius,
+		`MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j.pipelineName AS p, COUNT(f) AS n`,
+		`MATCH ()-[r]->() RETURN COUNT(*) AS n`,
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*2*len(queries))
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, q := range queries {
+				res, err := sys.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if q == blastRadius && !reflect.DeepEqual(res.Rows, want.Rows) {
+					t.Errorf("goroutine %d: concurrent result diverged", i)
+				}
+				if _, err := sys.QueryRaw(q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -21,12 +21,23 @@ import (
 )
 
 // System is a Kaskade instance over one base graph.
+//
+// A System is safe for concurrent Query/QueryRaw/Explain calls once the
+// catalog is settled (graphs are read-only after load, and the catalog
+// maps are only read at query time). AdoptSelection and MaterializeView
+// mutate the catalog and must not race with queries.
 type System struct {
 	graph    *graph.Graph
 	analyzer *workload.Analyzer
 	catalog  *workload.Catalog
 	// MaxRows guards query execution (0 = unlimited).
 	MaxRows int
+	// Parallelism controls both pattern-match workers during query
+	// execution and concurrent view materialization in AdoptSelection:
+	// 0 or 1 = sequential, N>1 = that many workers, negative = one per
+	// available CPU. Parallel execution is deterministic — results are
+	// identical to the sequential path (see internal/exec).
+	Parallelism int
 }
 
 // New creates a system over the given graph. The graph should have a
@@ -66,7 +77,7 @@ func (s *System) QueryWithPlan(src string) (*exec.Result, *workload.Plan, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	ex := &exec.Executor{G: plan.Graph, MaxRows: s.MaxRows}
+	ex := &exec.Executor{G: plan.Graph, MaxRows: s.MaxRows, Workers: s.Parallelism}
 	res, err := ex.Execute(plan.Query)
 	return res, plan, err
 }
@@ -78,7 +89,7 @@ func (s *System) QueryRaw(src string) (*exec.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex := &exec.Executor{G: s.graph, MaxRows: s.MaxRows}
+	ex := &exec.Executor{G: s.graph, MaxRows: s.MaxRows, Workers: s.Parallelism}
 	return ex.Execute(q)
 }
 
@@ -112,14 +123,15 @@ func (s *System) SelectViews(workloadQueries []string, budgetEdges int64) (*work
 }
 
 // AdoptSelection materializes every chosen view of a selection into the
-// catalog.
+// catalog. Independent views are built concurrently when Parallelism
+// allows (each materialization derives a fresh graph from the read-only
+// base); catalog order matches the selection order regardless.
 func (s *System) AdoptSelection(sel *workload.Selection) error {
-	for _, ev := range sel.Chosen {
-		if err := s.catalog.Add(ev.Candidate); err != nil {
-			return err
-		}
+	cands := make([]enum.Candidate, len(sel.Chosen))
+	for i, ev := range sel.Chosen {
+		cands[i] = ev.Candidate
 	}
-	return nil
+	return s.catalog.AddAll(cands, s.Parallelism)
 }
 
 // MaterializeView materializes a single view directly (manual view

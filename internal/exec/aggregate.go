@@ -67,47 +67,81 @@ func collectAggregates(e gql.Expr) []*gql.FuncCall {
 	return nil
 }
 
-// feed routes one input row (as an environment) into its group.
-func (a *aggregator) feed(env map[string]Value) error {
+// prepared holds one input row's evaluated aggregation inputs: the
+// group key and the aggregate argument values. Evaluating these is the
+// per-row work, so the parallel matcher runs prepare on its workers and
+// defers only the (order-sensitive) accumulation to the merge phase.
+type prepared struct {
+	key  string
+	args []Value // aligned with aggNodes; nil slots for COUNT(*)
+}
+
+// prepare evaluates a row's grouping key and aggregate arguments. It
+// only reads the aggregator's immutable shape (items, keyExprs,
+// aggNodes), so concurrent calls are safe.
+func (a *aggregator) prepare(env map[string]Value) (prepared, error) {
 	keyVals := make([]Value, len(a.keyExprs))
 	for i, ke := range a.keyExprs {
 		v, err := evalExpr(ke, env)
 		if err != nil {
-			return err
+			return prepared{}, err
 		}
 		keyVals[i] = v
 	}
-	key := groupKey(keyVals)
-	g, ok := a.groups[key]
-	if !ok {
-		rep := make(map[string]Value, len(env))
-		for k, v := range env {
-			rep[k] = v
+	p := prepared{key: groupKey(keyVals)}
+	if len(a.aggNodes) > 0 {
+		p.args = make([]Value, len(a.aggNodes))
+		for i, node := range a.aggNodes {
+			if node.Star {
+				continue
+			}
+			if len(node.Args) != 1 {
+				return prepared{}, fmt.Errorf("exec: %s expects one argument", node.Name)
+			}
+			v, err := evalExpr(node.Args[0], env)
+			if err != nil {
+				return prepared{}, err
+			}
+			p.args[i] = v
 		}
-		g = &aggGroup{repEnv: rep, accs: make([]accumulator, len(a.aggNodes))}
+	}
+	return p, nil
+}
+
+// feedPrepared routes prepared inputs into their group, materializing
+// the group on first sight with rep() as its representative row. Calls
+// mutate the group table and must stay on one goroutine.
+func (a *aggregator) feedPrepared(p prepared, rep func() map[string]Value) error {
+	g, ok := a.groups[p.key]
+	if !ok {
+		g = &aggGroup{repEnv: rep(), accs: make([]accumulator, len(a.aggNodes))}
 		for i, node := range a.aggNodes {
 			g.accs[i] = newAccumulator(node.Name)
 		}
-		a.groups[key] = g
-		a.order = append(a.order, key)
+		a.groups[p.key] = g
+		a.order = append(a.order, p.key)
 	}
 	for i, node := range a.aggNodes {
-		var v Value
-		if !node.Star {
-			if len(node.Args) != 1 {
-				return fmt.Errorf("exec: %s expects one argument", node.Name)
-			}
-			var err error
-			v, err = evalExpr(node.Args[0], env)
-			if err != nil {
-				return err
-			}
-		}
-		if err := g.accs[i].add(v, node.Star); err != nil {
+		if err := g.accs[i].add(p.args[i], node.Star); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// feed routes one input row (as an environment) into its group.
+func (a *aggregator) feed(env map[string]Value) error {
+	p, err := a.prepare(env)
+	if err != nil {
+		return err
+	}
+	return a.feedPrepared(p, func() map[string]Value {
+		rep := make(map[string]Value, len(env))
+		for k, v := range env {
+			rep[k] = v
+		}
+		return rep
+	})
 }
 
 // finish produces the grouped output rows in first-seen group order.

@@ -1,0 +1,272 @@
+package exec
+
+import (
+	"runtime"
+
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+	"kaskade/internal/par"
+)
+
+// The parallel matcher partitions the binding space of the first node of
+// the first pattern — the candidate vertex list that the sequential
+// matcher's bindNode would scan — into contiguous chunks, and runs an
+// independent matcher (own bindings map, own edge-uniqueness set) over
+// each chunk on a bounded worker pool. Chunks are merged in partition
+// order, so the result rows, aggregation group order, and row-limit
+// behavior are identical to the sequential path: workers=N is a pure
+// speedup, never a semantic change.
+//
+// Correctness rests on two facts: (1) subtrees of the backtracking
+// search rooted at different first-node bindings never share mutable
+// state, and (2) graph.Graph is read-only after load, so any number of
+// matchers may traverse it concurrently.
+
+// chunkTarget is the number of chunks created per worker. More chunks
+// than workers lets fast workers steal the tail of the candidate list,
+// which matters on power-law graphs where hub vertices concentrate work
+// in a few candidates.
+const chunkTarget = 16
+
+// aggYield is one aggregated-query yield: the worker-evaluated group
+// key and aggregate arguments, plus — only for the first occurrence of
+// a group key within the chunk — a copy of the bindings, in case the
+// merge phase discovers this yield opens a new group and needs its
+// representative row.
+type aggYield struct {
+	p   prepared
+	env map[string]Value
+}
+
+// matchChunk holds one partition's yields in enumeration order. Exactly
+// one of rows/aggs is populated: projected rows when the query has no
+// aggregates, prepared aggregation inputs (accumulated at merge time,
+// preserving first-seen group order) otherwise. yields counts yield
+// *events*, which can exceed the recorded entries by one when the last
+// yield's evaluation errored — the merge phase needs the event position
+// to reproduce the sequential path's check-limit-then-evaluate order.
+type matchChunk struct {
+	yields int
+	rows   []Row
+	aggs   []aggYield
+	err    error
+}
+
+// firstNodeCandidates reproduces bindNode's enumeration order for the
+// first node of the first pattern: the type-restricted vertex list when
+// the node is typed, every vertex otherwise. The second result is false
+// when the query shape is not partitionable (no patterns or an empty
+// pattern — the sequential path reports those errors).
+func firstNodeCandidates(g *graph.Graph, patterns []gql.PathPattern) ([]graph.VertexID, bool) {
+	if len(patterns) == 0 || len(patterns[0].Nodes) == 0 {
+		return nil, false
+	}
+	n := patterns[0].Nodes[0]
+	if n.Type != "" {
+		return g.VerticesOfType(n.Type), true
+	}
+	ids := make([]graph.VertexID, g.NumVertices())
+	for i := range ids {
+		ids[i] = graph.VertexID(i)
+	}
+	return ids, true
+}
+
+// runMatchParallel is runMatch with the first-node binding space fanned
+// out across `workers` goroutines. It returns ok=false when the query
+// shape or candidate count does not benefit from partitioning, in which
+// case the caller falls through to the sequential path.
+func (ex *Executor) runMatchParallel(q *gql.MatchQuery, workers int) (*Result, bool, error) {
+	cands, ok := firstNodeCandidates(ex.G, q.Patterns)
+	if !ok || len(cands) < 2 {
+		return nil, false, nil
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+
+	// Contiguous chunks in candidate order; concatenating chunk results
+	// in chunk-index order reproduces the sequential enumeration.
+	chunkSize := (len(cands) + workers*chunkTarget - 1) / (workers * chunkTarget)
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	numChunks := (len(cands) + chunkSize - 1) / chunkSize
+	chunks := make([]matchChunk, numChunks)
+
+	agg := newAggregator(q.Return, nil)
+	firstNode := q.Patterns[0].Nodes[0]
+
+	par.Do(numChunks, workers, func(next func() (int, bool)) {
+		// One matcher per worker: bindings and usedEdge drain back to
+		// empty between candidates, so the maps are reusable across
+		// chunks without cross-talk.
+		m := &matcher{
+			g:        ex.G,
+			bindings: make(map[string]Value),
+			usedEdge: make(map[graph.EdgeID]bool),
+			where:    q.Where,
+		}
+		for {
+			ci, ok := next()
+			if !ok {
+				return
+			}
+			ch := &chunks[ci]
+			lo := ci * chunkSize
+			hi := lo + chunkSize
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			ch.err = ex.matchChunkRange(m, q, agg, cands[lo:hi], firstNode, ch)
+		}
+	})
+
+	res, err := ex.mergeChunks(q, agg, chunks)
+	return res, true, err
+}
+
+// errPartitionLimit aborts a worker whose local yield count alone
+// already exceeds MaxRows; the merge loop converts it into the
+// sequential path's ErrRowLimit at the equivalent global row.
+var errPartitionLimit = &partitionLimitError{}
+
+type partitionLimitError struct{}
+
+func (*partitionLimitError) Error() string { return "exec: partition row limit" }
+
+// matchChunkRange runs the full backtracking match with the first node
+// pinned to each candidate in turn, recording yields into ch. Aggregate
+// queries evaluate their group keys and argument expressions here, on
+// the worker; agg.prepare only reads the aggregator's immutable shape,
+// so sharing one aggregator across workers is safe.
+func (ex *Executor) matchChunkRange(m *matcher, q *gql.MatchQuery, agg *aggregator, cands []graph.VertexID, firstNode gql.NodePattern, ch *matchChunk) error {
+	var localGroups map[string]bool
+	if agg != nil {
+		localGroups = make(map[string]bool)
+	}
+	// Yield-event accounting mirrors the sequential path's order: count
+	// the row and check the limit BEFORE evaluating any expression, so
+	// an evaluation error beyond the row limit surfaces as ErrRowLimit,
+	// not as the eval error the sequential path never reaches. The
+	// worker can only apply its local limit (its count is a lower bound
+	// on the global one); the merge phase re-checks globally.
+	m.yield = func() error {
+		ch.yields++
+		if ex.MaxRows > 0 && ch.yields > ex.MaxRows {
+			return errPartitionLimit
+		}
+		if agg != nil {
+			p, err := agg.prepare(m.bindings)
+			if err != nil {
+				return err
+			}
+			y := aggYield{p: p}
+			if !localGroups[p.key] {
+				localGroups[p.key] = true
+				y.env = make(map[string]Value, len(m.bindings))
+				for k, v := range m.bindings {
+					y.env[k] = v
+				}
+			}
+			ch.aggs = append(ch.aggs, y)
+			return nil
+		}
+		row := make(Row, len(q.Return))
+		for i, item := range q.Return {
+			v, err := evalExpr(item.Expr, m.bindings)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		ch.rows = append(ch.rows, row)
+		return nil
+	}
+	for _, id := range cands {
+		if firstNode.Var != "" {
+			m.bindings[firstNode.Var] = VertexRef{G: m.g, ID: id}
+		}
+		err := m.walkChain(q.Patterns, 0, 1, id)
+		if firstNode.Var != "" {
+			delete(m.bindings, firstNode.Var)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeChunks replays the chunks in partition order, reproducing the
+// sequential path's row order, aggregation feed order, row-limit check,
+// and first-error position.
+func (ex *Executor) mergeChunks(q *gql.MatchQuery, agg *aggregator, chunks []matchChunk) (*Result, error) {
+	cols := make([]string, len(q.Return))
+	for i, item := range q.Return {
+		cols[i] = item.Name()
+	}
+	out := &Result{Cols: cols}
+	rows := 0
+	for ci := range chunks {
+		ch := &chunks[ci]
+		recorded := len(ch.rows)
+		if agg != nil {
+			recorded = len(ch.aggs)
+		}
+		// Replay yield *events*, not just recorded entries: the global
+		// row count and limit check advance at the position the
+		// sequential path would check them — before evaluation — so a
+		// yield whose evaluation errored (yields == recorded+1) first
+		// passes through the same limit gate.
+		for i := 0; i < ch.yields; i++ {
+			rows++
+			if ex.MaxRows > 0 && rows > ex.MaxRows {
+				return nil, ErrRowLimit
+			}
+			if i >= recorded {
+				// This yield event produced no entry: its evaluation
+				// errored in the worker. The sequential path fails with
+				// that error at exactly this row.
+				return nil, ch.err
+			}
+			if agg == nil {
+				out.Rows = append(out.Rows, ch.rows[i])
+				continue
+			}
+			y := ch.aggs[i]
+			env := y.env
+			// A group is only ever opened at the global first
+			// occurrence of its key, which is also the first local
+			// occurrence within its chunk — the one yield that
+			// carries the bindings copy.
+			if err := agg.feedPrepared(y.p, func() map[string]Value { return env }); err != nil {
+				return nil, err
+			}
+		}
+		if ch.err != nil {
+			// An error outside a yield (WHERE evaluation, malformed
+			// pattern) aborted the chunk after its recorded yields;
+			// errPartitionLimit cannot reach here — its chunk carries
+			// MaxRows+1 yield events, so the limit gate above tripped.
+			return nil, ch.err
+		}
+	}
+	if agg != nil {
+		var err error
+		out.Rows, err = agg.finish()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// effectiveWorkers resolves the Workers knob: 0 and 1 mean sequential,
+// negative means one worker per available CPU.
+func (ex *Executor) effectiveWorkers() int {
+	if ex.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return ex.Workers
+}

@@ -13,21 +13,36 @@ import (
 // than that many intermediate rows (a guard against accidentally
 // intractable pattern matches — the very thing Kaskade's views exist to
 // avoid).
+//
+// Workers controls pattern-match parallelism: 0 or 1 runs the
+// sequential matcher, N>1 partitions the first-node binding space
+// across N goroutines, and any negative value uses one worker per
+// available CPU. The parallel path merges partitions deterministically,
+// so results are identical to the sequential path row for row (see
+// parallel.go). The graph must not be mutated during execution — after
+// load, a graph.Graph is read-only and safe for concurrent traversal.
 type Executor struct {
 	G       *graph.Graph
 	MaxRows int
+	Workers int
 }
 
 // ErrRowLimit is returned when a query exceeds the executor's MaxRows.
 var ErrRowLimit = fmt.Errorf("exec: row limit exceeded")
 
-// Run executes a query string against g.
+// Run executes a query string against g on the sequential matcher.
 func Run(g *graph.Graph, src string) (*Result, error) {
+	return RunParallel(g, src, 1)
+}
+
+// RunParallel executes a query string against g with the given
+// match-parallelism (see Executor.Workers for the knob's semantics).
+func RunParallel(g *graph.Graph, src string, workers int) (*Result, error) {
 	q, err := gql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return (&Executor{G: g}).Execute(q)
+	return (&Executor{G: g, Workers: workers}).Execute(q)
 }
 
 // Execute evaluates a parsed query.
@@ -42,8 +57,15 @@ func (ex *Executor) Execute(q gql.Query) (*Result, error) {
 }
 
 // runMatch enumerates pattern matches and projects the RETURN items,
-// with Cypher-style implicit grouping when aggregates appear.
+// with Cypher-style implicit grouping when aggregates appear. With
+// Workers > 1 the enumeration is partitioned across a worker pool; the
+// sequential path below remains the semantic reference.
 func (ex *Executor) runMatch(q *gql.MatchQuery) (*Result, error) {
+	if w := ex.effectiveWorkers(); w > 1 {
+		if res, ok, err := ex.runMatchParallel(q, w); ok {
+			return res, err
+		}
+	}
 	cols := make([]string, len(q.Return))
 	for i, item := range q.Return {
 		cols[i] = item.Name()

@@ -56,7 +56,9 @@ func lexQuery(src string) ([]tok, error) {
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
-		case c == '-' && i+1 < n && src[i+1] == '-': // SQL comment
+		// SQL comment, unless it is the bracketless edge "-->" (the
+		// parser's anonymous-edge form, which String() emits).
+		case c == '-' && i+1 < n && src[i+1] == '-' && !(i+2 < n && src[i+2] == '>'):
 			for i < n && src[i] != '\n' {
 				i++
 			}

@@ -239,3 +239,48 @@ func TestReplaceInnermostMatch(t *testing.T) {
 		t.Errorf("wrapper lost: %T", q2)
 	}
 }
+
+// FuzzParse asserts the parser never panics: any input either parses to
+// a query whose String() round-trips through the parser, or returns an
+// error. The seed corpus is the query shapes the test suite and the
+// Table IV workload exercise.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		blastRadius,
+		`MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f`,
+		`MATCH (f:File)<-[:WRITES_TO]-(j:Job) RETURN f, j`,
+		`MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b`,
+		`MATCH (a:Job)-[r*1..4]->(v) WHERE a.name = 'j1' RETURN v`,
+		`MATCH (a)-[r*]->(b) RETURN COUNT(r) AS n`,
+		`MATCH (a)-[r*0..0]->(b) RETURN a, b`,
+		`MATCH ()-[r]->() RETURN COUNT(*) AS n`,
+		`MATCH (j:Job) WHERE j.CPU >= 20 AND NOT j.name = 'x' RETURN j.name AS name`,
+		`MATCH (x)-[r*2..2]->(y) RETURN LENGTH(r) AS len, PATH_MAX(r, 'ts') AS maxts, PATH_SUM(r, 'ts') AS sum`,
+		`SELECT name, nfiles FROM (
+			MATCH (j:Job)-[:WRITES_TO]->(f:File)
+			RETURN j.name AS name, COUNT(f) AS nfiles
+		) WHERE nfiles > 1`,
+		`SELECT kind, SUM(cpu) AS total FROM (
+			MATCH (j:Job) RETURN LABEL(j) AS kind, j.CPU AS cpu
+		) GROUP BY kind ORDER BY total DESC LIMIT 3`,
+		`MATCH (q_j1:Job)-[r:CONN_2HOP_Job_Job*1..5]->(q_j2:Job) RETURN q_j1 AS A, q_j2 AS B`,
+		``,
+		`MATCH`,
+		`SELECT FROM () GROUP BY`,
+		"MATCH (a)-[r*1..]->(b) RETURN a -- trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted inputs must print to something the parser accepts.
+		printed := q.String()
+		if _, err := Parse(printed); err != nil {
+			t.Errorf("String() of accepted query does not reparse: %q -> %q: %v", src, printed, err)
+		}
+	})
+}

@@ -83,6 +83,7 @@ func Fig7(cfg Config) ([]Fig7Row, error) {
 		}
 		baseRun := workload.BaseRunner(base, sc.sourceType, sample)
 		connRun := workload.ConnectorRunner(conn, sc.sourceType, 2, sample)
+		baseRun.Workers, connRun.Workers = cfg.Workers, cfg.Workers
 		for _, q := range sc.queries {
 			row, err := timeQuery(sc.name, q, baseRun, connRun)
 			if err != nil {

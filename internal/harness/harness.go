@@ -28,6 +28,14 @@ type Config struct {
 	Seed int64
 	// Sample caps per-source traversals in Fig. 7 queries.
 	Sample int
+	// Workers sets pattern-match parallelism for the gql-executed
+	// queries the harness times (0 or 1 = sequential, negative = one
+	// worker per available CPU). The harness materializes its views one
+	// at a time — only cmd/kaskade's AdoptSelection path builds views
+	// concurrently. Parallel runs produce the same numbers as
+	// sequential ones — the executor's merge is deterministic — just
+	// faster.
+	Workers int
 }
 
 // DefaultConfig is the scale used by `kaskade-bench` without flags.

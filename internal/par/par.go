@@ -1,0 +1,59 @@
+// Package par holds the one worker-pool idiom the parallel subsystem
+// uses: a bounded pool of goroutines claiming task indexes from an
+// atomic counter. The executor's chunk matcher and the catalog's
+// concurrent view materialization both run on it, so pool mechanics
+// (claiming, draining, shutdown) live in exactly one place.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs `worker` on min(workers, n) goroutines and waits for all of
+// them. Each worker claims task indexes in [0, n) through next(), which
+// returns ok=false once the range is exhausted; indexes are handed out
+// in increasing order, each exactly once. Workers needing per-goroutine
+// state (the executor's per-worker matcher) set it up before their
+// claim loop. With workers <= 1 or n <= 1, worker runs inline on the
+// calling goroutine — a deterministic sequential fallback.
+func Do(n, workers int, worker func(next func() (int, bool))) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var counter int64
+	next := func() (int, bool) {
+		i := int(atomic.AddInt64(&counter, 1)) - 1
+		return i, i < n
+	}
+	if workers <= 1 {
+		worker(next)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(next)
+		}()
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0, n) on up to `workers` goroutines,
+// for tasks that need no per-worker state.
+func For(n, workers int, fn func(i int)) {
+	Do(n, workers, func(next func() (int, bool)) {
+		for {
+			i, ok := next()
+			if !ok {
+				return
+			}
+			fn(i)
+		}
+	})
+}

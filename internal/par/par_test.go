@@ -1,0 +1,55 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 100} {
+		const n = 537
+		var hits [n]int64
+		For(n, workers, func(i int) { atomic.AddInt64(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestDoEmptyAndSingle(t *testing.T) {
+	Do(0, 4, func(next func() (int, bool)) { t.Error("worker ran for n=0") })
+	ran := 0
+	Do(1, 4, func(next func() (int, bool)) {
+		for {
+			_, ok := next()
+			if !ok {
+				return
+			}
+			ran++
+		}
+	})
+	if ran != 1 {
+		t.Fatalf("ran=%d, want 1", ran)
+	}
+}
+
+func TestDoSequentialFallbackIsInline(t *testing.T) {
+	// workers=1 must run on the calling goroutine in index order.
+	var order []int
+	Do(5, 1, func(next func() (int, bool)) {
+		for {
+			i, ok := next()
+			if !ok {
+				return
+			}
+			order = append(order, i)
+		}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}

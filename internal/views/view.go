@@ -30,6 +30,14 @@ const (
 // View is a graph view: a derivation that, when materialized, produces a
 // new physical graph from a base graph (§III-C's definition following
 // Zhuge & Garcia-Molina).
+//
+// Materialize must treat the base graph as read-only and return a fresh
+// graph sharing no mutable state with other materializations — the
+// contract that lets the catalog build independent views concurrently
+// (workload.Catalog.AddAll) and the executor traverse base and view
+// graphs from many goroutines at once. Every view class in this package
+// satisfies it: vertices/edges are appended only to the new graph, and
+// property bags are shared read-only.
 type View interface {
 	// Name is a unique, stable identifier used by the catalog and as the
 	// contracted edge type for connectors.

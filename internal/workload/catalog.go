@@ -2,12 +2,14 @@ package workload
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"kaskade/internal/cost"
 	"kaskade/internal/enum"
 	"kaskade/internal/gql"
 	"kaskade/internal/graph"
+	"kaskade/internal/par"
 	"kaskade/internal/rewrite"
 	"kaskade/internal/views"
 )
@@ -79,6 +81,75 @@ func (c *Catalog) Add(cand enum.Candidate) error {
 		Props:     cost.Collect(vg),
 	}
 	c.order = append(c.order, name)
+	return nil
+}
+
+// AddAll materializes a batch of candidate views into the catalog,
+// running independent materializations concurrently on up to `workers`
+// goroutines (0 or 1 = sequential, negative = one per available CPU).
+// Each View.Materialize builds a fresh graph from the read-only base, so
+// the builds never share mutable state; catalog insertion happens on the
+// calling goroutine afterwards, in candidate order, which keeps Views()
+// order, idempotency, and first-error behavior identical to a loop of
+// Add calls.
+func (c *Catalog) AddAll(cands []enum.Candidate, workers int) error {
+	type build struct {
+		cand enum.Candidate
+		name string
+		mat  *Materialized
+		err  error
+	}
+	var builds []*build
+	seen := make(map[string]bool, len(cands))
+	for _, cand := range cands {
+		name := cand.View.Name()
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if _, dup := c.byName[name]; dup {
+			continue
+		}
+		builds = append(builds, &build{cand: cand, name: name})
+	}
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(builds) {
+		workers = len(builds)
+	}
+	materialize := func(b *build) {
+		vg, err := b.cand.View.Materialize(c.Base)
+		if err != nil {
+			b.err = err
+			return
+		}
+		b.mat = &Materialized{Candidate: b.cand, Graph: vg, Props: cost.Collect(vg)}
+	}
+	if workers <= 1 {
+		// Sequential keeps Add's early stop: nothing past the first
+		// error is materialized.
+		for _, b := range builds {
+			materialize(b)
+			if b.err != nil {
+				break
+			}
+		}
+	} else {
+		par.For(len(builds), workers, func(i int) { materialize(builds[i]) })
+	}
+	for _, b := range builds {
+		if b.err != nil {
+			return fmt.Errorf("workload: materializing %s: %w", b.name, b.err)
+		}
+		if b.mat == nil {
+			// A sequential run stopped at an earlier error before
+			// building this view; the loop returned above already.
+			break
+		}
+		c.byName[b.name] = b.mat
+		c.order = append(c.order, b.name)
+	}
 	return nil
 }
 

@@ -65,6 +65,9 @@ type Runner struct {
 	// Sample caps the number of per-source traversals for Q2-Q4 (0 =
 	// all sources). The same sample must be used for base and view runs.
 	Sample int
+	// Workers sets pattern-match parallelism for the gql-executed
+	// queries (Q5/Q6): 0 or 1 = sequential, negative = one per CPU.
+	Workers int
 }
 
 // Run executes a query and returns a scalar summary of its result (sum
@@ -147,7 +150,7 @@ func (r *Runner) pathLengths() (int64, error) {
 }
 
 func (r *Runner) count(q string) (int64, error) {
-	res, err := exec.Run(r.G, q)
+	res, err := exec.RunParallel(r.G, q, r.Workers)
 	if err != nil {
 		return 0, err
 	}

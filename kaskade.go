@@ -29,6 +29,26 @@
 // OR-Tools), synthetic dataset generators standing in for the
 // evaluation's graphs, and the full benchmark harness that regenerates
 // every table and figure of the paper.
+//
+// # Parallel execution
+//
+// Query execution and view materialization run on worker pools when
+// System.Parallelism is set (0 or 1 = sequential, N>1 = N workers,
+// negative = one per available CPU):
+//
+//	sys := kaskade.New(g)
+//	sys.Parallelism = -1 // use every CPU
+//
+// The pattern matcher partitions the binding space of a query's first
+// node across workers and merges partition results in partition order,
+// so parallel execution is deterministic: results — row order, group
+// order, even float accumulation order — are byte-identical to the
+// sequential path, which remains the semantic reference.
+// AdoptSelection materializes independent selected views concurrently,
+// preserving catalog order. Both rely on the graph engine's invariant
+// that a Graph is read-only once loaded: any number of goroutines may
+// traverse one graph, and a settled System serves concurrent Query
+// calls without locks (only catalog mutation must not overlap queries).
 package kaskade
 
 import (
