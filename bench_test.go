@@ -8,6 +8,7 @@
 package kaskade_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -311,6 +312,73 @@ func BenchmarkParallelViewMaterialization(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPreparedVsAdHoc is the prepared-query acceptance benchmark:
+// ad-hoc Query pays parse + §V-C view rewriting (schema inference,
+// candidate enumeration, cost estimation) on every call, while a
+// PreparedQuery pays them once and then only an epoch check per
+// execution. The graph is kept small so the match itself is cheap and
+// the amortized planning work dominates the gap.
+func BenchmarkPreparedVsAdHoc(b *testing.B) {
+	g := buildLineage(7, 30, 60)
+	sys := kaskade.New(g)
+	sel, err := sys.SelectViews([]string{blastRadiusQuery}, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.AdoptSelection(sel); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("adhoc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Query(blastRadiusQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		stmt, err := sys.Prepare(blastRadiusQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStreamedVsBuffered prices the Rows cursor against the
+// buffered Result on a projection query: the cursor adds one coroutine
+// hop per row but never holds the full table.
+func BenchmarkStreamedVsBuffered(b *testing.B) {
+	g := filteredProvBench(b)
+	q := gql.MustParse(`MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f`)
+	ex := &exec.Executor{G: g}
+	ctx := context.Background()
+	b.Run("buffered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.ExecuteContext(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("streamed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := ex.Stream(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for rows.Next() {
+			}
+			if err := rows.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkKnapsack60Items(b *testing.B) {

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"kaskade/internal/harness"
@@ -26,16 +28,33 @@ func main() {
 	sample := flag.Int("sample", 200, "per-source traversal sample for Fig. 7 queries")
 	seed := flag.Int64("seed", 0, "generator seed override (0 = defaults)")
 	workers := flag.Int("workers", 1, "pattern-match parallelism (1 = sequential, -1 = one per CPU); results are identical either way")
+	timeout := flag.Duration("timeout", 0, "deadline for the fig7 query-runtime experiment (0 = none); Ctrl-C aborts it cleanly (press twice to force-quit other experiments)")
 	flag.Parse()
 
+	// Only fig7 executes queries through the cancellable path today;
+	// the other experiments ignore ctx. The first Ctrl-C cancels fig7
+	// cleanly and releases the handler, so a second one force-quits.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-sigCtx.Done()
+		stop()
+	}()
+	ctx := sigCtx
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg := harness.Config{Scale: *scale, Seed: *seed, Sample: *sample, Workers: *workers}
-	if err := run(*exp, cfg); err != nil {
+	if err := run(ctx, *exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kaskade-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg harness.Config) error {
+func run(ctx context.Context, exp string, cfg harness.Config) error {
 	w := os.Stdout
 	section := func(name string, fn func() error) error {
 		start := time.Now()
@@ -100,7 +119,7 @@ func run(exp string, cfg harness.Config) error {
 	}
 	if want("fig7") {
 		if err := section("Fig. 7 (query runtimes)", func() error {
-			rows, err := harness.Fig7(cfg)
+			rows, err := harness.Fig7Context(ctx, cfg)
 			if err != nil {
 				return err
 			}

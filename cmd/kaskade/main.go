@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -40,16 +43,38 @@ func main() {
 		load    = flag.String("load", "", "load the graph from a file (written with -save) instead of generating")
 		save    = flag.String("save", "", "save the (possibly filtered) graph to a file and exit")
 		workers = flag.Int("workers", 1, "pattern-match and view-materialization parallelism (1 = sequential, -1 = one per CPU)")
+		timeout = flag.Duration("timeout", 0, "per-query deadline (0 = none); Ctrl-C also cancels a running query cleanly")
 	)
 	flag.Parse()
 
-	if err := run(*cmd, *dataset, *scale, *seed, *query, *budget, *filter, *rawRun, *load, *save, *workers); err != nil {
+	// Queries run under a signal-aware context: the first Ctrl-C
+	// cancels the in-flight pattern match (worker pool included)
+	// instead of killing the process mid-write. Phases that predate
+	// context threading (generation, selection, materialization) don't
+	// poll ctx, so once it fires the handler is released — a second
+	// Ctrl-C kills the process the ordinary way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	if err := run(ctx, *cmd, *dataset, *scale, *seed, *query, *budget, *filter, *rawRun, *load, *save, *workers, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "kaskade:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd, dataset string, scale float64, seed int64, query string, budget int64, filter, rawRun bool, load, save string, workers int) error {
+// queryCtx derives the per-query context from the session context.
+func queryCtx(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+func run(ctx context.Context, cmd, dataset string, scale float64, seed int64, query string, budget int64, filter, rawRun bool, load, save string, workers int, timeout time.Duration) error {
 	if (cmd == "help" || cmd == "") && save == "" {
 		flag.Usage()
 		return nil
@@ -163,6 +188,13 @@ func run(cmd, dataset string, scale float64, seed int64, query string, budget in
 		return nil
 
 	case "run":
+		// Prepare first: the statement is parsed once, and its plan is
+		// rewritten lazily against whatever the catalog holds at each
+		// execution (here: before and after adoption).
+		stmt, err := sys.Prepare(query)
+		if err != nil {
+			return err
+		}
 		sel, err := sys.SelectViews([]string{query}, budget)
 		if err != nil {
 			return err
@@ -177,19 +209,27 @@ func run(cmd, dataset string, scale float64, seed int64, query string, budget in
 			time.Since(start).Round(time.Millisecond),
 			sys.Catalog().TotalEdges())
 
-		start = time.Now()
-		res, plan, err := sys.QueryWithPlan(query)
+		plan, err := stmt.Plan()
 		if err != nil {
 			return err
+		}
+		qctx, cancel := queryCtx(ctx, timeout)
+		start = time.Now()
+		res, err := stmt.ExecContext(qctx)
+		cancel()
+		if err != nil {
+			return describeCancelled(err, timeout)
 		}
 		viewDur := time.Since(start)
 		fmt.Printf("with views (plan: %s): %d rows in %s\n", planName(plan.ViewName), len(res.Rows), viewDur.Round(time.Microsecond))
 
 		if rawRun {
+			qctx, cancel := queryCtx(ctx, timeout)
 			start = time.Now()
-			rawRes, err := sys.QueryRaw(query)
+			rawRes, err := stmt.ExecContext(qctx, kaskade.WithoutViews())
+			cancel()
 			if err != nil {
-				return err
+				return describeCancelled(err, timeout)
 			}
 			rawDur := time.Since(start)
 			fmt.Printf("raw:                      %d rows in %s\n", len(rawRes.Rows), rawDur.Round(time.Microsecond))
@@ -208,6 +248,17 @@ func run(cmd, dataset string, scale float64, seed int64, query string, budget in
 		return nil
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// describeCancelled turns a context error into actionable CLI output.
+func describeCancelled(err error, timeout time.Duration) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("query exceeded -timeout=%s (raise it, shrink -scale, or let views do their job)", timeout)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("query cancelled")
+	}
+	return err
 }
 
 func planName(v string) string {

@@ -1,10 +1,12 @@
 // DBLP co-authorship: heterogeneous publication network analytics over
 // an author-to-author connector view. Shows a second domain (the paper's
 // dblp-net evaluation graph) and a different query pattern: fixed
-// two-hop co-authorship contraction plus aggregation on top.
+// two-hop co-authorship contraction plus aggregation on top — consumed
+// through the streaming API (Rows cursor and its iter.Seq2 adapter).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -48,15 +50,25 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+	stmt, err := sys.Prepare(coAuthors)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	start := time.Now()
-	rawRes, err := sys.QueryRaw(coAuthors)
+	rawRes, err := stmt.ExecContext(ctx, kaskade.WithoutViews())
 	if err != nil {
 		log.Fatal(err)
 	}
 	rawDur := time.Since(start)
 
+	plan, err := stmt.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
 	start = time.Now()
-	res, plan, err := sys.QueryWithPlan(coAuthors)
+	res, err := stmt.ExecContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,8 +76,23 @@ func main() {
 
 	fmt.Printf("\ntop co-authors, raw:       %s\n", rawDur.Round(time.Microsecond))
 	fmt.Printf("top co-authors, view (%s): %s\n", plan.ViewName, viewDur.Round(time.Microsecond))
+
+	// Stream the leaderboard through the cursor's range adapter: rows
+	// arrive one at a time (identical order to the buffered result),
+	// and the loop ending closes the cursor.
+	rows, err := stmt.QueryContext(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	fmt.Print(res.String())
+	rank := 0
+	for row, err := range rows.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		rank++
+		fmt.Printf("%2d. %-24v %v co-authorships\n", rank, row[0], row[1])
+	}
 
 	// Sanity: both plans agree on the ranking.
 	if len(rawRes.Rows) != len(res.Rows) {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -79,14 +80,25 @@ func main() {
 	fmt.Printf("total incremental upkeep across %d days: %s (one rematerialization alone: %s)\n",
 		300, maintainDur.Round(time.Microsecond), rematDur.Round(time.Microsecond))
 
-	// The maintained view is a normal graph: query it directly.
+	// The maintained view is a normal graph: query it directly, here
+	// through the streaming cursor with a scan into a typed variable.
 	sys := kaskade.New(m.View())
-	res, err := sys.QueryRaw(`
+	rows, err := sys.QueryRows(context.Background(), `
 		SELECT n FROM (
 			MATCH (a:Job)-[c]->(b:Job) RETURN COUNT(c) AS n
-		)`)
+		)`, kaskade.WithoutViews())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("job-to-job dependency edges queryable on the view: %v\n", res.Rows[0][0])
+	defer rows.Close()
+	var n int64
+	for rows.Next() {
+		if err := rows.Scan(&n); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job-to-job dependency edges queryable on the view: %d\n", n)
 }

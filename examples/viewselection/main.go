@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,8 +67,20 @@ func main() {
 	}
 	fmt.Printf("materialized: %v (%d edges)\n\n", sys.Catalog().Views(), sys.Catalog().TotalEdges())
 
+	// Serve the workload as a set of prepared statements — parse and
+	// §V-C rewrite happen once per query, not once per request — with a
+	// per-request row guard as a safety net.
+	ctx := context.Background()
 	for i, q := range workload {
-		res, plan, err := sys.QueryWithPlan(q)
+		stmt, err := sys.Prepare(q, kaskade.WithMaxRows(1_000_000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := stmt.Plan()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := stmt.ExecContext(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

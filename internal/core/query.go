@@ -1,0 +1,104 @@
+// Query execution surface of a System, modeled on database/sql: ad-hoc
+// context-aware execution (QueryContext), streaming cursors
+// (QueryRows), prepared queries (Prepare, in prepared.go), and
+// per-query functional options that override the System's defaults.
+package core
+
+import (
+	"context"
+
+	"kaskade/internal/exec"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+	"kaskade/internal/workload"
+)
+
+// QueryOption tunes one query execution (or one prepared query's
+// defaults), overriding the System-level knobs.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	workers int
+	maxRows int
+	noViews bool
+}
+
+// WithWorkers sets pattern-match parallelism for this query: 0 or 1 =
+// sequential, N>1 = that many workers, negative = one per available
+// CPU. Results are identical at any setting (the parallel merge is
+// deterministic); it overrides System.Parallelism.
+func WithWorkers(n int) QueryOption {
+	return func(c *queryConfig) { c.workers = n }
+}
+
+// WithMaxRows bounds the intermediate rows this query may produce
+// before aborting with exec.ErrRowLimit (0 = unlimited). It overrides
+// System.MaxRows.
+func WithMaxRows(n int) QueryOption {
+	return func(c *queryConfig) { c.maxRows = n }
+}
+
+// WithoutViews executes against the base graph, bypassing view-based
+// rewriting — the baseline of every experiment (what QueryRaw does).
+func WithoutViews() QueryOption {
+	return func(c *queryConfig) { c.noViews = true }
+}
+
+// config resolves options over the System's defaults.
+func (s *System) config(opts []QueryOption) queryConfig {
+	cfg := queryConfig{workers: s.Parallelism, maxRows: s.MaxRows}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// executor builds the executor for one run over the plan's graph.
+func (cfg queryConfig) executor(g *graph.Graph) *exec.Executor {
+	return &exec.Executor{G: g, MaxRows: cfg.maxRows, Workers: cfg.workers}
+}
+
+// plan resolves the graph and (possibly rewritten) query to execute:
+// the base graph verbatim under WithoutViews, the catalog's cheapest
+// view-based rewriting otherwise.
+func (s *System) plan(q gql.Query, cfg queryConfig) (*workload.Plan, error) {
+	if cfg.noViews {
+		return &workload.Plan{Query: q, Graph: s.graph}, nil
+	}
+	return s.catalog.Rewrite(q)
+}
+
+// QueryContext parses src, performs view-based rewriting against the
+// materialized catalog (§V-C), and executes the best plan, honoring
+// ctx cancellation/deadline throughout execution: a pathological
+// pattern match stops soon after the caller walks away. For repeated
+// queries, Prepare amortizes the parse and rewrite.
+func (s *System) QueryContext(ctx context.Context, src string, opts ...QueryOption) (*exec.Result, error) {
+	q, err := gql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.config(opts)
+	plan, err := s.plan(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.executor(plan.Graph).ExecuteContext(ctx, plan.Query)
+}
+
+// QueryRows is QueryContext returning a streaming cursor instead of a
+// buffered table: rows arrive incrementally, byte-identical and in
+// identical order to the buffered result, and closing the cursor (or
+// cancelling ctx) aborts the match. The caller must Close the cursor.
+func (s *System) QueryRows(ctx context.Context, src string, opts ...QueryOption) (*exec.Rows, error) {
+	q, err := gql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.config(opts)
+	plan, err := s.plan(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.executor(plan.Graph).Stream(ctx, plan.Query)
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -22,10 +23,13 @@ import (
 
 // System is a Kaskade instance over one base graph.
 //
-// A System is safe for concurrent Query/QueryRaw/Explain calls once the
-// catalog is settled (graphs are read-only after load, and the catalog
-// maps are only read at query time). AdoptSelection and MaterializeView
-// mutate the catalog and must not race with queries.
+// A System is safe for concurrent use: graphs are read-only after
+// load, and the catalog guards its view set with a read/write lock, so
+// queries (Query, QueryContext, QueryRows, prepared executions) may
+// overlap each other and AdoptSelection/MaterializeView. Each catalog
+// mutation bumps the catalog epoch; prepared queries poll it and
+// transparently re-rewrite, and ad-hoc queries always rewrite against
+// the current view set.
 type System struct {
 	graph    *graph.Graph
 	analyzer *workload.Analyzer
@@ -61,10 +65,10 @@ func (s *System) Catalog() *workload.Catalog { return s.catalog }
 func (s *System) Stats() *cost.GraphProperties { return cost.Collect(s.graph) }
 
 // Query parses, performs view-based rewriting against the materialized
-// catalog (§V-C), and executes the best plan.
+// catalog (§V-C), and executes the best plan. It is QueryContext
+// without cancellation; repeated workloads should Prepare instead.
 func (s *System) Query(src string) (*exec.Result, error) {
-	res, _, err := s.QueryWithPlan(src)
-	return res, err
+	return s.QueryContext(context.Background(), src)
 }
 
 // QueryWithPlan is Query, also returning the chosen plan for inspection.
@@ -73,24 +77,20 @@ func (s *System) QueryWithPlan(src string) (*exec.Result, *workload.Plan, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	plan, err := s.catalog.Rewrite(q)
+	cfg := s.config(nil)
+	plan, err := s.plan(q, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	ex := &exec.Executor{G: plan.Graph, MaxRows: s.MaxRows, Workers: s.Parallelism}
-	res, err := ex.Execute(plan.Query)
+	res, err := cfg.executor(plan.Graph).Execute(plan.Query)
 	return res, plan, err
 }
 
 // QueryRaw executes the query against the base graph, bypassing views
-// (the baseline of every experiment).
+// (the baseline of every experiment). It is shorthand for
+// QueryContext with the WithoutViews option.
 func (s *System) QueryRaw(src string) (*exec.Result, error) {
-	q, err := gql.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	ex := &exec.Executor{G: s.graph, MaxRows: s.MaxRows, Workers: s.Parallelism}
-	return ex.Execute(q)
+	return s.QueryContext(context.Background(), src, WithoutViews())
 }
 
 // EnumerateViews runs constraint-based view enumeration (§IV) for one
@@ -124,8 +124,10 @@ func (s *System) SelectViews(workloadQueries []string, budgetEdges int64) (*work
 
 // AdoptSelection materializes every chosen view of a selection into the
 // catalog. Independent views are built concurrently when Parallelism
-// allows (each materialization derives a fresh graph from the read-only
-// base); catalog order matches the selection order regardless.
+// allows, with leftover worker budget fanned out inside each
+// connector's own per-source path search; catalog order matches the
+// selection order regardless. Adoption bumps the catalog epoch, so
+// prepared queries pick up the new views on their next execution.
 func (s *System) AdoptSelection(sel *workload.Selection) error {
 	cands := make([]enum.Candidate, len(sel.Chosen))
 	for i, ev := range sel.Chosen {
@@ -136,9 +138,10 @@ func (s *System) AdoptSelection(sel *workload.Selection) error {
 
 // MaterializeView materializes a single view directly (manual view
 // management; anchors default to empty so only summarizer redirection
-// or name-matched connector rewriting applies).
+// or name-matched connector rewriting applies). The build fans out over
+// Parallelism workers when the view class supports it.
 func (s *System) MaterializeView(v views.View) error {
-	return s.catalog.Add(enum.Candidate{View: v})
+	return s.catalog.AddAll([]enum.Candidate{{View: v}}, s.Parallelism)
 }
 
 // Explain describes the plan Kaskade would choose for a query.

@@ -6,7 +6,7 @@ import (
 	"kaskade/internal/gql"
 )
 
-func mustParse(t *testing.T, src string) gql.Query {
+func mustParse(t testing.TB, src string) gql.Query {
 	t.Helper()
 	q, err := gql.Parse(src)
 	if err != nil {

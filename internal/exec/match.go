@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"kaskade/internal/gql"
@@ -17,6 +18,29 @@ type matcher struct {
 	usedEdge map[graph.EdgeID]bool // edge-uniqueness set
 	where    gql.Expr              // optional row filter
 	yield    func() error          // called once per full match
+	ctx      context.Context       // optional cancellation (nil = never)
+	steps    int                   // tick counter amortizing ctx polls
+}
+
+// tickEvery is how many traversal steps pass between context polls: a
+// power of two so the check compiles to a mask, small enough that even a
+// match that never yields (everything filtered by WHERE, or a huge
+// search space per candidate) notices cancellation promptly.
+const tickEvery = 256
+
+// tick is called on every traversal step (candidate binding, edge
+// probe). It polls the matcher's context once every tickEvery steps and
+// returns the context's error once cancelled, which aborts the
+// backtracking search the same way any evaluation error would.
+func (m *matcher) tick() error {
+	if m.ctx == nil {
+		return nil
+	}
+	m.steps++
+	if m.steps&(tickEvery-1) != 0 {
+		return nil
+	}
+	return m.ctx.Err()
 }
 
 // matchPatterns enumerates all matches of the given patterns and calls
@@ -85,6 +109,9 @@ func (m *matcher) bindNode(n gql.NodePattern, cont func(graph.VertexID) error) e
 		}
 	}
 	try := func(id graph.VertexID) error {
+		if err := m.tick(); err != nil {
+			return err
+		}
 		if n.Var == "" {
 			return cont(id)
 		}
@@ -140,6 +167,9 @@ func (m *matcher) matchSingleEdge(from graph.VertexID, e gql.EdgePattern, toPat 
 		edges = m.g.In(from)
 	}
 	for _, eid := range edges {
+		if err := m.tick(); err != nil {
+			return err
+		}
 		if m.usedEdge[eid] {
 			continue
 		}
@@ -213,6 +243,9 @@ func (m *matcher) matchVarLength(from graph.VertexID, e gql.EdgePattern, toPat g
 			edges = m.g.In(at)
 		}
 		for _, eid := range edges {
+			if err := m.tick(); err != nil {
+				return err
+			}
 			if m.usedEdge[eid] {
 				continue
 			}

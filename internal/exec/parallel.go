@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"iter"
 	"runtime"
 
 	"kaskade/internal/gql"
@@ -16,6 +18,14 @@ import (
 // order, so the result rows, aggregation group order, and row-limit
 // behavior are identical to the sequential path: workers=N is a pure
 // speedup, never a semantic change.
+//
+// The merge is a stream: chunk 0's rows are yielded as soon as chunk 0
+// completes, while later chunks are still being matched, so a streaming
+// consumer sees first rows before the full binding space is explored.
+// Cancellation flows through three layers — the pool stops handing out
+// chunks (par.DoContext), each in-flight matcher polls the context
+// between traversal steps, and the merge loop itself selects on the
+// context while waiting for a partition.
 //
 // Correctness rests on two facts: (1) subtrees of the backtracking
 // search rooted at different first-node bindings never share mutable
@@ -72,14 +82,15 @@ func firstNodeCandidates(g *graph.Graph, patterns []gql.PathPattern) ([]graph.Ve
 	return ids, true
 }
 
-// runMatchParallel is runMatch with the first-node binding space fanned
-// out across `workers` goroutines. It returns ok=false when the query
-// shape or candidate count does not benefit from partitioning, in which
-// case the caller falls through to the sequential path.
-func (ex *Executor) runMatchParallel(q *gql.MatchQuery, workers int) (*Result, bool, error) {
+// streamMatchParallel is streamMatchSeq with the first-node binding
+// space fanned out across `workers` goroutines. It returns ok=false
+// when the query shape or candidate count does not benefit from
+// partitioning, in which case the caller falls through to the
+// sequential path.
+func (ex *Executor) streamMatchParallel(ctx context.Context, q *gql.MatchQuery, workers int) ([]string, iter.Seq2[Row, error], bool) {
 	cands, ok := firstNodeCandidates(ex.G, q.Patterns)
 	if !ok || len(cands) < 2 {
-		return nil, false, nil
+		return nil, nil, false
 	}
 	if workers > len(cands) {
 		workers = len(cands)
@@ -87,43 +98,136 @@ func (ex *Executor) runMatchParallel(q *gql.MatchQuery, workers int) (*Result, b
 
 	// Contiguous chunks in candidate order; concatenating chunk results
 	// in chunk-index order reproduces the sequential enumeration.
-	chunkSize := (len(cands) + workers*chunkTarget - 1) / (workers * chunkTarget)
-	if chunkSize < 1 {
-		chunkSize = 1
-	}
-	numChunks := (len(cands) + chunkSize - 1) / chunkSize
-	chunks := make([]matchChunk, numChunks)
+	chunkSize, numChunks := par.Chunks(len(cands), workers, chunkTarget)
 
-	agg := newAggregator(q.Return, nil)
-	firstNode := q.Patterns[0].Nodes[0]
+	cols := returnCols(q.Return)
+	body := func(yield func(Row, error) bool) {
+		// wctx scopes the workers to this consumption: when the
+		// consumer stops early (Rows.Close, broken range loop), the
+		// deferred cancel reels the pool back in before the stream
+		// returns, so no goroutine outlives the query.
+		wctx, cancel := context.WithCancel(ctx)
+		defer cancel()
 
-	par.Do(numChunks, workers, func(next func() (int, bool)) {
-		// One matcher per worker: bindings and usedEdge drain back to
-		// empty between candidates, so the maps are reusable across
-		// chunks without cross-talk.
-		m := &matcher{
-			g:        ex.G,
-			bindings: make(map[string]Value),
-			usedEdge: make(map[graph.EdgeID]bool),
-			where:    q.Where,
+		chunks := make([]matchChunk, numChunks)
+		agg := newAggregator(q.Return, nil)
+		firstNode := q.Patterns[0].Nodes[0]
+
+		// done[ci] closes when chunk ci is fully matched; the merge
+		// loop rendezvouses on it in partition order.
+		done := make([]chan struct{}, numChunks)
+		for i := range done {
+			done[i] = make(chan struct{})
 		}
-		for {
-			ci, ok := next()
-			if !ok {
+		poolDone := make(chan struct{})
+		go func() {
+			defer close(poolDone)
+			par.DoContext(wctx, numChunks, workers, func(next func() (int, bool)) {
+				// One matcher per worker: bindings and usedEdge drain
+				// back to empty between candidates, so the maps are
+				// reusable across chunks without cross-talk.
+				m := &matcher{
+					g:        ex.G,
+					bindings: make(map[string]Value),
+					usedEdge: make(map[graph.EdgeID]bool),
+					where:    q.Where,
+					ctx:      wctx,
+				}
+				for {
+					ci, ok := next()
+					if !ok {
+						return
+					}
+					ch := &chunks[ci]
+					lo := ci * chunkSize
+					hi := lo + chunkSize
+					if hi > len(cands) {
+						hi = len(cands)
+					}
+					ch.err = ex.matchChunkRange(m, q, agg, cands[lo:hi], firstNode, ch)
+					close(done[ci])
+				}
+			})
+		}()
+		defer func() { cancel(); <-poolDone }()
+
+		// Merge: replay the chunks in partition order, reproducing the
+		// sequential path's row order, aggregation feed order,
+		// row-limit check, and first-error position.
+		rows := 0
+		for ci := range numChunks {
+			select {
+			case <-done[ci]:
+			case <-wctx.Done():
+				// Cancelled while a partition was still matching (the
+				// pool may never claim it once the context is done).
+				yield(nil, wctx.Err())
 				return
 			}
 			ch := &chunks[ci]
-			lo := ci * chunkSize
-			hi := lo + chunkSize
-			if hi > len(cands) {
-				hi = len(cands)
+			recorded := len(ch.rows)
+			if agg != nil {
+				recorded = len(ch.aggs)
 			}
-			ch.err = ex.matchChunkRange(m, q, agg, cands[lo:hi], firstNode, ch)
+			// Replay yield *events*, not just recorded entries: the
+			// global row count and limit check advance at the position
+			// the sequential path would check them — before evaluation
+			// — so a yield whose evaluation errored (yields ==
+			// recorded+1) first passes through the same limit gate.
+			for i := 0; i < ch.yields; i++ {
+				rows++
+				if ex.MaxRows > 0 && rows > ex.MaxRows {
+					yield(nil, ErrRowLimit)
+					return
+				}
+				if i >= recorded {
+					// This yield event produced no entry: its
+					// evaluation errored in the worker. The sequential
+					// path fails with that error at exactly this row.
+					yield(nil, ch.err)
+					return
+				}
+				if agg == nil {
+					if !yield(ch.rows[i], nil) {
+						return
+					}
+					continue
+				}
+				y := ch.aggs[i]
+				env := y.env
+				// A group is only ever opened at the global first
+				// occurrence of its key, which is also the first local
+				// occurrence within its chunk — the one yield that
+				// carries the bindings copy.
+				if err := agg.feedPrepared(y.p, func() map[string]Value { return env }); err != nil {
+					yield(nil, err)
+					return
+				}
+			}
+			if ch.err != nil {
+				// An error outside a yield (WHERE evaluation, malformed
+				// pattern, cancellation) aborted the chunk after its
+				// recorded yields; errPartitionLimit cannot reach here
+				// — its chunk carries MaxRows+1 yield events, so the
+				// limit gate above tripped.
+				yield(nil, ch.err)
+				return
+			}
 		}
-	})
-
-	res, err := ex.mergeChunks(q, agg, chunks)
-	return res, true, err
+		if agg != nil {
+			out, err := agg.finish()
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			for _, row := range out {
+				if !yield(row, nil) {
+					return
+				}
+			}
+		}
+	}
+	return cols, body, true
 }
 
 // errPartitionLimit aborts a worker whose local yield count alone
@@ -184,6 +288,9 @@ func (ex *Executor) matchChunkRange(m *matcher, q *gql.MatchQuery, agg *aggregat
 		return nil
 	}
 	for _, id := range cands {
+		if err := m.tick(); err != nil {
+			return err
+		}
 		if firstNode.Var != "" {
 			m.bindings[firstNode.Var] = VertexRef{G: m.g, ID: id}
 		}
@@ -196,70 +303,6 @@ func (ex *Executor) matchChunkRange(m *matcher, q *gql.MatchQuery, agg *aggregat
 		}
 	}
 	return nil
-}
-
-// mergeChunks replays the chunks in partition order, reproducing the
-// sequential path's row order, aggregation feed order, row-limit check,
-// and first-error position.
-func (ex *Executor) mergeChunks(q *gql.MatchQuery, agg *aggregator, chunks []matchChunk) (*Result, error) {
-	cols := make([]string, len(q.Return))
-	for i, item := range q.Return {
-		cols[i] = item.Name()
-	}
-	out := &Result{Cols: cols}
-	rows := 0
-	for ci := range chunks {
-		ch := &chunks[ci]
-		recorded := len(ch.rows)
-		if agg != nil {
-			recorded = len(ch.aggs)
-		}
-		// Replay yield *events*, not just recorded entries: the global
-		// row count and limit check advance at the position the
-		// sequential path would check them — before evaluation — so a
-		// yield whose evaluation errored (yields == recorded+1) first
-		// passes through the same limit gate.
-		for i := 0; i < ch.yields; i++ {
-			rows++
-			if ex.MaxRows > 0 && rows > ex.MaxRows {
-				return nil, ErrRowLimit
-			}
-			if i >= recorded {
-				// This yield event produced no entry: its evaluation
-				// errored in the worker. The sequential path fails with
-				// that error at exactly this row.
-				return nil, ch.err
-			}
-			if agg == nil {
-				out.Rows = append(out.Rows, ch.rows[i])
-				continue
-			}
-			y := ch.aggs[i]
-			env := y.env
-			// A group is only ever opened at the global first
-			// occurrence of its key, which is also the first local
-			// occurrence within its chunk — the one yield that
-			// carries the bindings copy.
-			if err := agg.feedPrepared(y.p, func() map[string]Value { return env }); err != nil {
-				return nil, err
-			}
-		}
-		if ch.err != nil {
-			// An error outside a yield (WHERE evaluation, malformed
-			// pattern) aborted the chunk after its recorded yields;
-			// errPartitionLimit cannot reach here — its chunk carries
-			// MaxRows+1 yield events, so the limit gate above tripped.
-			return nil, ch.err
-		}
-	}
-	if agg != nil {
-		var err error
-		out.Rows, err = agg.finish()
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
 }
 
 // effectiveWorkers resolves the Workers knob: 0 and 1 mean sequential,

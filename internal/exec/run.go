@@ -1,7 +1,10 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"iter"
 	"sort"
 
 	"kaskade/internal/gql"
@@ -21,6 +24,13 @@ import (
 // so results are identical to the sequential path row for row (see
 // parallel.go). The graph must not be mutated during execution — after
 // load, a graph.Graph is read-only and safe for concurrent traversal.
+//
+// Execution comes in two forms built on one streaming core:
+// ExecuteContext buffers every row into a Result; Stream returns a Rows
+// cursor that yields rows incrementally, in exactly the order the
+// buffered path would produce them. Both observe context cancellation:
+// the matcher polls the context between traversal steps, so a
+// pathological pattern match stops soon after the caller walks away.
 type Executor struct {
 	G       *graph.Graph
 	MaxRows int
@@ -30,6 +40,11 @@ type Executor struct {
 // ErrRowLimit is returned when a query exceeds the executor's MaxRows.
 var ErrRowLimit = fmt.Errorf("exec: row limit exceeded")
 
+// errStreamStop aborts the matcher when a streaming consumer stops
+// early (Rows.Close, or breaking out of an iter.Seq2 loop). It never
+// escapes the streaming core.
+var errStreamStop = errors.New("exec: stream consumer stopped")
+
 // Run executes a query string against g on the sequential matcher.
 func Run(g *graph.Graph, src string) (*Result, error) {
 	return RunParallel(g, src, 1)
@@ -38,91 +53,183 @@ func Run(g *graph.Graph, src string) (*Result, error) {
 // RunParallel executes a query string against g with the given
 // match-parallelism (see Executor.Workers for the knob's semantics).
 func RunParallel(g *graph.Graph, src string, workers int) (*Result, error) {
+	return RunParallelContext(context.Background(), g, src, workers)
+}
+
+// RunParallelContext is RunParallel with cancellation.
+func RunParallelContext(ctx context.Context, g *graph.Graph, src string, workers int) (*Result, error) {
 	q, err := gql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return (&Executor{G: g, Workers: workers}).Execute(q)
+	return (&Executor{G: g, Workers: workers}).ExecuteContext(ctx, q)
 }
 
-// Execute evaluates a parsed query.
+// Execute evaluates a parsed query into a buffered Result.
 func (ex *Executor) Execute(q gql.Query) (*Result, error) {
-	switch q := q.(type) {
-	case *gql.MatchQuery:
-		return ex.runMatch(q)
-	case *gql.SelectQuery:
-		return ex.runSelect(q)
-	}
-	return nil, fmt.Errorf("exec: unsupported query type %T", q)
+	return ex.ExecuteContext(context.Background(), q)
 }
 
-// runMatch enumerates pattern matches and projects the RETURN items,
-// with Cypher-style implicit grouping when aggregates appear. With
-// Workers > 1 the enumeration is partitioned across a worker pool; the
-// sequential path below remains the semantic reference.
-func (ex *Executor) runMatch(q *gql.MatchQuery) (*Result, error) {
-	if w := ex.effectiveWorkers(); w > 1 {
-		if res, ok, err := ex.runMatchParallel(q, w); ok {
-			return res, err
-		}
+// ExecuteContext is Execute with cancellation: it drains the streaming
+// core into a Result, returning ctx.Err() if the context is cancelled
+// mid-query. A nil ctx means no cancellation.
+func (ex *Executor) ExecuteContext(ctx context.Context, q gql.Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	cols := make([]string, len(q.Return))
-	for i, item := range q.Return {
-		cols[i] = item.Name()
-	}
-	agg := newAggregator(q.Return, nil)
-
-	rows := 0
-	m := &matcher{
-		g:        ex.G,
-		bindings: make(map[string]Value),
-		usedEdge: make(map[graph.EdgeID]bool),
-		where:    q.Where,
-	}
-	out := &Result{Cols: cols}
-	m.yield = func() error {
-		rows++
-		if ex.MaxRows > 0 && rows > ex.MaxRows {
-			return ErrRowLimit
-		}
-		if agg != nil {
-			return agg.feed(m.bindings)
-		}
-		row := make(Row, len(q.Return))
-		for i, item := range q.Return {
-			v, err := evalExpr(item.Expr, m.bindings)
-			if err != nil {
-				return err
-			}
-			row[i] = v
-		}
-		out.Rows = append(out.Rows, row)
-		return nil
-	}
-	if err := m.matchPatterns(q.Patterns); err != nil {
+	cols, body, err := ex.stream(ctx, q)
+	if err != nil {
 		return nil, err
 	}
-	if agg != nil {
-		var err error
-		out.Rows, err = agg.finish()
+	out := &Result{Cols: cols}
+	for row, err := range body {
 		if err != nil {
 			return nil, err
 		}
+		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
 }
 
-// runSelect evaluates the subquery, then filter/group/order/limit.
-func (ex *Executor) runSelect(q *gql.SelectQuery) (*Result, error) {
-	sub, err := ex.Execute(q.From)
+// Stream evaluates a parsed query into a Rows cursor that yields rows
+// incrementally — byte-identical, in identical order, to what
+// ExecuteContext would buffer. The caller must Close the cursor.
+// Closing early (or cancelling ctx) aborts the underlying match,
+// including its worker pool when Workers > 1.
+func (ex *Executor) Stream(ctx context.Context, q gql.Query) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The cursor owns a derived context so Close can abort a match that
+	// is blocked deep in traversal (or waiting on parallel partitions)
+	// even when the caller's ctx stays live.
+	ictx, cancel := context.WithCancel(ctx)
+	cols, body, err := ex.stream(ictx, q)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return newRows(cols, body, cancel), nil
+}
+
+// stream is the single execution core: it resolves a query to its
+// column names and a one-shot row sequence. The sequence yields
+// (row, nil) per result row and terminates after at most one
+// (nil, err). Both Execute and Stream consume it.
+func (ex *Executor) stream(ctx context.Context, q gql.Query) ([]string, iter.Seq2[Row, error], error) {
+	switch q := q.(type) {
+	case *gql.MatchQuery:
+		if w := ex.effectiveWorkers(); w > 1 {
+			if cols, body, ok := ex.streamMatchParallel(ctx, q, w); ok {
+				return cols, body, nil
+			}
+		}
+		return ex.streamMatchSeq(ctx, q)
+	case *gql.SelectQuery:
+		return ex.streamSelect(ctx, q)
+	}
+	return nil, nil, fmt.Errorf("exec: unsupported query type %T", q)
+}
+
+// returnCols names the output columns of a RETURN/SELECT item list.
+func returnCols(items []gql.ReturnItem) []string {
+	cols := make([]string, len(items))
+	for i, item := range items {
+		cols[i] = item.Name()
+	}
+	return cols
+}
+
+// streamMatchSeq enumerates pattern matches on the sequential matcher
+// and streams the projected rows, with Cypher-style implicit grouping
+// when aggregates appear (aggregation is blocking: grouped rows stream
+// only after the match completes). This is the semantic reference the
+// parallel path reproduces.
+func (ex *Executor) streamMatchSeq(ctx context.Context, q *gql.MatchQuery) ([]string, iter.Seq2[Row, error], error) {
+	cols := returnCols(q.Return)
+	body := func(yield func(Row, error) bool) {
+		agg := newAggregator(q.Return, nil)
+		m := &matcher{
+			g:        ex.G,
+			bindings: make(map[string]Value),
+			usedEdge: make(map[graph.EdgeID]bool),
+			where:    q.Where,
+			ctx:      ctx,
+		}
+		rows := 0
+		m.yield = func() error {
+			rows++
+			if ex.MaxRows > 0 && rows > ex.MaxRows {
+				return ErrRowLimit
+			}
+			if agg != nil {
+				return agg.feed(m.bindings)
+			}
+			row := make(Row, len(q.Return))
+			for i, item := range q.Return {
+				v, err := evalExpr(item.Expr, m.bindings)
+				if err != nil {
+					return err
+				}
+				row[i] = v
+			}
+			if !yield(row, nil) {
+				return errStreamStop
+			}
+			return nil
+		}
+		if err := m.matchPatterns(q.Patterns); err != nil {
+			if err != errStreamStop {
+				yield(nil, err)
+			}
+			return
+		}
+		if agg != nil {
+			out, err := agg.finish()
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			for _, row := range out {
+				if !yield(row, nil) {
+					return
+				}
+			}
+		}
+	}
+	return cols, body, nil
+}
+
+// streamSelect evaluates the subquery, then filter/group/order/limit.
+// The relational tail is evaluated in full before the first row is
+// yielded — ORDER BY and grouping are blocking operators anyway — but
+// the subquery itself runs through the cancellable core, so a SELECT
+// over a runaway MATCH still stops when the context does.
+func (ex *Executor) streamSelect(ctx context.Context, q *gql.SelectQuery) ([]string, iter.Seq2[Row, error], error) {
+	cols := returnCols(q.Items)
+	body := func(yield func(Row, error) bool) {
+		out, err := ex.evalSelect(ctx, q)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for _, row := range out.Rows {
+			if !yield(row, nil) {
+				return
+			}
+		}
+	}
+	return cols, body, nil
+}
+
+// evalSelect is the buffered relational tail shared by both execution
+// forms.
+func (ex *Executor) evalSelect(ctx context.Context, q *gql.SelectQuery) (*Result, error) {
+	sub, err := ex.ExecuteContext(ctx, q.From)
 	if err != nil {
 		return nil, err
 	}
-	cols := make([]string, len(q.Items))
-	for i, item := range q.Items {
-		cols[i] = item.Name()
-	}
-	out := &Result{Cols: cols}
+	out := &Result{Cols: returnCols(q.Items)}
 
 	agg := newAggregator(q.Items, q.GroupBy)
 	env := make(map[string]Value, len(sub.Cols))
@@ -173,7 +280,6 @@ func (ex *Executor) runSelect(q *gql.SelectQuery) (*Result, error) {
 }
 
 func orderRows(r *Result, order []gql.OrderItem) error {
-	var evalErr error
 	envFor := func(row Row) map[string]Value {
 		env := make(map[string]Value, len(r.Cols))
 		for i, c := range r.Cols {
@@ -202,7 +308,7 @@ func orderRows(r *Result, order []gql.OrderItem) error {
 		for oi, o := range order {
 			c, ok := compareValues(keys[idx[a]][oi], keys[idx[b]][oi])
 			if !ok {
-				continue
+				continue // incomparable keys tie; later keys break it
 			}
 			if c != 0 {
 				if o.Desc {
@@ -218,5 +324,5 @@ func orderRows(r *Result, order []gql.OrderItem) error {
 		sorted[i] = r.Rows[j]
 	}
 	r.Rows = sorted
-	return evalErr
+	return nil
 }

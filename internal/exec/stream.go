@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+)
+
+// Rows is a streaming query result cursor, modeled on database/sql:
+//
+//	rows, err := ex.Stream(ctx, q)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		var name string
+//		var n int64
+//		if err := rows.Scan(&name, &n); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Rows yields exactly the rows, in exactly the order, that the buffered
+// Execute path would return — streaming is a memory/latency win, never
+// a semantic change. Closing the cursor (or cancelling the context
+// passed to Stream) aborts the underlying pattern match, including its
+// worker pool when the executor runs parallel.
+//
+// A Rows is single-consumer: Next/Scan/Err/Close must stay on one
+// goroutine.
+type Rows struct {
+	cols   []string
+	next   func() (Row, error, bool)
+	stop   func()
+	cancel func()
+	row    Row
+	err    error
+	done   bool
+}
+
+// newRows adapts the streaming core's row sequence into a pull cursor.
+// cancel aborts the producer (it is the Stream-level context cancel);
+// it must be safe to call more than once.
+func newRows(cols []string, body iter.Seq2[Row, error], cancel func()) *Rows {
+	next, stop := iter.Pull2(body)
+	return &Rows{cols: cols, next: next, stop: stop, cancel: cancel}
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next row, returning false when the rows are
+// exhausted, an error occurred (see Err), or the cursor is closed.
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	row, err, ok := r.next()
+	if !ok {
+		r.finish(nil)
+		return false
+	}
+	if err != nil {
+		r.finish(err)
+		return false
+	}
+	r.row = row
+	return true
+}
+
+// Row returns the current row (valid until the next call to Next). Most
+// callers want Scan; Row is the zero-copy escape hatch.
+func (r *Rows) Row() Row { return r.row }
+
+// Scan copies the current row's columns into dest, which must hold one
+// pointer per column: *int64 (or *int), *float64, *string, *bool,
+// *VertexRef, *EdgeRef, *PathRef, or *Value / *any for any column type.
+// *float64 additionally accepts integer values.
+func (r *Rows) Scan(dest ...any) error {
+	if r.row == nil {
+		return errors.New("exec: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.row) {
+		return fmt.Errorf("exec: Scan expects %d destinations, got %d", len(r.row), len(dest))
+	}
+	for i, d := range dest {
+		if err := assignValue(d, r.row[i]); err != nil {
+			return fmt.Errorf("exec: Scan column %d (%s): %w", i, r.cols[i], err)
+		}
+	}
+	return nil
+}
+
+// Err returns the error, if any, that ended iteration. It is valid
+// after Next returns false (and after Close).
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor, aborting the underlying match if it is
+// still running. Close is idempotent and always safe to defer; it
+// returns Err() so `return rows.Close()` propagates a mid-stream
+// failure.
+func (r *Rows) Close() error {
+	if !r.done {
+		// Unblock a producer that is mid-traversal (or waiting on
+		// parallel partitions) before stopping the pull coroutine —
+		// stop blocks until the producer returns.
+		r.cancel()
+		r.finish(nil)
+	}
+	return r.err
+}
+
+// finish tears the cursor down exactly once, recording err.
+func (r *Rows) finish(err error) {
+	r.done = true
+	r.err = err
+	r.row = nil
+	r.cancel()
+	r.stop()
+}
+
+// All returns the remaining rows as a Go 1.23 range-over-func sequence:
+//
+//	for row, err := range rows.All() {
+//		if err != nil { ... }
+//		...
+//	}
+//
+// The sequence closes the cursor when the loop ends, including on early
+// break, so `for ... range rows.All()` needs no separate Close.
+func (r *Rows) All() iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		defer r.Close()
+		for r.Next() {
+			if !yield(r.row, nil) {
+				return
+			}
+		}
+		if r.err != nil {
+			yield(nil, r.err)
+		}
+	}
+}
+
+// Result drains the remaining rows into a buffered Result and closes
+// the cursor — the convenience bridge from the streaming API back to
+// the table one.
+func (r *Rows) Result() (*Result, error) {
+	defer r.Close()
+	out := &Result{Cols: r.Columns()}
+	for r.Next() {
+		out.Rows = append(out.Rows, r.row)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return out, nil
+}
+
+// assignValue stores v into the destination pointer d. *Value and *any
+// are distinct pointer types (Value is a defined type), so both get a
+// case.
+func assignValue(d any, v Value) error {
+	switch d := d.(type) {
+	case *Value:
+		*d = v
+		return nil
+	case *any:
+		*d = v
+		return nil
+	case *int64:
+		if i, ok := v.(int64); ok {
+			*d = i
+			return nil
+		}
+	case *int:
+		if i, ok := v.(int64); ok {
+			*d = int(i)
+			return nil
+		}
+	case *float64:
+		switch v := v.(type) {
+		case float64:
+			*d = v
+			return nil
+		case int64:
+			*d = float64(v)
+			return nil
+		}
+	case *string:
+		if s, ok := v.(string); ok {
+			*d = s
+			return nil
+		}
+	case *bool:
+		if b, ok := v.(bool); ok {
+			*d = b
+			return nil
+		}
+	case *VertexRef:
+		if r, ok := v.(VertexRef); ok {
+			*d = r
+			return nil
+		}
+	case *EdgeRef:
+		if r, ok := v.(EdgeRef); ok {
+			*d = r
+			return nil
+		}
+	case *PathRef:
+		if r, ok := v.(PathRef); ok {
+			*d = r
+			return nil
+		}
+	default:
+		return fmt.Errorf("unsupported destination type %T", d)
+	}
+	return fmt.Errorf("cannot scan %T into %T", v, d)
+}

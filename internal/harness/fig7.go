@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -45,6 +46,13 @@ type fig7Scenario struct {
 // for all four datasets (§VII-F). Q1 runs only on prov (its blast-radius
 // semantics needs job CPU properties), matching the paper's figure.
 func Fig7(cfg Config) ([]Fig7Row, error) {
+	return Fig7Context(context.Background(), cfg)
+}
+
+// Fig7Context is Fig7 with cancellation: the experiment's timed queries
+// observe ctx, so an over-scaled sweep can be abandoned (kaskade-bench
+// wires Ctrl-C and -timeout here).
+func Fig7Context(ctx context.Context, cfg Config) ([]Fig7Row, error) {
 	all := []workload.QueryID{
 		workload.Q2Ancestors, workload.Q3Descendants, workload.Q4PathLengths,
 		workload.Q5EdgeCount, workload.Q6VertexCount,
@@ -85,7 +93,7 @@ func Fig7(cfg Config) ([]Fig7Row, error) {
 		connRun := workload.ConnectorRunner(conn, sc.sourceType, 2, sample)
 		baseRun.Workers, connRun.Workers = cfg.Workers, cfg.Workers
 		for _, q := range sc.queries {
-			row, err := timeQuery(sc.name, q, baseRun, connRun)
+			row, err := timeQuery(ctx, sc.name, q, baseRun, connRun)
 			if err != nil {
 				return nil, fmt.Errorf("harness: fig7 %s %s: %w", sc.name, q, err)
 			}
@@ -95,16 +103,16 @@ func Fig7(cfg Config) ([]Fig7Row, error) {
 	return rows, nil
 }
 
-func timeQuery(dataset string, q workload.QueryID, base, conn *workload.Runner) (Fig7Row, error) {
+func timeQuery(ctx context.Context, dataset string, q workload.QueryID, base, conn *workload.Runner) (Fig7Row, error) {
 	start := time.Now()
-	bres, err := base.Run(q)
+	bres, err := base.RunContext(ctx, q)
 	if err != nil {
 		return Fig7Row{}, err
 	}
 	bdur := time.Since(start)
 
 	start = time.Now()
-	cres, err := conn.Run(q)
+	cres, err := conn.RunContext(ctx, q)
 	if err != nil {
 		return Fig7Row{}, err
 	}

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -18,6 +19,17 @@ import (
 // claim loop. With workers <= 1 or n <= 1, worker runs inline on the
 // calling goroutine — a deterministic sequential fallback.
 func Do(n, workers int, worker func(next func() (int, bool))) {
+	DoContext(nil, n, workers, worker)
+}
+
+// DoContext is Do with cooperative cancellation: once ctx is done,
+// next() stops handing out task indexes and reports ok=false, so
+// workers drain without claiming further work. Tasks already claimed
+// run to completion — aborting within a task is the task's own
+// business (the executor's matcher polls the same context). Callers
+// that rendezvous on per-task completion must therefore select on ctx
+// as well, since unclaimed tasks never complete.
+func DoContext(ctx context.Context, n, workers int, worker func(next func() (int, bool))) {
 	if n <= 0 {
 		return
 	}
@@ -26,6 +38,9 @@ func Do(n, workers int, worker func(next func() (int, bool))) {
 	}
 	var counter int64
 	next := func() (int, bool) {
+		if ctx != nil && ctx.Err() != nil {
+			return n, false
+		}
 		i := int(atomic.AddInt64(&counter, 1)) - 1
 		return i, i < n
 	}
@@ -42,6 +57,20 @@ func Do(n, workers int, worker func(next func() (int, bool))) {
 		}()
 	}
 	wg.Wait()
+}
+
+// Chunks partitions n items into contiguous chunks for a pool of
+// `workers`, over-decomposed to `target` chunks per worker so fast
+// workers steal the tail when work is skewed. It returns the chunk
+// size and count; chunk i covers [i*size, min((i+1)*size, n)). Both
+// the executor's parallel matcher and the connectors' parallel
+// materialization partition with it, so the tuning lives once.
+func Chunks(n, workers, target int) (size, count int) {
+	size = (n + workers*target - 1) / (workers * target)
+	if size < 1 {
+		size = 1
+	}
+	return size, (n + size - 1) / size
 }
 
 // For runs fn(i) for every i in [0, n) on up to `workers` goroutines,

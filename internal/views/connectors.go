@@ -2,8 +2,10 @@ package views
 
 import (
 	"fmt"
+	"runtime"
 
 	"kaskade/internal/graph"
+	"kaskade/internal/par"
 )
 
 // KHopConnector contracts every k-length (edge-unique) path between a
@@ -23,6 +25,7 @@ type KHopConnector struct {
 }
 
 var _ EstimatableView = KHopConnector{}
+var _ ParallelView = KHopConnector{}
 
 // Name returns the connector's identifier, which doubles as the
 // contracted edge's type, e.g. CONN_2HOP_Job_Job.
@@ -60,6 +63,29 @@ func (c KHopConnector) Cypher() string {
 // contracted edge aggregates path properties: ts = max constituent ts
 // (so per-path max-timestamp queries keep working), hops = k.
 func (c KHopConnector) Materialize(g *graph.Graph) (*graph.Graph, error) {
+	return c.MaterializeParallel(g, 1)
+}
+
+// sourceChunkTarget is the number of source chunks created per worker
+// during parallel materialization: enough over-decomposition that fast
+// workers steal the tail when hub sources concentrate the path count.
+const sourceChunkTarget = 16
+
+// connEdge is one contracted edge found by the per-source path search,
+// already in view-graph coordinates, buffered until the ordered merge.
+type connEdge struct {
+	from, to graph.VertexID
+	ts       int64
+}
+
+// MaterializeParallel is Materialize with the per-source DFS fan-out
+// spread over up to `workers` goroutines (0 or 1 = sequential,
+// negative = one per available CPU). Sources are partitioned into
+// contiguous chunks; each worker enumerates its chunk's k-length paths
+// into a buffer, and the buffers are appended to the view graph in
+// source order — so edge insertion order, pair dedup, and therefore
+// the whole view graph are byte-identical to the sequential build.
+func (c KHopConnector) MaterializeParallel(g *graph.Graph, workers int) (*graph.Graph, error) {
 	if c.K < 1 {
 		return nil, fmt.Errorf("views: k-hop connector needs K >= 1, got %d", c.K)
 	}
@@ -81,53 +107,112 @@ func (c KHopConnector) Materialize(g *graph.Graph) (*graph.Graph, error) {
 	}
 
 	allowEdge := edgeTypeFilter(c.EdgeTypes)
-	seenPair := make(map[[2]graph.VertexID]bool)
-
 	sources := sourceIDs(g, c.SrcType)
-	used := make(map[graph.EdgeID]bool)
-	for _, s := range sources {
-		var dfs func(at graph.VertexID, hops int, maxTS int64) error
-		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
-			if hops == c.K {
-				if c.DstType != "" && g.Vertex(at).Type != c.DstType {
-					return nil
-				}
-				from, to := remap[s], remap[at]
-				if c.DedupPairs {
-					key := [2]graph.VertexID{from, to}
-					if seenPair[key] {
-						return nil
-					}
-					seenPair[key] = true
-				}
-				_, err := out.AddEdge(from, to, c.Name(), graph.Properties{
-					"ts":   maxTS,
-					"hops": int64(c.K),
-				})
-				return err
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	seenPair := make(map[[2]graph.VertexID]bool)
+	addEdge := func(from, to graph.VertexID, ts int64) error {
+		if c.DedupPairs {
+			key := [2]graph.VertexID{from, to}
+			if seenPair[key] {
+				return nil
 			}
-			for _, eid := range g.Out(at) {
-				if used[eid] {
-					continue
-				}
-				e := g.Edge(eid)
-				if !allowEdge(e.Type) {
-					continue
-				}
-				used[eid] = true
-				err := dfs(e.To, hops+1, maxInt64(maxTS, tsOf(e)))
-				used[eid] = false
-				if err != nil {
-					return err
-				}
-			}
-			return nil
+			seenPair[key] = true
 		}
-		if err := dfs(s, 0, 0); err != nil {
-			return nil, err
+		_, err := out.AddEdge(from, to, c.Name(), graph.Properties{
+			"ts":   ts,
+			"hops": int64(c.K),
+		})
+		return err
+	}
+
+	if workers <= 1 || len(sources) < 2 {
+		used := make(map[graph.EdgeID]bool)
+		for _, s := range sources {
+			err := c.pathsFrom(g, s, allowEdge, used, func(at graph.VertexID, ts int64) error {
+				return addEdge(remap[s], remap[at], ts)
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	// Parallel fan-out: workers enumerate paths into per-chunk buffers
+	// (the base graph and remap table are read-only by now), then the
+	// calling goroutine merges buffers in chunk order. Only the merge
+	// touches the view graph, so AddEdge needs no locking and the
+	// dedup set sees pairs in exactly the sequential order.
+	chunkSize, numChunks := par.Chunks(len(sources), workers, sourceChunkTarget)
+	chunks := make([][]connEdge, numChunks)
+	par.Do(numChunks, workers, func(next func() (int, bool)) {
+		// One edge-uniqueness set per worker, drained between sources.
+		used := make(map[graph.EdgeID]bool)
+		for {
+			ci, ok := next()
+			if !ok {
+				return
+			}
+			lo := ci * chunkSize
+			hi := min(lo+chunkSize, len(sources))
+			var buf []connEdge
+			for _, s := range sources[lo:hi] {
+				// The buffering emit cannot fail; pathsFrom only
+				// propagates emit errors.
+				_ = c.pathsFrom(g, s, allowEdge, used, func(at graph.VertexID, ts int64) error {
+					buf = append(buf, connEdge{from: remap[s], to: remap[at], ts: ts})
+					return nil
+				})
+			}
+			chunks[ci] = buf
+		}
+	})
+	for _, buf := range chunks {
+		for _, e := range buf {
+			if err := addEdge(e.from, e.to, e.ts); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil
+}
+
+// pathsFrom runs the edge-unique DFS enumerating every k-length path
+// from s whose hops satisfy the connector's edge filter, calling emit
+// with each path's endpoint and aggregated max timestamp, in DFS
+// (= sequential materialization) order. used must be empty on entry
+// and is drained again on return, so callers may reuse it across
+// sources.
+func (c KHopConnector) pathsFrom(g *graph.Graph, s graph.VertexID, allowEdge func(string) bool, used map[graph.EdgeID]bool, emit func(at graph.VertexID, ts int64) error) error {
+	var dfs func(at graph.VertexID, hops int, maxTS int64) error
+	dfs = func(at graph.VertexID, hops int, maxTS int64) error {
+		if hops == c.K {
+			if c.DstType != "" && g.Vertex(at).Type != c.DstType {
+				return nil
+			}
+			return emit(at, maxTS)
+		}
+		for _, eid := range g.Out(at) {
+			if used[eid] {
+				continue
+			}
+			e := g.Edge(eid)
+			if !allowEdge(e.Type) {
+				continue
+			}
+			used[eid] = true
+			err := dfs(e.To, hops+1, maxInt64(maxTS, tsOf(e)))
+			used[eid] = false
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return dfs(s, 0, 0)
 }
 
 // SameVertexTypeConnector contracts directed paths (up to MaxLen hops)

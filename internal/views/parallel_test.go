@@ -1,0 +1,68 @@
+package views
+
+import (
+	"bytes"
+	"testing"
+
+	"kaskade/internal/datagen"
+	"kaskade/internal/graph"
+)
+
+// saveBytes serializes a graph so equivalence checks compare the whole
+// artifact: schema, vertices, edges, properties, and insertion order.
+func saveBytes(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := graph.Save(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestKHopMaterializeParallelMatchesSequential: the per-source fan-out
+// must produce a byte-identical view graph — same edge insertion order,
+// same dedup decisions — for typed and untyped connectors, with and
+// without pair dedup, across worker counts.
+func TestKHopMaterializeParallelMatchesSequential(t *testing.T) {
+	prov, err := datagen.Prov(datagen.ProvConfig{
+		Jobs: 80, Files: 200, TasksPerJob: 2, Machines: 8, Users: 4,
+		MaxReads: 12, Pipelines: 5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc, err := datagen.SocialNetwork(datagen.SocialConfig{
+		Users: 120, Edges: 700, Exponent: 2.3, MaxDegree: 30, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		def  KHopConnector
+	}{
+		{"prov-job-job", prov, KHopConnector{SrcType: "Job", DstType: "Job", K: 2}},
+		{"prov-dedup", prov, KHopConnector{SrcType: "Job", DstType: "Job", K: 2, DedupPairs: true}},
+		{"prov-edge-filtered", prov, KHopConnector{SrcType: "Job", DstType: "Job", K: 2, EdgeTypes: []string{"WRITES_TO", "IS_READ_BY"}}},
+		{"soc-any-any", soc, KHopConnector{K: 2}},
+		{"soc-3hop-dedup", soc, KHopConnector{K: 3, DedupPairs: true}},
+	}
+	for _, tc := range cases {
+		seq, err := tc.def.Materialize(tc.g)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", tc.name, err)
+		}
+		want := saveBytes(t, seq)
+		for _, workers := range []int{2, 4, -1} {
+			par, err := tc.def.MaterializeParallel(tc.g, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
+			}
+			if got := saveBytes(t, par); !bytes.Equal(got, want) {
+				t.Errorf("%s workers=%d: parallel view graph differs from sequential (%d vs %d bytes)",
+					tc.name, workers, len(got), len(want))
+			}
+		}
+	}
+}

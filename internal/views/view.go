@@ -64,6 +64,18 @@ type EstimatableView interface {
 	PathLength() int
 }
 
+// ParallelView is implemented by views whose materialization can fan
+// out internally — for connectors, the per-source path search runs on a
+// worker pool while the merge stays deterministic.
+type ParallelView interface {
+	View
+	// MaterializeParallel is Materialize with up to `workers`
+	// goroutines (0 or 1 = sequential, negative = one per available
+	// CPU). The result is byte-identical to Materialize: same vertices,
+	// same edges, same insertion order.
+	MaterializeParallel(g *graph.Graph, workers int) (*graph.Graph, error)
+}
+
 // copyVerticesOfTypes adds all vertices of the given types (all types
 // when nil) from src to dst, sharing property bags, and returns the ID
 // remapping.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"kaskade/internal/cost"
 	"kaskade/internal/enum"
@@ -26,14 +28,30 @@ type Materialized struct {
 // view-based query rewriting (§V-C): on query arrival it enumerates the
 // applicable materialized views and picks the rewriting with the lowest
 // estimated evaluation cost.
+//
+// A Catalog is safe for concurrent use: reads (Rewrite, Get, Views,
+// TotalEdges) take a shared lock, mutations (Add, AddAll) an exclusive
+// one, and every mutation that lands a view bumps Epoch — the cheap
+// freshness signal prepared queries poll to know their cached plan may
+// be stale. Base, BaseProps, Schema, and Alpha are set at construction
+// and read-only afterwards.
 type Catalog struct {
 	Base      *graph.Graph
 	BaseProps *cost.GraphProperties
 	Schema    *graph.Schema
 	Alpha     int
-	byName    map[string]*Materialized
-	order     []string
+
+	mu     sync.RWMutex
+	epoch  atomic.Uint64
+	byName map[string]*Materialized
+	order  []string
 }
+
+// Epoch returns the catalog's mutation counter. It increments every
+// time a view lands in the catalog, so a plan rewritten at epoch E is
+// current exactly while Epoch() == E. Reading it costs one atomic load
+// — cheap enough for every prepared-query execution.
+func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
 
 // Materialize executes every chosen view of the selection over g and
 // returns the catalog.
@@ -65,33 +83,71 @@ func NewCatalog(g *graph.Graph) *Catalog {
 }
 
 // Add materializes one candidate view into the catalog (idempotent by
-// view name).
+// view name). Materialization runs outside the catalog lock — only the
+// insertion excludes readers — so queries keep executing while a view
+// builds.
 func (c *Catalog) Add(cand enum.Candidate) error {
+	return c.add(cand, 1)
+}
+
+func (c *Catalog) add(cand enum.Candidate, workers int) error {
 	name := cand.View.Name()
-	if _, dup := c.byName[name]; dup {
+	if c.has(name) {
 		return nil
 	}
-	vg, err := cand.View.Materialize(c.Base)
+	vg, err := materializeView(cand.View, c.Base, workers)
 	if err != nil {
 		return fmt.Errorf("workload: materializing %s: %w", name, err)
 	}
-	c.byName[name] = &Materialized{
+	c.insert(name, &Materialized{
 		Candidate: cand,
 		Graph:     vg,
 		Props:     cost.Collect(vg),
-	}
-	c.order = append(c.order, name)
+	})
 	return nil
+}
+
+func (c *Catalog) has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, dup := c.byName[name]
+	return dup
+}
+
+// insert lands one built view, skipping it if a concurrent Add won the
+// race for the name, and bumps the epoch when the catalog changed.
+func (c *Catalog) insert(name string, m *Materialized) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byName[name]; dup {
+		return
+	}
+	c.byName[name] = m
+	c.order = append(c.order, name)
+	c.epoch.Add(1)
+}
+
+// materializeView builds a view graph, fanning the build itself out
+// over `workers` goroutines when the view class supports internal
+// parallelism (views.ParallelView) — the per-source BFS fan-out of
+// connector materialization.
+func materializeView(v views.View, base *graph.Graph, workers int) (*graph.Graph, error) {
+	if pv, ok := v.(views.ParallelView); ok && workers > 1 {
+		return pv.MaterializeParallel(base, workers)
+	}
+	return v.Materialize(base)
 }
 
 // AddAll materializes a batch of candidate views into the catalog,
 // running independent materializations concurrently on up to `workers`
 // goroutines (0 or 1 = sequential, negative = one per available CPU).
-// Each View.Materialize builds a fresh graph from the read-only base, so
-// the builds never share mutable state; catalog insertion happens on the
-// calling goroutine afterwards, in candidate order, which keeps Views()
-// order, idempotency, and first-error behavior identical to a loop of
-// Add calls.
+// Worker budget left over after one-per-view is pushed down into each
+// view's own build when the class supports it (views.ParallelView), so
+// a single huge connector still saturates the pool. Each build derives
+// a fresh graph from the read-only base, so builds never share mutable
+// state; catalog insertion happens on the calling goroutine afterwards,
+// in candidate order, which keeps Views() order, idempotency, and
+// first-error behavior identical to a loop of Add calls.
 func (c *Catalog) AddAll(cands []enum.Candidate, workers int) error {
 	type build struct {
 		cand enum.Candidate
@@ -107,7 +163,7 @@ func (c *Catalog) AddAll(cands []enum.Candidate, workers int) error {
 			continue
 		}
 		seen[name] = true
-		if _, dup := c.byName[name]; dup {
+		if c.has(name) {
 			continue
 		}
 		builds = append(builds, &build{cand: cand, name: name})
@@ -115,11 +171,18 @@ func (c *Catalog) AddAll(cands []enum.Candidate, workers int) error {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Divide the worker budget: one slot per view first, and any spare
+	// capacity pushed down into each view's own build (never
+	// oversubscribed beyond the original budget).
+	inner := 1
+	if len(builds) > 0 && workers > len(builds) {
+		inner = workers / len(builds)
+	}
 	if workers > len(builds) {
 		workers = len(builds)
 	}
 	materialize := func(b *build) {
-		vg, err := b.cand.View.Materialize(c.Base)
+		vg, err := materializeView(b.cand.View, c.Base, inner)
 		if err != nil {
 			b.err = err
 			return
@@ -147,23 +210,30 @@ func (c *Catalog) AddAll(cands []enum.Candidate, workers int) error {
 			// building this view; the loop returned above already.
 			break
 		}
-		c.byName[b.name] = b.mat
-		c.order = append(c.order, b.name)
+		c.insert(b.name, b.mat)
 	}
 	return nil
 }
 
 // Views returns the materialized view names in creation order.
-func (c *Catalog) Views() []string { return append([]string(nil), c.order...) }
+func (c *Catalog) Views() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.order...)
+}
 
 // Get returns a materialized view by name.
 func (c *Catalog) Get(name string) (*Materialized, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	m, ok := c.byName[name]
 	return m, ok
 }
 
 // TotalEdges returns the storage the catalog consumes, in edges.
 func (c *Catalog) TotalEdges() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	total := 0
 	for _, m := range c.byName {
 		total += m.Graph.NumEdges()
@@ -183,13 +253,17 @@ type Plan struct {
 // query's candidates, keeps those whose views are materialized, and
 // returns the plan with the smallest estimated evaluation cost (the base
 // plan when no view helps). Rewritings use a single view, like the
-// paper's prototype.
+// paper's prototype. Rewrite holds the catalog's read lock, so it may
+// run concurrently with queries and with other Rewrites, and sees a
+// consistent view set even while Add/AddAll land new views.
 func (c *Catalog) Rewrite(q gql.Query) (*Plan, error) {
 	baseCost, err := cost.EvalCost(q, c.BaseProps, c.Schema, c.alpha())
 	if err != nil {
 		return nil, err
 	}
 	best := &Plan{Query: q, Graph: c.Base, Cost: baseCost}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if len(c.byName) == 0 {
 		return best, nil
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"kaskade/internal/algo"
@@ -73,19 +74,26 @@ type Runner struct {
 // Run executes a query and returns a scalar summary of its result (sum
 // or count), which lets base-vs-view runs be checked for agreement.
 func (r *Runner) Run(id QueryID) (int64, error) {
+	return r.RunContext(context.Background(), id)
+}
+
+// RunContext is Run with cancellation: the gql-executed queries observe
+// ctx inside the matcher, and the per-source traversal loops check it
+// between sources, so a harness sweep can be abandoned mid-experiment.
+func (r *Runner) RunContext(ctx context.Context, id QueryID) (int64, error) {
 	switch id {
 	case Q1BlastRadius:
-		return r.blastRadius()
+		return r.blastRadius(ctx)
 	case Q2Ancestors:
-		return r.neighborhoodSum(algo.Backward)
+		return r.neighborhoodSum(ctx, algo.Backward)
 	case Q3Descendants:
-		return r.neighborhoodSum(algo.Forward)
+		return r.neighborhoodSum(ctx, algo.Forward)
 	case Q4PathLengths:
-		return r.pathLengths()
+		return r.pathLengths(ctx)
 	case Q5EdgeCount:
-		return r.count(`MATCH ()-[r]->() RETURN COUNT(*) AS n`)
+		return r.count(ctx, `MATCH ()-[r]->() RETURN COUNT(*) AS n`)
 	case Q6VertexCount:
-		return r.count(`MATCH (v) RETURN COUNT(*) AS n`)
+		return r.count(ctx, `MATCH (v) RETURN COUNT(*) AS n`)
 	case Q7Community:
 		labels := algo.LabelPropagation(r.G, r.LPPasses, "community")
 		distinct := make(map[int64]bool, len(labels))
@@ -115,9 +123,12 @@ func (r *Runner) sources() []graph.VertexID {
 // blastRadius is Q1: for every job, the sum of CPU over its downstream
 // consumers within BlastHops, aggregated across jobs (the per-pipeline
 // AVG of Listing 1 is a cheap postprocess; the traversal dominates).
-func (r *Runner) blastRadius() (int64, error) {
+func (r *Runner) blastRadius(ctx context.Context) (int64, error) {
 	var total int64
 	for _, j := range r.sources() {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		for _, v := range algo.KHopNeighborhood(r.G, j, r.BlastHops, algo.Forward) {
 			vv := r.G.Vertex(v)
 			if vv.Type != r.SourceType || v == j {
@@ -131,17 +142,23 @@ func (r *Runner) blastRadius() (int64, error) {
 	return total, nil
 }
 
-func (r *Runner) neighborhoodSum(dir algo.Direction) (int64, error) {
+func (r *Runner) neighborhoodSum(ctx context.Context, dir algo.Direction) (int64, error) {
 	var total int64
 	for _, s := range r.sources() {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		total += int64(len(algo.KHopNeighborhood(r.G, s, r.Hops, dir)))
 	}
 	return total, nil
 }
 
-func (r *Runner) pathLengths() (int64, error) {
+func (r *Runner) pathLengths(ctx context.Context) (int64, error) {
 	var total int64
 	for _, s := range r.sources() {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		for _, agg := range algo.PathLengths(r.G, s, r.Hops, "ts") {
 			total += agg
 		}
@@ -149,8 +166,8 @@ func (r *Runner) pathLengths() (int64, error) {
 	return total, nil
 }
 
-func (r *Runner) count(q string) (int64, error) {
-	res, err := exec.RunParallel(r.G, q, r.Workers)
+func (r *Runner) count(ctx context.Context, q string) (int64, error) {
+	res, err := exec.RunParallelContext(ctx, r.G, q, r.Workers)
 	if err != nil {
 		return 0, err
 	}

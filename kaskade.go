@@ -30,6 +30,43 @@
 // evaluation's graphs, and the full benchmark harness that regenerates
 // every table and figure of the paper.
 //
+// # Query API
+//
+// The query surface is modeled on database/sql. For a repeated
+// workload — Kaskade's whole reason to exist — Prepare parses and
+// view-rewrites once, and every execution after that skips straight to
+// the match:
+//
+//	stmt, _ := sys.Prepare(blastRadiusQuery)
+//	for range requests {
+//		res, _ := stmt.ExecContext(ctx) // no parse, no rewrite
+//		...
+//	}
+//
+// A prepared plan tracks the catalog: AdoptSelection/MaterializeView
+// bump an internal epoch, and the statement transparently re-rewrites
+// on its next execution, so long-lived statements follow the view set.
+//
+// Every execution path takes a context.Context (QueryContext,
+// QueryRows, ExecContext): cancel it — or let its deadline pass — and
+// a pathological pattern match stops promptly, worker pool included.
+//
+// Results stream. QueryRows and PreparedQuery.QueryContext return a
+// Rows cursor (Next/Scan/Err/Close, plus an iter.Seq2 adapter in All)
+// that yields rows incrementally instead of buffering the table, in
+// exactly the order the buffered API returns them:
+//
+//	rows, _ := sys.QueryRows(ctx, q)
+//	defer rows.Close()
+//	for rows.Next() {
+//		var p string; var n int64
+//		_ = rows.Scan(&p, &n)
+//	}
+//
+// Per-query functional options override the System defaults:
+// WithWorkers (match parallelism), WithMaxRows (row guard),
+// WithoutViews (baseline execution — what QueryRaw does).
+//
 // # Parallel execution
 //
 // Query execution and view materialization run on worker pools when
@@ -44,11 +81,12 @@
 // so parallel execution is deterministic: results — row order, group
 // order, even float accumulation order — are byte-identical to the
 // sequential path, which remains the semantic reference.
-// AdoptSelection materializes independent selected views concurrently,
-// preserving catalog order. Both rely on the graph engine's invariant
-// that a Graph is read-only once loaded: any number of goroutines may
-// traverse one graph, and a settled System serves concurrent Query
-// calls without locks (only catalog mutation must not overlap queries).
+// AdoptSelection materializes independent selected views concurrently
+// (spare workers fan out inside each connector's per-source path
+// search), preserving catalog order. Graphs are read-only once loaded
+// and the catalog locks its view set, so a System is safe for
+// concurrent use throughout — queries may overlap each other and
+// catalog mutation.
 package kaskade
 
 import (
@@ -98,8 +136,45 @@ func MustSchema(vertexTypes []string, edgeTypes []EdgeType) *Schema {
 	return graph.MustSchema(vertexTypes, edgeTypes)
 }
 
-// Result is a query result table.
+// Result is a buffered query result table.
 type Result = exec.Result
+
+// Rows is a streaming query result cursor (database/sql-style:
+// Next/Scan/Err/Close, iter.Seq2 via All). Returned by System.QueryRows
+// and PreparedQuery.QueryContext; rows arrive incrementally, in the
+// exact order the buffered Result would hold them, and Close aborts the
+// underlying match.
+type Rows = exec.Rows
+
+// Row is one result tuple.
+type Row = exec.Row
+
+// Value is a runtime query value: nil, int64, float64, string, bool, or
+// a vertex/edge/path reference.
+type Value = exec.Value
+
+// ErrRowLimit is returned when a query exceeds MaxRows.
+var ErrRowLimit = exec.ErrRowLimit
+
+// PreparedQuery is a parsed, view-rewritten query cached for repeated
+// execution; it re-rewrites transparently when the catalog changes.
+type PreparedQuery = core.PreparedQuery
+
+// QueryOption tunes one query execution (or one prepared query's
+// defaults).
+type QueryOption = core.QueryOption
+
+// WithWorkers sets per-query pattern-match parallelism (overrides
+// System.Parallelism; 0/1 = sequential, negative = one per CPU).
+func WithWorkers(n int) QueryOption { return core.WithWorkers(n) }
+
+// WithMaxRows bounds a query's intermediate rows (overrides
+// System.MaxRows; 0 = unlimited).
+func WithMaxRows(n int) QueryOption { return core.WithMaxRows(n) }
+
+// WithoutViews bypasses view-based rewriting for this query (the
+// baseline of every experiment; what QueryRaw does).
+func WithoutViews() QueryOption { return core.WithoutViews() }
 
 // View types (Tables I and II of the paper).
 type (
