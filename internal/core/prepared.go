@@ -15,12 +15,14 @@ import (
 // (one atomic load) plus the match itself, skipping parse and §V-C
 // rewriting entirely.
 //
-// The cached plan tracks the catalog: AdoptSelection/MaterializeView
-// bump the catalog's epoch, and the next execution transparently
-// re-rewrites against the enlarged view set. Materialized views are
-// never removed, so a plan cached at an older epoch is stale but
-// always still valid — concurrent executions racing an epoch bump at
-// worst run one more time over the previous plan.
+// The cached plan tracks the catalog: AdoptSelection, MaterializeView,
+// and DropView all bump the catalog's epoch, and the next execution
+// transparently re-rewrites against the changed view set — in
+// particular, a statement planned over a since-dropped view re-rewrites
+// instead of executing the stale plan. Concurrent executions racing an
+// epoch bump at worst run one more time over the previous plan; a
+// dropped view's graph stays alive until such stragglers release it,
+// so they read consistent (one-epoch-old) data, never freed memory.
 //
 // A PreparedQuery is safe for concurrent use by multiple goroutines.
 type PreparedQuery struct {
@@ -112,4 +114,20 @@ func (p *PreparedQuery) QueryContext(ctx context.Context, opts ...QueryOption) (
 func (p *PreparedQuery) Plan() (*workload.Plan, error) {
 	_, plan, err := p.resolve(nil)
 	return plan, err
+}
+
+// AggMode reports the aggregation execution strategy the next execution
+// would use (rewriting first if the cached plan is stale): none for
+// pure projections, partial when every accumulator is order-insensitive
+// and merges per partition, buffered when an observable fold order
+// (float SUM, AVG) forces the parallel path to replay yields in
+// sequential order. The mode is a plan property — rewriting over a view
+// can change the query shape, so it is derived from the current plan,
+// not the prepared source.
+func (p *PreparedQuery) AggMode() (exec.AggMode, error) {
+	_, plan, err := p.resolve(nil)
+	if err != nil {
+		return exec.AggModeNone, err
+	}
+	return exec.QueryAggMode(plan.Query), nil
 }

@@ -115,6 +115,92 @@ func TestPreparedPlanCachedWithinEpoch(t *testing.T) {
 	}
 }
 
+// TestPreparedReplansAfterDropView pins the staleness fix: a statement
+// whose cached plan was rewritten over a view must, after DropView,
+// re-rewrite instead of executing the stale plan — and still return
+// exactly the base-graph result.
+func TestPreparedReplansAfterDropView(t *testing.T) {
+	sys := testSystem(t)
+	sel, err := sys.SelectViews([]string{blastRadius}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AdoptSelection(sel); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.Prepare(blastRadius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Exec() // caches the view-rewritten plan
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ViewName == "" {
+		t.Fatal("plan does not use a view; nothing to drop")
+	}
+
+	epoch := sys.Catalog().Epoch()
+	if !sys.DropView(plan.ViewName) {
+		t.Fatalf("DropView(%q) = false", plan.ViewName)
+	}
+	if sys.Catalog().Epoch() == epoch {
+		t.Fatal("DropView did not bump the catalog epoch")
+	}
+
+	plan2, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.ViewName == plan.ViewName {
+		t.Fatalf("prepared plan still uses dropped view %q", plan.ViewName)
+	}
+	got, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("result changed after DropView (views must never change semantics)")
+	}
+
+	// DropView of a name that was never materialized reports absence.
+	if sys.DropView("NO_SUCH_VIEW") {
+		t.Fatal("DropView of an unknown view returned true")
+	}
+}
+
+// TestPreparedAggMode: the statement surfaces its plan's aggregation
+// strategy — the blast-radius workload bottoms out in a pure-projection
+// MATCH, while ad-hoc aggregate shapes report partial or buffered.
+func TestPreparedAggMode(t *testing.T) {
+	sys := testSystem(t)
+	cases := []struct {
+		src  string
+		want exec.AggMode
+	}{
+		{`MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f`, exec.AggModeNone},
+		{`MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j AS job, COUNT(f) AS n`, exec.AggModePartial},
+		{`MATCH (j:Job) RETURN AVG(j.CPU) AS a`, exec.AggModeBuffered},
+	}
+	for _, tc := range cases {
+		p, err := sys.Prepare(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode, err := p.AggMode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != tc.want {
+			t.Errorf("AggMode(%q) = %v, want %v", tc.src, mode, tc.want)
+		}
+	}
+}
+
 // TestPreparedQueryOptions: per-execution options override prepare-time
 // defaults, which override System fields.
 func TestPreparedQueryOptions(t *testing.T) {

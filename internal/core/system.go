@@ -144,6 +144,15 @@ func (s *System) MaterializeView(v views.View) error {
 	return s.catalog.AddAll([]enum.Candidate{{View: v}}, s.Parallelism)
 }
 
+// DropView evicts a materialized view from the catalog by name,
+// releasing its view graph and bumping the catalog epoch: ad-hoc
+// queries stop rewriting over it immediately, and prepared queries
+// whose cached plan used it transparently re-rewrite on their next
+// execution. It reports whether the view was present.
+func (s *System) DropView(name string) bool {
+	return s.catalog.DropView(name)
+}
+
 // Explain describes the plan Kaskade would choose for a query.
 func (s *System) Explain(src string) (string, error) {
 	q, err := gql.Parse(src)
@@ -161,6 +170,9 @@ func (s *System) Explain(src string) (string, error) {
 		fmt.Fprintf(&b, "plan: rewritten over materialized view %s\n", plan.ViewName)
 	}
 	fmt.Fprintf(&b, "estimated cost: %.4g\n", plan.Cost)
+	if mode := exec.QueryAggMode(plan.Query); mode != exec.AggModeNone {
+		fmt.Fprintf(&b, "aggregation: %s\n", mode)
+	}
 	fmt.Fprintf(&b, "query: %s\n", plan.Query.String())
 	return b.String(), nil
 }

@@ -104,6 +104,18 @@ func TestSystemExplain(t *testing.T) {
 	if !strings.Contains(out, "rewritten over materialized view") {
 		t.Errorf("explain with views: %s", out)
 	}
+	// blastRadius bottoms out in a pure-projection MATCH, so no
+	// aggregation line; an aggregate query names its strategy.
+	if strings.Contains(out, "aggregation:") {
+		t.Errorf("explain printed an aggregation mode for a projection: %s", out)
+	}
+	out, err = sys.Explain(`MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j AS job, COUNT(f) AS n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "aggregation: partial") {
+		t.Errorf("explain missing partial aggregation mode: %s", out)
+	}
 }
 
 func TestSystemEnumerate(t *testing.T) {

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 
 	"kaskade/internal/gql"
 )
@@ -46,6 +47,106 @@ func newAggregator(items []gql.ReturnItem, groupBy []gql.Expr) *aggregator {
 		}
 	}
 	return a
+}
+
+// AggMode is the aggregation execution strategy the executor selects at
+// plan time by inspecting a query's RETURN items (see QueryAggMode).
+type AggMode int
+
+const (
+	// AggModeNone: pure projection, no aggregation. The parallel path
+	// streams each chunk's row prefix eagerly as it is produced.
+	AggModeNone AggMode = iota
+	// AggModeBuffered: at least one accumulator's fold order is
+	// observable (float SUM, AVG), so the parallel path buffers each
+	// chunk's prepared yields and folds them at merge time, in exactly
+	// the sequential feed order — byte-identical float accumulation at
+	// the cost of materializing every yield.
+	AggModeBuffered
+	// AggModePartial: every accumulator is order-insensitive
+	// (COUNT/COUNT(*), MIN, MAX, integer SUM), so each chunk runs its
+	// own partial accumulators and the merge combines per-chunk states
+	// in partition order — no yield buffer, same bytes.
+	AggModePartial
+)
+
+// String names the mode for Explain-style display.
+func (m AggMode) String() string {
+	switch m {
+	case AggModeBuffered:
+		return "buffered"
+	case AggModePartial:
+		return "partial"
+	}
+	return "none"
+}
+
+// aggModeOf classifies a RETURN item list. Partial merging requires
+// every aggregate to be insensitive to fold order: COUNT and MIN/MAX
+// always are (integer addition is associative; MIN/MAX keep the
+// first-seen best on ties, which partition-order merging preserves,
+// and ignore NaN outright — see minMaxAcc.add — so float ties are
+// genuine ties), SUM only when its argument provably folds in
+// integers, and AVG never (its sum accumulates in float64).
+func aggModeOf(items []gql.ReturnItem) AggMode {
+	var aggNodes []*gql.FuncCall
+	for _, item := range items {
+		aggNodes = append(aggNodes, collectAggregates(item.Expr)...)
+	}
+	if len(aggNodes) == 0 {
+		return AggModeNone
+	}
+	for _, node := range aggNodes {
+		switch node.Name {
+		case "COUNT", "MIN", "MAX":
+		case "SUM":
+			if node.Star || len(node.Args) != 1 || !intTyped(node.Args[0]) {
+				return AggModeBuffered
+			}
+		default: // AVG, and anything newAccumulator would reject
+			return AggModeBuffered
+		}
+	}
+	return AggModePartial
+}
+
+// intTyped reports whether e provably evaluates to int64 (or nil, which
+// accumulators skip) on every environment where it evaluates at all —
+// the static check that licenses partial SUM merging. Property accesses
+// are untyped in the data model, so anything touching one stays on the
+// buffered path.
+func intTyped(e gql.Expr) bool {
+	switch e := e.(type) {
+	case *gql.Lit:
+		_, ok := e.Value.(int64)
+		return ok
+	case *gql.UnaryExpr:
+		return e.Op == "-" && intTyped(e.Operand)
+	case *gql.BinaryExpr:
+		// Integer division can promote to float (7/2), so only + - *.
+		switch e.Op {
+		case "+", "-", "*":
+			return intTyped(e.Left) && intTyped(e.Right)
+		}
+		return false
+	case *gql.FuncCall:
+		switch e.Name {
+		case "ID", "LENGTH":
+			// Always int64 (or an error, which aborts either path).
+			return true
+		case "ABS":
+			return len(e.Args) == 1 && intTyped(e.Args[0])
+		case "COALESCE":
+			for _, a := range e.Args {
+				if !intTyped(a) {
+					return false
+				}
+			}
+			return len(e.Args) > 0
+		}
+		return false
+	}
+	return false
 }
 
 func collectAggregates(e gql.Expr) []*gql.FuncCall {
@@ -142,6 +243,37 @@ func (a *aggregator) feed(env map[string]Value) error {
 		}
 		return rep
 	})
+}
+
+// mergeFrom folds a chunk-local aggregator of the same shape into a, in
+// the chunk's first-seen group order. A group unseen by a is adopted
+// wholesale (its representative row was the chunk's first — and, since
+// no earlier partition saw the key, the global first); a known group
+// merges accumulator states pairwise. Calling mergeFrom chunk by chunk
+// in partition order reproduces the sequential path's group order and,
+// for order-insensitive accumulators, its exact values. b must not be
+// used afterwards.
+func (a *aggregator) mergeFrom(b *aggregator) error {
+	for _, key := range b.order {
+		bg := b.groups[key]
+		g, ok := a.groups[key]
+		if !ok {
+			a.groups[key] = bg
+			a.order = append(a.order, key)
+			continue
+		}
+		for i := range g.accs {
+			m, ok := g.accs[i].(mergeable)
+			if !ok {
+				// Unreachable when the plan selected AggModePartial.
+				return fmt.Errorf("exec: %T cannot merge partial states", g.accs[i])
+			}
+			if err := m.merge(bg.accs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // finish produces the grouped output rows in first-seen group order.
@@ -251,6 +383,19 @@ type accumulator interface {
 	result() Value
 }
 
+// mergeable is implemented by accumulators whose fold is associative,
+// so per-chunk partial states combined in partition order yield the
+// same bytes as one sequential fold: COUNT (integer addition), MIN/MAX
+// (comparison keeps the earlier partition's value on ties, matching the
+// sequential first-seen-wins rule), and SUM while it stays in integers
+// (the plan-time AggModePartial check guarantees it does). other is
+// always the same concrete type as the receiver — both were built by
+// newAccumulator for the same aggregate node.
+type mergeable interface {
+	accumulator
+	merge(other accumulator) error
+}
+
 func newAccumulator(name string) accumulator {
 	switch name {
 	case "COUNT":
@@ -276,6 +421,11 @@ func (a *countAcc) add(v Value, star bool) error {
 	return nil
 }
 func (a *countAcc) result() Value { return a.n }
+
+func (a *countAcc) merge(o accumulator) error {
+	a.n += o.(*countAcc).n
+	return nil
+}
 
 type sumAcc struct {
 	isFloat bool
@@ -318,6 +468,21 @@ func (a *sumAcc) result() Value {
 	return a.i
 }
 
+func (a *sumAcc) merge(o accumulator) error {
+	b := o.(*sumAcc)
+	if !b.seen {
+		return nil
+	}
+	if b.isFloat {
+		// Only reachable if a float slipped past the plan-time integer
+		// proof; folding the partial float sum keeps the result correct,
+		// though bit-identity to the sequential fold is then up to the
+		// data.
+		return a.add(b.f, false)
+	}
+	return a.add(b.i, false)
+}
+
 type avgAcc struct {
 	sum float64
 	n   int64
@@ -352,6 +517,14 @@ func (a *minMaxAcc) add(v Value, _ bool) error {
 	if v == nil {
 		return nil
 	}
+	// NaN is ignored like nil (SQL-NULL-style): compareValues reports it
+	// as tying with everything, which would make the fold sensitive to
+	// whether NaN arrived first — an order dependence that would break
+	// the partial merge's associativity (and give position-dependent
+	// answers sequentially, too).
+	if f, ok := v.(float64); ok && math.IsNaN(f) {
+		return nil
+	}
 	if a.best == nil {
 		a.best = v
 		return nil
@@ -367,3 +540,13 @@ func (a *minMaxAcc) add(v Value, _ bool) error {
 }
 
 func (a *minMaxAcc) result() Value { return a.best }
+
+func (a *minMaxAcc) merge(o accumulator) error {
+	b := o.(*minMaxAcc)
+	if b.best == nil {
+		return nil
+	}
+	// add keeps a.best unless b's is strictly better, so on ties the
+	// earlier partition — the sequential first-seen value — wins.
+	return a.add(b.best, false)
+}

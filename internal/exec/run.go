@@ -21,9 +21,12 @@ import (
 // sequential matcher, N>1 partitions the first-node binding space
 // across N goroutines, and any negative value uses one worker per
 // available CPU. The parallel path merges partitions deterministically,
-// so results are identical to the sequential path row for row (see
-// parallel.go). The graph must not be mutated during execution — after
-// load, a graph.Graph is read-only and safe for concurrent traversal.
+// so results are identical to the sequential path row for row; how a
+// partition's yields reach the merge is chosen per query at plan time
+// (AggMode: eager row streaming, per-chunk partial accumulators, or
+// buffered yield replay — see parallel.go). The graph must not be
+// mutated during execution — after load, a graph.Graph is read-only
+// and safe for concurrent traversal.
 //
 // Execution comes in two forms built on one streaming core:
 // ExecuteContext buffers every row into a Result; Stream returns a Rows
@@ -35,6 +38,24 @@ type Executor struct {
 	G       *graph.Graph
 	MaxRows int
 	Workers int
+
+	// noPartialAgg forces AggModePartial queries onto the buffered
+	// path — the A/B switch the equivalence tests and benchmarks use to
+	// prove the two strategies byte-identical.
+	noPartialAgg bool
+}
+
+// QueryAggMode reports the aggregation execution strategy the parallel
+// path selects at plan time for q — the mode of its innermost MATCH
+// block's RETURN items, since that is the block the worker pool
+// executes (a wrapping SELECT's own aggregation is a blocking
+// relational operator either way). See AggMode for the strategies.
+func QueryAggMode(q gql.Query) AggMode {
+	m := gql.InnermostMatch(q)
+	if m == nil {
+		return AggModeNone
+	}
+	return aggModeOf(m.Return)
 }
 
 // ErrRowLimit is returned when a query exceeds the executor's MaxRows.

@@ -193,10 +193,11 @@ func TestStreamAllAdapter(t *testing.T) {
 // denseGraph builds a graph whose variable-length matches are
 // combinatorially explosive: full enumeration would take far longer
 // than any test timeout, so only cancellation can end the queries
-// below early. The first two vertices form a cheap detached pair, so
-// the first match arrives immediately even under the parallel merge
-// (which streams at partition granularity, in partition order) — the
-// explosion sits in the later partitions.
+// below early. The first two vertices form a cheap detached pair ahead
+// of the dense component; since the merge streams each chunk's row
+// prefix eagerly, the first match arrives immediately either way (see
+// TestStreamFirstRowBeforePartitionCompletes, which drops the cheap
+// pair to pin exactly that).
 func denseGraph(t testing.TB) *graph.Graph {
 	t.Helper()
 	g := graph.NewGraph(nil)

@@ -59,6 +59,36 @@ func DoContext(ctx context.Context, n, workers int, worker func(next func() (int
 	wg.Wait()
 }
 
+// DoContextDone is DoContext with a per-task completion hook: onDone(i)
+// fires exactly once for every task index a worker claimed, after the
+// worker finished processing it — detected when the claiming goroutine
+// asks for its next task or exits its claim loop. The hook runs on the
+// worker's goroutine, so anything the task body wrote before is visible
+// to it (and, through whatever synchronization the hook performs, to a
+// coordinator rendezvousing on per-task completion — the executor's
+// partition-order merge waits on exactly this signal). Tasks never
+// claimed (context cancelled first) get no hook call; coordinators must
+// select on the context as well, as with DoContext.
+func DoContextDone(ctx context.Context, n, workers int, worker func(next func() (int, bool)), onDone func(i int)) {
+	DoContext(ctx, n, workers, func(next func() (int, bool)) {
+		last := -1
+		worker(func() (int, bool) {
+			if last >= 0 {
+				onDone(last)
+				last = -1
+			}
+			i, ok := next()
+			if ok {
+				last = i
+			}
+			return i, ok
+		})
+		if last >= 0 {
+			onDone(last)
+		}
+	})
+}
+
 // Chunks partitions n items into contiguous chunks for a pool of
 // `workers`, over-decomposed to `target` chunks per worker so fast
 // workers steal the tail when work is skewed. It returns the chunk

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -32,6 +34,82 @@ func TestDoEmptyAndSingle(t *testing.T) {
 	})
 	if ran != 1 {
 		t.Fatalf("ran=%d, want 1", ran)
+	}
+}
+
+// TestDoContextDoneFiresOncePerClaimedTask: the completion hook must
+// fire exactly once per claimed index, and only after the worker
+// finished processing it (the processed flag is set before the claim
+// loop asks for the next task).
+func TestDoContextDoneFiresOncePerClaimedTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		const n = 101
+		var processed [n]atomic.Bool
+		var doneCount [n]int64
+		var mu sync.Mutex
+		DoContextDone(context.Background(), n, workers, func(next func() (int, bool)) {
+			for {
+				i, ok := next()
+				if !ok {
+					return
+				}
+				processed[i].Store(true)
+			}
+		}, func(i int) {
+			if !processed[i].Load() {
+				t.Errorf("workers=%d: done(%d) before task processed", workers, i)
+			}
+			mu.Lock()
+			doneCount[i]++
+			mu.Unlock()
+		})
+		for i, c := range doneCount {
+			if c != 1 {
+				t.Fatalf("workers=%d: done(%d) fired %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestDoContextDoneSkipsUnclaimed: once the context is cancelled,
+// unclaimed tasks get neither a run nor a completion hook, and every
+// hook that does fire matches a claimed task.
+func TestDoContextDoneSkipsUnclaimed(t *testing.T) {
+	const n = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	var claimed, done sync.Map
+	DoContextDone(ctx, n, 3, func(next func() (int, bool)) {
+		for {
+			i, ok := next()
+			if !ok {
+				return
+			}
+			claimed.Store(i, true)
+			// Task 0 cancels the pool; every other task parks until the
+			// cancellation lands, so each worker claims at most one task
+			// and most of the range stays unclaimed.
+			if i == 0 {
+				cancel()
+			} else {
+				<-ctx.Done()
+			}
+		}
+	}, func(i int) { done.Store(i, true) })
+	nDone := 0
+	done.Range(func(k, _ any) bool {
+		nDone++
+		if _, ok := claimed.Load(k); !ok {
+			t.Errorf("done(%v) without a claim", k)
+		}
+		return true
+	})
+	nClaimed := 0
+	claimed.Range(func(_, _ any) bool { nClaimed++; return true })
+	if nDone != nClaimed {
+		t.Fatalf("claimed %d tasks but %d completion hooks fired", nClaimed, nDone)
+	}
+	if nClaimed >= n {
+		t.Fatalf("cancellation did not stop the claim stream (claimed all %d)", nClaimed)
 	}
 }
 

@@ -76,15 +76,102 @@ const sourceChunkTarget = 16
 type connEdge struct {
 	from, to graph.VertexID
 	ts       int64
+	hops     int64
+}
+
+// pairAdder builds the merge-side edge sink every connector class
+// shares: optional pair dedup, then one contracted edge carrying the
+// aggregated path properties. Pair dedup lives here — on the single
+// goroutine that sees edges in sequential order — because skipping a
+// duplicate never changes the path search itself, only whether the
+// edge lands.
+func pairAdder(out *graph.Graph, name string, dedupPairs bool) func(connEdge) error {
+	seenPair := make(map[[2]graph.VertexID]bool)
+	return func(e connEdge) error {
+		if dedupPairs {
+			key := [2]graph.VertexID{e.from, e.to}
+			if seenPair[key] {
+				return nil
+			}
+			seenPair[key] = true
+		}
+		_, err := out.AddEdge(e.from, e.to, name, graph.Properties{
+			"ts":   e.ts,
+			"hops": e.hops,
+		})
+		return err
+	}
+}
+
+// materializeBySource is the execution shape all connector classes
+// share: an independent path enumeration per source vertex whose
+// emitted edges must land in source order. With workers <= 1 (or a
+// single source) it runs inline, handing each emitted edge straight to
+// add. Otherwise sources are partitioned into contiguous chunks, each
+// worker enumerates its chunk's paths into a buffer (the base graph
+// and any remap table are read-only by then), and the calling
+// goroutine merges buffers in chunk order — so edge insertion order,
+// pair dedup, and therefore the whole view graph are byte-identical to
+// the sequential build. Only the merge touches the view graph, so add
+// needs no locking.
+//
+// enumerate must confine its mutation to the used set it is handed
+// (empty on entry, drained again on return, reusable across sources)
+// and may only fail by propagating emit's error — the contract that
+// makes buffered emits infallible.
+func materializeBySource(sources []graph.VertexID, workers int,
+	enumerate func(s graph.VertexID, used map[graph.EdgeID]bool, emit func(connEdge) error) error,
+	add func(connEdge) error) error {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(sources) < 2 {
+		used := make(map[graph.EdgeID]bool)
+		for _, s := range sources {
+			if err := enumerate(s, used, add); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	chunkSize, numChunks := par.Chunks(len(sources), workers, sourceChunkTarget)
+	chunks := make([][]connEdge, numChunks)
+	par.Do(numChunks, workers, func(next func() (int, bool)) {
+		// One edge-uniqueness set per worker, drained between sources.
+		used := make(map[graph.EdgeID]bool)
+		for {
+			ci, ok := next()
+			if !ok {
+				return
+			}
+			lo := ci * chunkSize
+			hi := min(lo+chunkSize, len(sources))
+			var buf []connEdge
+			for _, s := range sources[lo:hi] {
+				// The buffering emit cannot fail, and enumerate only
+				// propagates emit errors.
+				_ = enumerate(s, used, func(e connEdge) error {
+					buf = append(buf, e)
+					return nil
+				})
+			}
+			chunks[ci] = buf
+		}
+	})
+	for _, buf := range chunks {
+		for _, e := range buf {
+			if err := add(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // MaterializeParallel is Materialize with the per-source DFS fan-out
 // spread over up to `workers` goroutines (0 or 1 = sequential,
-// negative = one per available CPU). Sources are partitioned into
-// contiguous chunks; each worker enumerates its chunk's k-length paths
-// into a buffer, and the buffers are appended to the view graph in
-// source order — so edge insertion order, pair dedup, and therefore
-// the whole view graph are byte-identical to the sequential build.
+// negative = one per available CPU); see materializeBySource for the
+// determinism argument.
 func (c KHopConnector) MaterializeParallel(g *graph.Graph, workers int) (*graph.Graph, error) {
 	if c.K < 1 {
 		return nil, fmt.Errorf("views: k-hop connector needs K >= 1, got %d", c.K)
@@ -105,77 +192,14 @@ func (c KHopConnector) MaterializeParallel(g *graph.Graph, workers int) (*graph.
 	if err != nil {
 		return nil, err
 	}
-
 	allowEdge := edgeTypeFilter(c.EdgeTypes)
-	sources := sourceIDs(g, c.SrcType)
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	seenPair := make(map[[2]graph.VertexID]bool)
-	addEdge := func(from, to graph.VertexID, ts int64) error {
-		if c.DedupPairs {
-			key := [2]graph.VertexID{from, to}
-			if seenPair[key] {
-				return nil
-			}
-			seenPair[key] = true
-		}
-		_, err := out.AddEdge(from, to, c.Name(), graph.Properties{
-			"ts":   ts,
-			"hops": int64(c.K),
+	enumerate := func(s graph.VertexID, used map[graph.EdgeID]bool, emit func(connEdge) error) error {
+		return c.pathsFrom(g, s, allowEdge, used, func(at graph.VertexID, ts int64) error {
+			return emit(connEdge{from: remap[s], to: remap[at], ts: ts, hops: int64(c.K)})
 		})
-		return err
 	}
-
-	if workers <= 1 || len(sources) < 2 {
-		used := make(map[graph.EdgeID]bool)
-		for _, s := range sources {
-			err := c.pathsFrom(g, s, allowEdge, used, func(at graph.VertexID, ts int64) error {
-				return addEdge(remap[s], remap[at], ts)
-			})
-			if err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	}
-
-	// Parallel fan-out: workers enumerate paths into per-chunk buffers
-	// (the base graph and remap table are read-only by now), then the
-	// calling goroutine merges buffers in chunk order. Only the merge
-	// touches the view graph, so AddEdge needs no locking and the
-	// dedup set sees pairs in exactly the sequential order.
-	chunkSize, numChunks := par.Chunks(len(sources), workers, sourceChunkTarget)
-	chunks := make([][]connEdge, numChunks)
-	par.Do(numChunks, workers, func(next func() (int, bool)) {
-		// One edge-uniqueness set per worker, drained between sources.
-		used := make(map[graph.EdgeID]bool)
-		for {
-			ci, ok := next()
-			if !ok {
-				return
-			}
-			lo := ci * chunkSize
-			hi := min(lo+chunkSize, len(sources))
-			var buf []connEdge
-			for _, s := range sources[lo:hi] {
-				// The buffering emit cannot fail; pathsFrom only
-				// propagates emit errors.
-				_ = c.pathsFrom(g, s, allowEdge, used, func(at graph.VertexID, ts int64) error {
-					buf = append(buf, connEdge{from: remap[s], to: remap[at], ts: ts})
-					return nil
-				})
-			}
-			chunks[ci] = buf
-		}
-	})
-	for _, buf := range chunks {
-		for _, e := range buf {
-			if err := addEdge(e.from, e.to, e.ts); err != nil {
-				return nil, err
-			}
-		}
+	if err := materializeBySource(sourceIDs(g, c.SrcType), workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -226,6 +250,7 @@ type SameVertexTypeConnector struct {
 }
 
 var _ View = SameVertexTypeConnector{}
+var _ ParallelView = SameVertexTypeConnector{}
 
 // Name returns e.g. CONN_SAMEVT_Author.
 func (c SameVertexTypeConnector) Name() string {
@@ -248,6 +273,13 @@ func (c SameVertexTypeConnector) Cypher() string {
 
 // Materialize contracts each qualifying path into one edge.
 func (c SameVertexTypeConnector) Materialize(g *graph.Graph) (*graph.Graph, error) {
+	return c.MaterializeParallel(g, 1)
+}
+
+// MaterializeParallel is Materialize with the per-source DFS fanned out
+// over up to `workers` goroutines, byte-identical to the sequential
+// build (see materializeBySource).
+func (c SameVertexTypeConnector) MaterializeParallel(g *graph.Graph, workers int) (*graph.Graph, error) {
 	if c.VType == "" || c.MaxLen < 1 {
 		return nil, fmt.Errorf("views: same-vertex-type connector needs a type and MaxLen >= 1")
 	}
@@ -263,24 +295,12 @@ func (c SameVertexTypeConnector) Materialize(g *graph.Graph) (*graph.Graph, erro
 	if err != nil {
 		return nil, err
 	}
-	seenPair := make(map[[2]graph.VertexID]bool)
-	used := make(map[graph.EdgeID]bool)
-	for _, s := range g.VerticesOfType(c.VType) {
+	enumerate := func(s graph.VertexID, used map[graph.EdgeID]bool, emit func(connEdge) error) error {
 		var dfs func(at graph.VertexID, hops int, maxTS int64) error
 		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
 			if hops > 0 && g.Vertex(at).Type == c.VType {
-				from, to := remap[s], remap[at]
-				if c.DedupPairs {
-					key := [2]graph.VertexID{from, to}
-					if seenPair[key] {
-						return nil
-					}
-					seenPair[key] = true
-				}
-				_, err := out.AddEdge(from, to, c.Name(), graph.Properties{
-					"ts": maxTS, "hops": int64(hops),
-				})
-				return err // path ends at the first same-type vertex
+				// The path ends at the first same-type vertex.
+				return emit(connEdge{from: remap[s], to: remap[at], ts: maxTS, hops: int64(hops)})
 			}
 			if hops == c.MaxLen {
 				return nil
@@ -299,9 +319,10 @@ func (c SameVertexTypeConnector) Materialize(g *graph.Graph) (*graph.Graph, erro
 			}
 			return nil
 		}
-		if err := dfs(s, 0, 0); err != nil {
-			return nil, err
-		}
+		return dfs(s, 0, 0)
+	}
+	if err := materializeBySource(g.VerticesOfType(c.VType), workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -316,6 +337,7 @@ type SameEdgeTypeConnector struct {
 }
 
 var _ View = SameEdgeTypeConnector{}
+var _ ParallelView = SameEdgeTypeConnector{}
 
 // Name returns e.g. CONN_SAMEET_TRANSFERS_TO.
 func (c SameEdgeTypeConnector) Name() string {
@@ -337,31 +359,29 @@ func (c SameEdgeTypeConnector) Cypher() string {
 
 // Materialize contracts each path of EType edges (length 1..MaxLen).
 func (c SameEdgeTypeConnector) Materialize(g *graph.Graph) (*graph.Graph, error) {
+	return c.MaterializeParallel(g, 1)
+}
+
+// MaterializeParallel is Materialize with the per-source DFS fanned out
+// over up to `workers` goroutines, byte-identical to the sequential
+// build (see materializeBySource).
+func (c SameEdgeTypeConnector) MaterializeParallel(g *graph.Graph, workers int) (*graph.Graph, error) {
 	if c.EType == "" || c.MaxLen < 1 {
 		return nil, fmt.Errorf("views: same-edge-type connector needs an edge type and MaxLen >= 1")
 	}
-	// Determine endpoint vertex types from the schema when available.
 	out := graph.NewGraph(nil)
 	remap, err := copyVerticesOfTypes(g, out, nil)
 	if err != nil {
 		return nil, err
 	}
-	seenPair := make(map[[2]graph.VertexID]bool)
-	used := make(map[graph.EdgeID]bool)
-	for s := 0; s < g.NumVertices(); s++ {
-		src := graph.VertexID(s)
+	enumerate := func(s graph.VertexID, used map[graph.EdgeID]bool, emit func(connEdge) error) error {
 		var dfs func(at graph.VertexID, hops int, maxTS int64) error
 		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
 			if hops > 0 {
-				from, to := remap[src], remap[at]
-				key := [2]graph.VertexID{from, to}
-				if !c.DedupPairs || !seenPair[key] {
-					seenPair[key] = true
-					if _, err := out.AddEdge(from, to, c.Name(), graph.Properties{
-						"ts": maxTS, "hops": int64(hops),
-					}); err != nil {
-						return err
-					}
+				// Every prefix of a chain is itself a contracted path;
+				// keep extending after emitting.
+				if err := emit(connEdge{from: remap[s], to: remap[at], ts: maxTS, hops: int64(hops)}); err != nil {
+					return err
 				}
 			}
 			if hops == c.MaxLen {
@@ -384,9 +404,10 @@ func (c SameEdgeTypeConnector) Materialize(g *graph.Graph) (*graph.Graph, error)
 			}
 			return nil
 		}
-		if err := dfs(src, 0, 0); err != nil {
-			return nil, err
-		}
+		return dfs(s, 0, 0)
+	}
+	if err := materializeBySource(sourceIDs(g, ""), workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -400,6 +421,7 @@ type SourceToSinkConnector struct {
 }
 
 var _ View = SourceToSinkConnector{}
+var _ ParallelView = SourceToSinkConnector{}
 
 // Name returns CONN_SRCSINK.
 func (c SourceToSinkConnector) Name() string { return "CONN_SRCSINK" }
@@ -420,6 +442,13 @@ func (c SourceToSinkConnector) Cypher() string {
 
 // Materialize contracts each source-to-sink path.
 func (c SourceToSinkConnector) Materialize(g *graph.Graph) (*graph.Graph, error) {
+	return c.MaterializeParallel(g, 1)
+}
+
+// MaterializeParallel is Materialize with the per-source DFS fanned out
+// over up to `workers` goroutines, byte-identical to the sequential
+// build (see materializeBySource).
+func (c SourceToSinkConnector) MaterializeParallel(g *graph.Graph, workers int) (*graph.Graph, error) {
 	if c.MaxLen < 1 {
 		return nil, fmt.Errorf("views: source-to-sink connector needs MaxLen >= 1")
 	}
@@ -428,27 +457,21 @@ func (c SourceToSinkConnector) Materialize(g *graph.Graph) (*graph.Graph, error)
 	if err != nil {
 		return nil, err
 	}
-	seenPair := make(map[[2]graph.VertexID]bool)
-	used := make(map[graph.EdgeID]bool)
+	// Only true sources (in-degree 0, at least one outgoing edge) seed
+	// the search; filtering up front keeps the chunk partition balanced
+	// over real work.
+	var sources []graph.VertexID
 	for s := 0; s < g.NumVertices(); s++ {
-		src := graph.VertexID(s)
-		if g.InDegree(src) != 0 || g.OutDegree(src) == 0 {
-			continue
+		id := graph.VertexID(s)
+		if g.InDegree(id) == 0 && g.OutDegree(id) > 0 {
+			sources = append(sources, id)
 		}
+	}
+	enumerate := func(s graph.VertexID, used map[graph.EdgeID]bool, emit func(connEdge) error) error {
 		var dfs func(at graph.VertexID, hops int, maxTS int64) error
 		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
 			if hops > 0 && g.OutDegree(at) == 0 {
-				from, to := remap[src], remap[at]
-				key := [2]graph.VertexID{from, to}
-				if !c.DedupPairs || !seenPair[key] {
-					seenPair[key] = true
-					if _, err := out.AddEdge(from, to, c.Name(), graph.Properties{
-						"ts": maxTS, "hops": int64(hops),
-					}); err != nil {
-						return err
-					}
-				}
-				return nil
+				return emit(connEdge{from: remap[s], to: remap[at], ts: maxTS, hops: int64(hops)})
 			}
 			if hops == c.MaxLen {
 				return nil
@@ -467,9 +490,10 @@ func (c SourceToSinkConnector) Materialize(g *graph.Graph) (*graph.Graph, error)
 			}
 			return nil
 		}
-		if err := dfs(src, 0, 0); err != nil {
-			return nil, err
-		}
+		return dfs(s, 0, 0)
+	}
+	if err := materializeBySource(sources, workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -40,7 +40,7 @@ func TestKHopMaterializeParallelMatchesSequential(t *testing.T) {
 	cases := []struct {
 		name string
 		g    *graph.Graph
-		def  KHopConnector
+		def  ParallelView
 	}{
 		{"prov-job-job", prov, KHopConnector{SrcType: "Job", DstType: "Job", K: 2}},
 		{"prov-dedup", prov, KHopConnector{SrcType: "Job", DstType: "Job", K: 2, DedupPairs: true}},
@@ -48,10 +48,25 @@ func TestKHopMaterializeParallelMatchesSequential(t *testing.T) {
 		{"soc-any-any", soc, KHopConnector{K: 2}},
 		{"soc-3hop-dedup", soc, KHopConnector{K: 3, DedupPairs: true}},
 	}
+	assertParallelMatchesSequential(t, cases)
+}
+
+// assertParallelMatchesSequential checks, per case, that the parallel
+// build at several worker counts serializes to the exact bytes of the
+// sequential build.
+func assertParallelMatchesSequential(t *testing.T, cases []struct {
+	name string
+	g    *graph.Graph
+	def  ParallelView
+}) {
+	t.Helper()
 	for _, tc := range cases {
 		seq, err := tc.def.Materialize(tc.g)
 		if err != nil {
 			t.Fatalf("%s: sequential: %v", tc.name, err)
+		}
+		if seq.NumEdges() == 0 {
+			t.Errorf("%s: sequential build produced no edges — vacuous equivalence case", tc.name)
 		}
 		want := saveBytes(t, seq)
 		for _, workers := range []int{2, 4, -1} {
@@ -65,4 +80,39 @@ func TestKHopMaterializeParallelMatchesSequential(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestConnectorClassesMaterializeParallelMatchSequential extends the
+// byte-identity requirement to the other connector classes sharing the
+// per-source DFS shape — same-vertex-type, same-edge-type, and
+// source-to-sink — which previously fell back to sequential builds
+// inside AddAll.
+func TestConnectorClassesMaterializeParallelMatchSequential(t *testing.T) {
+	prov, err := datagen.Prov(datagen.ProvConfig{
+		Jobs: 70, Files: 180, TasksPerJob: 2, Machines: 8, Users: 4,
+		MaxReads: 10, Pipelines: 5, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dblp, err := datagen.DBLP(datagen.DBLPConfig{
+		Authors: 60, Papers: 140, Venues: 6, MaxPerAuthor: 20, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		def  ParallelView
+	}{
+		{"samevt-author", dblp, SameVertexTypeConnector{VType: "Author", MaxLen: 2}},
+		{"samevt-author-dedup", dblp, SameVertexTypeConnector{VType: "Author", MaxLen: 3, DedupPairs: true}},
+		{"samevt-job", prov, SameVertexTypeConnector{VType: "Job", MaxLen: 2}},
+		{"sameet-writes", prov, SameEdgeTypeConnector{EType: "WRITES_TO", MaxLen: 3}},
+		{"sameet-authored-dedup", dblp, SameEdgeTypeConnector{EType: "AUTHORED", MaxLen: 2, DedupPairs: true}},
+		{"srcsink", prov, SourceToSinkConnector{MaxLen: 4}},
+		{"srcsink-dedup", prov, SourceToSinkConnector{MaxLen: 5, DedupPairs: true}},
+	}
+	assertParallelMatchesSequential(t, cases)
 }

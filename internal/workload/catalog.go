@@ -30,11 +30,11 @@ type Materialized struct {
 // estimated evaluation cost.
 //
 // A Catalog is safe for concurrent use: reads (Rewrite, Get, Views,
-// TotalEdges) take a shared lock, mutations (Add, AddAll) an exclusive
-// one, and every mutation that lands a view bumps Epoch — the cheap
-// freshness signal prepared queries poll to know their cached plan may
-// be stale. Base, BaseProps, Schema, and Alpha are set at construction
-// and read-only afterwards.
+// TotalEdges) take a shared lock, mutations (Add, AddAll, DropView) an
+// exclusive one, and every mutation that lands or drops a view bumps
+// Epoch — the cheap freshness signal prepared queries poll to know
+// their cached plan may be stale. Base, BaseProps, Schema, and Alpha
+// are set at construction and read-only afterwards.
 type Catalog struct {
 	Base      *graph.Graph
 	BaseProps *cost.GraphProperties
@@ -48,9 +48,10 @@ type Catalog struct {
 }
 
 // Epoch returns the catalog's mutation counter. It increments every
-// time a view lands in the catalog, so a plan rewritten at epoch E is
-// current exactly while Epoch() == E. Reading it costs one atomic load
-// — cheap enough for every prepared-query execution.
+// time a view lands in or is dropped from the catalog, so a plan
+// rewritten at epoch E is current exactly while Epoch() == E. Reading
+// it costs one atomic load — cheap enough for every prepared-query
+// execution.
 func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
 
 // Materialize executes every chosen view of the selection over g and
@@ -213,6 +214,32 @@ func (c *Catalog) AddAll(cands []enum.Candidate, workers int) error {
 		c.insert(b.name, b.mat)
 	}
 	return nil
+}
+
+// DropView evicts a materialized view from the catalog, releasing the
+// view graph, and bumps the epoch — the part that matters for
+// correctness: a PreparedQuery whose cached plan was rewritten over the
+// dropped view sees the epoch move and re-rewrites on its next
+// execution instead of running the stale plan. It reports whether the
+// view was present. An execution already racing the drop may finish
+// over the old plan — the view graph stays alive until the last
+// reference drops, so such a straggler reads consistent (if
+// one-epoch-old) data, never freed memory.
+func (c *Catalog) DropView(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byName[name]; !ok {
+		return false
+	}
+	delete(c.byName, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.epoch.Add(1)
+	return true
 }
 
 // Views returns the materialized view names in creation order.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"kaskade/internal/datagen"
+	"kaskade/internal/enum"
 	"kaskade/internal/exec"
 	"kaskade/internal/gql"
 	"kaskade/internal/graph"
@@ -168,6 +169,84 @@ func TestCatalogRewriteFallsBackWithoutViews(t *testing.T) {
 	if plan.ViewName != "" || plan.Graph != g {
 		t.Errorf("empty catalog should return the base plan, got view %q", plan.ViewName)
 	}
+}
+
+// TestCatalogDropView: dropping a view removes it from every read
+// surface, bumps the epoch (the staleness signal prepared queries poll),
+// sends rewrites back to the base graph, and leaves the catalog ready to
+// re-materialize the same view.
+func TestCatalogDropView(t *testing.T) {
+	g := filteredProv(t)
+	a := &Analyzer{Schema: g.Schema(), MaxK: 10}
+	q := gql.MustParse(blastRadius)
+	sel, err := a.Analyze(g, []gql.Query{q}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := Materialize(g, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cat.Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ViewName == "" {
+		t.Fatal("rewrite did not use a view; nothing to drop")
+	}
+
+	epoch := cat.Epoch()
+	if !cat.DropView(plan.ViewName) {
+		t.Fatalf("DropView(%q) = false for a materialized view", plan.ViewName)
+	}
+	if cat.Epoch() == epoch {
+		t.Fatal("DropView did not bump the epoch")
+	}
+	if _, ok := cat.Get(plan.ViewName); ok {
+		t.Fatalf("Get(%q) still finds the dropped view", plan.ViewName)
+	}
+	for _, n := range cat.Views() {
+		if n == plan.ViewName {
+			t.Fatalf("Views() still lists dropped %q", plan.ViewName)
+		}
+	}
+	plan2, err := cat.Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.ViewName == plan.ViewName {
+		t.Fatalf("rewrite still plans over dropped view %q", plan.ViewName)
+	}
+
+	// Dropping twice is a no-op that reports absence and keeps the epoch.
+	epoch = cat.Epoch()
+	if cat.DropView(plan.ViewName) {
+		t.Fatal("DropView of an absent view returned true")
+	}
+	if cat.Epoch() != epoch {
+		t.Fatal("no-op DropView bumped the epoch")
+	}
+
+	// The same view can land again after the drop.
+	if err := cat.AddAll(candidatesOf(sel), 1); err != nil {
+		t.Fatal(err)
+	}
+	plan3, err := cat.Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan3.ViewName != plan.ViewName {
+		t.Fatalf("after re-add, rewrite uses %q, want %q", plan3.ViewName, plan.ViewName)
+	}
+}
+
+// candidatesOf extracts a selection's chosen candidates.
+func candidatesOf(sel *Selection) []enum.Candidate {
+	cands := make([]enum.Candidate, len(sel.Chosen))
+	for i, ev := range sel.Chosen {
+		cands[i] = ev.Candidate
+	}
+	return cands
 }
 
 // TestAnalyzeWeighted: weighting a query up scales the improvements its

@@ -43,9 +43,10 @@
 //		...
 //	}
 //
-// A prepared plan tracks the catalog: AdoptSelection/MaterializeView
-// bump an internal epoch, and the statement transparently re-rewrites
-// on its next execution, so long-lived statements follow the view set.
+// A prepared plan tracks the catalog: AdoptSelection, MaterializeView,
+// and DropView bump an internal epoch, and the statement transparently
+// re-rewrites on its next execution, so long-lived statements follow
+// the view set — including away from a view that was dropped.
 //
 // Every execution path takes a context.Context (QueryContext,
 // QueryRows, ExecContext): cancel it — or let its deadline pass — and
@@ -80,7 +81,16 @@
 // node across workers and merges partition results in partition order,
 // so parallel execution is deterministic: results — row order, group
 // order, even float accumulation order — are byte-identical to the
-// sequential path, which remains the semantic reference.
+// sequential path, which remains the semantic reference. How a
+// partition's results travel is chosen per query at plan time (see
+// AggMode): pure projections stream each partition's row prefix
+// eagerly (low time-to-first-row at any worker count),
+// order-insensitive aggregates (COUNT/MIN/MAX, and SUM over
+// provably-integer expressions — property accesses are untyped, so
+// SUM over a property buffers) run as per-partition partial
+// accumulators merged in partition order, and AVG, float SUM, and
+// unprovable SUM fall back to buffering yields for exact sequential
+// fold order.
 // AdoptSelection materializes independent selected views concurrently
 // (spare workers fan out inside each connector's per-source path
 // search), preserving catalog order. Graphs are read-only once loaded
@@ -157,8 +167,26 @@ type Value = exec.Value
 var ErrRowLimit = exec.ErrRowLimit
 
 // PreparedQuery is a parsed, view-rewritten query cached for repeated
-// execution; it re-rewrites transparently when the catalog changes.
+// execution; it re-rewrites transparently when the catalog changes
+// (views adopted or dropped).
 type PreparedQuery = core.PreparedQuery
+
+// AggMode is the aggregation execution strategy the parallel path
+// selects at plan time: AggModePartial runs order-insensitive
+// accumulators (COUNT, MIN, MAX, integer SUM) as per-chunk partials
+// merged in partition order; AggModeBuffered replays yields in
+// sequential order for accumulators whose fold order is observable
+// (float SUM, AVG); AggModeNone streams pure projections eagerly.
+// Either way results are byte-identical to sequential execution.
+// Inspect a statement's strategy with PreparedQuery.AggMode.
+type AggMode = exec.AggMode
+
+// Aggregation execution strategies (see AggMode).
+const (
+	AggModeNone     = exec.AggModeNone
+	AggModeBuffered = exec.AggModeBuffered
+	AggModePartial  = exec.AggModePartial
+)
 
 // QueryOption tunes one query execution (or one prepared query's
 // defaults).
