@@ -3,12 +3,32 @@
 // per-path aggregation (Q4), label-propagation community detection
 // (Q7 — the paper used Neo4j's APOC UDF), and largest-community
 // extraction (Q8).
+//
+// Every kernel runs on the graph's frozen CSR view (graph.Frozen): flat
+// offset/edge arrays instead of pointer-chasing per-vertex slices, and
+// index-addressed bitsets instead of map[VertexID]bool visited sets —
+// the storage layout that removed the allocation bottleneck from the
+// k-hop hot path. Results are byte-identical to the historical
+// append-mode implementations (same vertices, same order).
+//
+// The Traversal type bundles a frozen graph with reusable scratch state
+// (visited bitset, frontier arrays, result buffer), so a loop over many
+// sources — the shape of every Fig. 7 per-source query — performs no
+// per-source allocation. The package-level functions are convenience
+// wrappers that build a one-shot Traversal.
+//
+// Context variants (KHopNeighborhoodContext etc.) poll ctx inside the
+// traversal, not just between sources, so even a single huge traversal
+// stops promptly on cancellation. Parallel per-source and per-round
+// variants live in parallel.go.
 package algo
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"kaskade/internal/bitset"
 	"kaskade/internal/graph"
 )
 
@@ -21,32 +41,152 @@ const (
 	Backward                  // follow in-edges (ancestors)
 )
 
-// KHopNeighborhood returns the set of vertices reachable from src within
-// 1..k hops in the given direction (BFS; src itself is excluded). This is
-// the primitive behind Q2 (ancestors, Backward) and Q3 (descendants,
-// Forward).
-func KHopNeighborhood(g *graph.Graph, src graph.VertexID, k int, dir Direction) []graph.VertexID {
-	if k < 1 {
+// ctxPollEvery is how many traversal steps (edge probes) pass between
+// context polls: frequent enough that cancellation is prompt, rare
+// enough that the poll never shows up in profiles.
+const ctxPollEvery = 1024
+
+// Traversal bundles a frozen graph with reusable scratch state: the
+// visited bitset, BFS frontier arrays, per-vertex relaxation arrays,
+// and a result buffer. Reusing one Traversal across a per-source loop
+// makes each traversal allocation-free (scratch is cleared by walking
+// the previous result, O(|result|), not O(V)).
+//
+// A Traversal is single-goroutine; give each worker its own (see
+// ForEachSource). Slices returned by its methods are backed by the
+// scratch buffer and valid only until the next call on the same
+// Traversal — copy them to keep them.
+type Traversal struct {
+	f        *graph.Frozen
+	visited  bitset.Set
+	frontier []graph.VertexID
+	next     []graph.VertexID
+	buf      []graph.VertexID // result buffer for KHop/Reachable
+
+	// PathLengths scratch: dense best-aggregate array and its touched set.
+	best  []int64
+	seen  bitset.Set
+	queue []plItem
+
+	steps int // context poll tick counter
+}
+
+type plItem struct {
+	v    graph.VertexID
+	agg  int64
+	hops int
+}
+
+// NewTraversal returns a Traversal over g's frozen view (freezing it on
+// first use if needed).
+func NewTraversal(g *graph.Graph) *Traversal { return NewFrozenTraversal(g.Freeze()) }
+
+// NewFrozenTraversal returns a Traversal over an already-frozen graph.
+func NewFrozenTraversal(f *graph.Frozen) *Traversal {
+	return &Traversal{
+		f:       f,
+		visited: bitset.New(f.NumVertices()),
+	}
+}
+
+// Frozen returns the frozen graph the traversal runs on.
+func (t *Traversal) Frozen() *graph.Frozen { return t.f }
+
+func (t *Traversal) edges(v graph.VertexID, dir Direction) []graph.EdgeID {
+	if dir == Forward {
+		return t.f.Out(v)
+	}
+	return t.f.In(v)
+}
+
+func (t *Traversal) neighbor(eid graph.EdgeID, dir Direction) graph.VertexID {
+	if dir == Forward {
+		return t.f.To(eid)
+	}
+	return t.f.From(eid)
+}
+
+// tick polls ctx once every ctxPollEvery steps.
+func (t *Traversal) tick(ctx context.Context) error {
+	if ctx == nil {
 		return nil
 	}
-	visited := map[graph.VertexID]bool{src: true}
-	frontier := []graph.VertexID{src}
-	var out []graph.VertexID
+	t.steps++
+	if t.steps%ctxPollEvery != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// KHop returns the set of vertices reachable from src within 1..k hops
+// in the given direction (BFS; src itself is excluded), in the same
+// order as KHopNeighborhood. The result is scratch-backed: valid until
+// the next call on this Traversal.
+func (t *Traversal) KHop(src graph.VertexID, k int, dir Direction) []graph.VertexID {
+	out, _ := t.KHopContext(nil, src, k, dir)
+	return out
+}
+
+// KHopContext is KHop with cancellation: ctx is polled inside the
+// traversal (every ctxPollEvery edge probes), so even one huge
+// neighborhood expansion stops promptly. A nil ctx never cancels.
+func (t *Traversal) KHopContext(ctx context.Context, src graph.VertexID, k int, dir Direction) ([]graph.VertexID, error) {
+	if k < 1 {
+		return nil, nil
+	}
+	out := t.buf[:0]
+	t.visited.Add(int(src))
+	defer func() {
+		// Clear only what this traversal touched, and keep the grown
+		// buffers for the next call (also on the error path).
+		t.visited.Remove(int(src))
+		for _, v := range out {
+			t.visited.Remove(int(v))
+		}
+		t.buf = out[:0]
+		t.frontier = t.frontier[:0]
+		t.next = t.next[:0]
+	}()
+	frontier := append(t.frontier[:0], src)
+	next := t.next[:0]
 	for hop := 0; hop < k && len(frontier) > 0; hop++ {
-		var next []graph.VertexID
+		next = next[:0]
 		for _, v := range frontier {
-			for _, eid := range edgesOf(g, v, dir) {
-				n := neighbor(g, eid, dir)
-				if !visited[n] {
-					visited[n] = true
+			for _, eid := range t.edges(v, dir) {
+				if err := t.tick(ctx); err != nil {
+					t.frontier, t.next = frontier, next
+					return out, err
+				}
+				n := t.neighbor(eid, dir)
+				if !t.visited.Has(int(n)) {
+					t.visited.Add(int(n))
 					next = append(next, n)
 					out = append(out, n)
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
+	}
+	t.frontier, t.next = frontier, next
+	return out, nil
+}
+
+// KHopNeighborhood returns the set of vertices reachable from src within
+// 1..k hops in the given direction (BFS; src itself is excluded). This is
+// the primitive behind Q2 (ancestors, Backward) and Q3 (descendants,
+// Forward). For a loop over many sources, reuse a Traversal instead.
+func KHopNeighborhood(g *graph.Graph, src graph.VertexID, k int, dir Direction) []graph.VertexID {
+	out := NewTraversal(g).KHop(src, k, dir)
+	if len(out) == 0 {
+		return nil
 	}
 	return out
+}
+
+// KHopNeighborhoodContext is KHopNeighborhood with cancellation: ctx is
+// polled inside the traversal, not just between calls.
+func KHopNeighborhoodContext(ctx context.Context, g *graph.Graph, src graph.VertexID, k int, dir Direction) ([]graph.VertexID, error) {
+	return NewTraversal(g).KHopContext(ctx, src, k, dir)
 }
 
 // PathLengths computes, for every vertex in src's forward k-hop
@@ -55,39 +195,82 @@ func KHopNeighborhood(g *graph.Graph, src graph.VertexID, k int, dir Direction) 
 // retrieve the 4-hop neighborhood, then aggregate an edge data property
 // (the timestamp) along paths. The BFS relaxes a vertex when a path with
 // a smaller aggregate is found, making the result order-independent.
+//
+// Edges whose `prop` is missing or not an int64 are skipped entirely:
+// they contribute no aggregate and paths may not traverse them. (They
+// were previously coerced to 0, which silently made an untimestamped
+// edge look like the oldest possible one.) A vertex reachable only
+// through skipped edges is absent from the result.
 func PathLengths(g *graph.Graph, src graph.VertexID, k int, prop string) map[graph.VertexID]int64 {
-	dist := make(map[graph.VertexID]int64)
-	type item struct {
-		v    graph.VertexID
-		agg  int64
-		hops int
+	dist, _ := NewTraversal(g).PathLengthsContext(nil, src, k, prop)
+	return dist
+}
+
+// PathLengthsContext is PathLengths with cancellation.
+func PathLengthsContext(ctx context.Context, g *graph.Graph, src graph.VertexID, k int, prop string) (map[graph.VertexID]int64, error) {
+	return NewTraversal(g).PathLengthsContext(ctx, src, k, prop)
+}
+
+// PathLengthsContext computes the per-vertex path aggregate (see
+// PathLengths) using the traversal's dense relaxation arrays. The
+// returned map is freshly allocated (not scratch-backed).
+func (t *Traversal) PathLengthsContext(ctx context.Context, src graph.VertexID, k int, prop string) (map[graph.VertexID]int64, error) {
+	if t.best == nil {
+		t.best = make([]int64, t.f.NumVertices())
 	}
-	queue := []item{{v: src, agg: 0, hops: 0}}
-	best := map[graph.VertexID]int64{src: 0}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	if t.seen == nil {
+		t.seen = bitset.New(t.f.NumVertices())
+	}
+	touched := t.buf[:0] // vertices with a best[] entry, src excluded
+	defer func() {
+		t.seen.Remove(int(src))
+		for _, v := range touched {
+			t.seen.Remove(int(v))
+		}
+		t.buf = touched[:0]
+		t.queue = t.queue[:0]
+	}()
+	queue := append(t.queue[:0], plItem{v: src, agg: 0, hops: 0})
+	t.seen.Add(int(src))
+	t.best[src] = 0
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
 		if cur.hops == k {
 			continue
 		}
-		for _, eid := range g.Out(cur.v) {
-			e := g.Edge(eid)
-			ts, _ := e.Prop(prop).(int64)
+		for _, eid := range t.f.Out(cur.v) {
+			if err := t.tick(ctx); err != nil {
+				t.queue = queue[:0]
+				return nil, err
+			}
+			ts, ok := t.f.Edge(eid).Prop(prop).(int64)
+			if !ok {
+				continue // missing/non-int64 property: edge not traversable
+			}
 			agg := cur.agg
 			if ts > agg {
 				agg = ts
 			}
-			prev, seen := best[e.To]
-			if !seen || agg < prev {
-				best[e.To] = agg
-				queue = append(queue, item{v: e.To, agg: agg, hops: cur.hops + 1})
-				if e.To != src {
-					dist[e.To] = agg
+			to := t.f.To(eid)
+			if t.seen.Has(int(to)) && agg >= t.best[to] {
+				continue
+			}
+			if !t.seen.Has(int(to)) {
+				t.seen.Add(int(to))
+				if to != src {
+					touched = append(touched, to)
 				}
 			}
+			t.best[to] = agg
+			queue = append(queue, plItem{v: to, agg: agg, hops: cur.hops + 1})
 		}
 	}
-	return dist
+	t.queue = queue
+	dist := make(map[graph.VertexID]int64, len(touched))
+	for _, v := range touched {
+		dist[v] = t.best[v]
+	}
+	return dist, nil
 }
 
 // LabelPropagation runs synchronous label-propagation community
@@ -98,50 +281,40 @@ func PathLengths(g *graph.Graph, src graph.VertexID, k int, prop string) map[gra
 // final labels are written to the vertex property `communityProp` and
 // also returned.
 func LabelPropagation(g *graph.Graph, passes int, communityProp string) []int64 {
-	n := g.NumVertices()
-	labels := make([]int64, n)
-	for i := range labels {
-		labels[i] = int64(i)
-	}
-	next := make([]int64, n)
-	counts := make(map[int64]int)
-	for p := 0; p < passes; p++ {
-		changed := false
-		for v := 0; v < n; v++ {
-			clear(counts)
-			id := graph.VertexID(v)
-			for _, eid := range g.Out(id) {
-				counts[labels[g.Edge(eid).To]]++
-			}
-			for _, eid := range g.In(id) {
-				counts[labels[g.Edge(eid).From]]++
-			}
-			if len(counts) == 0 {
-				next[v] = labels[v]
-				continue
-			}
-			bestLabel, bestCount := labels[v], 0
-			for label, c := range counts {
-				if c > bestCount || (c == bestCount && label < bestLabel) {
-					bestLabel, bestCount = label, c
-				}
-			}
-			next[v] = bestLabel
-			if bestLabel != labels[v] {
-				changed = true
-			}
-		}
-		labels, next = next, labels
-		if !changed {
-			break
-		}
-	}
-	if communityProp != "" {
-		for v := 0; v < n; v++ {
-			g.Vertex(graph.VertexID(v)).SetProp(communityProp, labels[v])
-		}
-	}
+	labels, _ := LabelPropagationContext(context.Background(), g, passes, communityProp)
 	return labels
+}
+
+// LabelPropagationContext is LabelPropagation with cancellation, polled
+// once per pass per chunk of vertices.
+func LabelPropagationContext(ctx context.Context, g *graph.Graph, passes int, communityProp string) ([]int64, error) {
+	return LabelPropagationParallel(ctx, g, passes, communityProp, 1)
+}
+
+// lpAdoptLabel computes one vertex's next label: the most frequent
+// label among its undirected neighbors, smaller label winning ties
+// (counts must be empty on entry; it is cleared on return). The rule is
+// deterministic — min label among the max-count labels — so computing
+// vertices in any order (or in parallel) yields identical labels.
+func lpAdoptLabel(f *graph.Frozen, labels []int64, v int, counts map[int64]int) int64 {
+	id := graph.VertexID(v)
+	for _, eid := range f.Out(id) {
+		counts[labels[f.To(eid)]]++
+	}
+	for _, eid := range f.In(id) {
+		counts[labels[f.From(eid)]]++
+	}
+	if len(counts) == 0 {
+		return labels[v]
+	}
+	bestLabel, bestCount := labels[v], 0
+	for label, c := range counts {
+		if c > bestCount || (c == bestCount && label < bestLabel) {
+			bestLabel, bestCount = label, c
+		}
+	}
+	clear(counts)
+	return bestLabel
 }
 
 // LargestCommunity returns the community label with the most vertices of
@@ -188,34 +361,49 @@ func LargestCommunity(g *graph.Graph, communityProp, countType string) (label in
 // (unbounded hops), excluding src — the "blast radius" vertex set used
 // by Q1-style impact analyses.
 func Reachable(g *graph.Graph, src graph.VertexID) []graph.VertexID {
-	visited := map[graph.VertexID]bool{src: true}
-	stack := []graph.VertexID{src}
-	var out []graph.VertexID
+	out, _ := NewTraversal(g).ReachableContext(nil, src)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// ReachableContext is Reachable with cancellation.
+func ReachableContext(ctx context.Context, g *graph.Graph, src graph.VertexID) ([]graph.VertexID, error) {
+	return NewTraversal(g).ReachableContext(ctx, src)
+}
+
+// ReachableContext computes the forward reachability set (see
+// Reachable) on the traversal's scratch. The result is scratch-backed:
+// valid until the next call on this Traversal.
+func (t *Traversal) ReachableContext(ctx context.Context, src graph.VertexID) ([]graph.VertexID, error) {
+	out := t.buf[:0]
+	t.visited.Add(int(src))
+	defer func() {
+		t.visited.Remove(int(src))
+		for _, v := range out {
+			t.visited.Remove(int(v))
+		}
+		t.buf = out[:0]
+		t.frontier = t.frontier[:0]
+	}()
+	stack := append(t.frontier[:0], src)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, eid := range g.Out(v) {
-			n := g.Edge(eid).To
-			if !visited[n] {
-				visited[n] = true
+		for _, eid := range t.f.Out(v) {
+			if err := t.tick(ctx); err != nil {
+				t.frontier = stack
+				return out, err
+			}
+			n := t.f.To(eid)
+			if !t.visited.Has(int(n)) {
+				t.visited.Add(int(n))
 				out = append(out, n)
 				stack = append(stack, n)
 			}
 		}
 	}
-	return out
-}
-
-func edgesOf(g *graph.Graph, v graph.VertexID, dir Direction) []graph.EdgeID {
-	if dir == Forward {
-		return g.Out(v)
-	}
-	return g.In(v)
-}
-
-func neighbor(g *graph.Graph, eid graph.EdgeID, dir Direction) graph.VertexID {
-	if dir == Forward {
-		return g.Edge(eid).To
-	}
-	return g.Edge(eid).From
+	t.frontier = stack
+	return out, nil
 }

@@ -1,0 +1,41 @@
+// Package bitset provides the dense bit-vector the traversal kernels use
+// for visited/frontier sets over dense vertex IDs: one bit per vertex
+// instead of a map entry, so membership tests are a mask and marking a
+// vertex allocates nothing.
+package bitset
+
+// Set is a fixed-capacity bit set over [0, n). The zero value is an
+// empty set of capacity 0; use New to size it.
+type Set []uint64
+
+// New returns an empty set with capacity for n elements.
+func New(n int) Set {
+	return make(Set, (n+63)/64)
+}
+
+// Has reports whether i is in the set.
+func (s Set) Has(i int) bool {
+	return s[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Add inserts i into the set.
+func (s Set) Add(i int) {
+	s[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove deletes i from the set.
+func (s Set) Remove(i int) {
+	s[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Clear empties the whole set in O(capacity/64). When only a few
+// elements are set and they are known, calling Remove per element is
+// cheaper — the traversal kernels clear by walking their result list.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Cap returns the element capacity (a multiple of 64).
+func (s Set) Cap() int { return len(s) * 64 }

@@ -1,0 +1,32 @@
+package bitset
+
+import "testing"
+
+func TestSetBasics(t *testing.T) {
+	s := New(130)
+	if s.Cap() < 130 {
+		t.Fatalf("cap = %d, want >= 130", s.Cap())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 129} {
+		if s.Has(i) {
+			t.Errorf("fresh set has %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Errorf("added %d not present", i)
+		}
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("removed 64 still present")
+	}
+	if !s.Has(63) || !s.Has(65) {
+		t.Error("Remove(64) disturbed neighbors")
+	}
+	s.Clear()
+	for _, i := range []int{0, 63, 65, 129} {
+		if s.Has(i) {
+			t.Errorf("cleared set has %d", i)
+		}
+	}
+}

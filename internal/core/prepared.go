@@ -129,5 +129,5 @@ func (p *PreparedQuery) AggMode() (exec.AggMode, error) {
 	if err != nil {
 		return exec.AggModeNone, err
 	}
-	return exec.QueryAggMode(plan.Query), nil
+	return exec.QueryAggModeFor(plan.Query, plan.Graph.Schema()), nil
 }

@@ -46,8 +46,12 @@ type System struct {
 
 // New creates a system over the given graph. The graph should have a
 // schema — Kaskade's constraint mining feeds on it (§IV-A); without one,
-// only raw execution works.
+// only raw execution works. The graph is frozen here (its immutable CSR
+// view built and cached), so every query and traversal runs on the
+// frozen path from the first call; per the read-only-after-load
+// contract, the graph must not be mutated after this.
 func New(g *graph.Graph) *System {
+	g.Freeze()
 	return &System{
 		graph:    g,
 		analyzer: &workload.Analyzer{Schema: g.Schema()},
@@ -170,7 +174,10 @@ func (s *System) Explain(src string) (string, error) {
 		fmt.Fprintf(&b, "plan: rewritten over materialized view %s\n", plan.ViewName)
 	}
 	fmt.Fprintf(&b, "estimated cost: %.4g\n", plan.Cost)
-	if mode := exec.QueryAggMode(plan.Query); mode != exec.AggModeNone {
+	fz := plan.Graph.Freeze()
+	fmt.Fprintf(&b, "storage: frozen csr (|V|=%d, |E|=%d, edge types=%d)\n",
+		fz.NumVertices(), fz.NumEdges(), len(fz.EdgeTypes()))
+	if mode := exec.QueryAggModeFor(plan.Query, plan.Graph.Schema()); mode != exec.AggModeNone {
 		fmt.Fprintf(&b, "aggregation: %s\n", mode)
 	}
 	fmt.Fprintf(&b, "query: %s\n", plan.Query.String())

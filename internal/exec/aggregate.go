@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"kaskade/internal/gql"
+	"kaskade/internal/graph"
 )
 
 // aggregator implements grouped aggregation for both SELECT ... GROUP BY
@@ -81,14 +82,74 @@ func (m AggMode) String() string {
 	return "none"
 }
 
+// typeEnv is the static type context a MATCH block gives its RETURN
+// expressions: the graph's schema (property kind declarations) and the
+// type label each pattern variable is constrained to. It is what lets
+// intTyped prove SUM(j.CPU) integer-valued when the schema declares
+// Job.CPU as PropInt. A nil *typeEnv is valid and proves nothing —
+// the conservative pre-schema behavior.
+type typeEnv struct {
+	schema *graph.Schema
+	vars   map[string]string // pattern variable -> vertex/edge type label
+}
+
+// newTypeEnv derives the type context from a MATCH block's patterns:
+// node variables with an explicit type label, and single-edge variables
+// with an explicit edge type. A variable appearing with conflicting
+// labels (the match would be empty anyway) is dropped. Variable-length
+// path variables bind PathRefs, not elements, so they carry no type.
+func newTypeEnv(schema *graph.Schema, patterns []gql.PathPattern) *typeEnv {
+	if schema == nil {
+		return nil
+	}
+	vars := make(map[string]string)
+	conflict := make(map[string]bool)
+	note := func(name, label string) {
+		if name == "" || label == "" || conflict[name] {
+			return
+		}
+		if prev, ok := vars[name]; ok && prev != label {
+			delete(vars, name)
+			conflict[name] = true
+			return
+		}
+		vars[name] = label
+	}
+	for _, pat := range patterns {
+		for _, n := range pat.Nodes {
+			note(n.Var, n.Type)
+		}
+		for _, e := range pat.Edges {
+			if !e.VarLength {
+				note(e.Var, e.Type)
+			}
+		}
+	}
+	return &typeEnv{schema: schema, vars: vars}
+}
+
+// propKind resolves the declared kind of varName.prop, when the
+// variable's type label is known and the schema declares the property.
+func (te *typeEnv) propKind(varName, prop string) (graph.PropKind, bool) {
+	if te == nil {
+		return 0, false
+	}
+	label, ok := te.vars[varName]
+	if !ok {
+		return 0, false
+	}
+	return te.schema.PropertyKind(label, prop)
+}
+
 // aggModeOf classifies a RETURN item list. Partial merging requires
 // every aggregate to be insensitive to fold order: COUNT and MIN/MAX
 // always are (integer addition is associative; MIN/MAX keep the
 // first-seen best on ties, which partition-order merging preserves,
 // and ignore NaN outright — see minMaxAcc.add — so float ties are
 // genuine ties), SUM only when its argument provably folds in
-// integers, and AVG never (its sum accumulates in float64).
-func aggModeOf(items []gql.ReturnItem) AggMode {
+// integers, and AVG never (its sum accumulates in float64). te widens
+// the provably-integer class with schema property declarations.
+func aggModeOf(items []gql.ReturnItem, te *typeEnv) AggMode {
 	var aggNodes []*gql.FuncCall
 	for _, item := range items {
 		aggNodes = append(aggNodes, collectAggregates(item.Expr)...)
@@ -100,7 +161,7 @@ func aggModeOf(items []gql.ReturnItem) AggMode {
 		switch node.Name {
 		case "COUNT", "MIN", "MAX":
 		case "SUM":
-			if node.Star || len(node.Args) != 1 || !intTyped(node.Args[0]) {
+			if node.Star || len(node.Args) != 1 || !intTyped(node.Args[0], te) {
 				return AggModeBuffered
 			}
 		default: // AVG, and anything newAccumulator would reject
@@ -113,20 +174,27 @@ func aggModeOf(items []gql.ReturnItem) AggMode {
 // intTyped reports whether e provably evaluates to int64 (or nil, which
 // accumulators skip) on every environment where it evaluates at all —
 // the static check that licenses partial SUM merging. Property accesses
-// are untyped in the data model, so anything touching one stays on the
-// buffered path.
-func intTyped(e gql.Expr) bool {
+// are untyped in the data model unless the schema declares the property
+// (Schema.DeclareProperty) for the variable's type label; undeclared
+// accesses stay on the buffered path. A declaration is trusted at plan
+// time; if the stored values then contradict it (float64 under a
+// PropInt declaration), the partial merge fails loudly (sumAcc.merge)
+// rather than silently producing worker-count-dependent float folds.
+func intTyped(e gql.Expr, te *typeEnv) bool {
 	switch e := e.(type) {
 	case *gql.Lit:
 		_, ok := e.Value.(int64)
 		return ok
+	case *gql.PropAccess:
+		k, ok := te.propKind(e.Base, e.Key)
+		return ok && k == graph.PropInt
 	case *gql.UnaryExpr:
-		return e.Op == "-" && intTyped(e.Operand)
+		return e.Op == "-" && intTyped(e.Operand, te)
 	case *gql.BinaryExpr:
 		// Integer division can promote to float (7/2), so only + - *.
 		switch e.Op {
 		case "+", "-", "*":
-			return intTyped(e.Left) && intTyped(e.Right)
+			return intTyped(e.Left, te) && intTyped(e.Right, te)
 		}
 		return false
 	case *gql.FuncCall:
@@ -135,10 +203,10 @@ func intTyped(e gql.Expr) bool {
 			// Always int64 (or an error, which aborts either path).
 			return true
 		case "ABS":
-			return len(e.Args) == 1 && intTyped(e.Args[0])
+			return len(e.Args) == 1 && intTyped(e.Args[0], te)
 		case "COALESCE":
 			for _, a := range e.Args {
-				if !intTyped(a) {
+				if !intTyped(a, te) {
 					return false
 				}
 			}
@@ -474,11 +542,14 @@ func (a *sumAcc) merge(o accumulator) error {
 		return nil
 	}
 	if b.isFloat {
-		// Only reachable if a float slipped past the plan-time integer
-		// proof; folding the partial float sum keeps the result correct,
-		// though bit-identity to the sequential fold is then up to the
-		// data.
-		return a.add(b.f, false)
+		// merge only runs on the partial path, which the planner selects
+		// only after proving the argument folds in integers — so a float
+		// here means the proof was wrong, i.e. a schema property
+		// declaration (Schema.DeclareProperty(..., PropInt)) lied about
+		// the stored values. Folding partial float sums would silently
+		// produce worker-count-dependent bits; fail loudly instead so
+		// the mis-declaration is found.
+		return fmt.Errorf("exec: SUM argument declared integer (schema PropInt) produced float64 values; fix the property declaration")
 	}
 	return a.add(b.i, false)
 }

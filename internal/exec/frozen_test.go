@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"kaskade/internal/datagen"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+)
+
+// runMode executes src on g with the given parallelism, on the frozen
+// CSR path or the append-mode reference.
+func runMode(t testing.TB, g *graph.Graph, src string, workers int, noFrozen bool) *Result {
+	t.Helper()
+	q := mustParse(t, src)
+	ex := &Executor{G: g, Workers: workers, noFrozen: noFrozen}
+	res, err := ex.Execute(q)
+	if err != nil {
+		t.Fatalf("Execute(%q, workers=%d, noFrozen=%v): %v", src, workers, noFrozen, err)
+	}
+	return res
+}
+
+// TestFrozenMatchesAppendOnLineage is the frozen-vs-append equivalence
+// suite over every exec_test query shape: the frozen CSR matcher must
+// produce byte-identical results (rows, order, group order, float bit
+// patterns) to the append-mode reference, sequential and parallel.
+func TestFrozenMatchesAppendOnLineage(t *testing.T) {
+	g, _ := lineage(t)
+	for _, src := range equivalenceQueries {
+		ref := runMode(t, g, src, 1, true) // append-mode sequential: the semantic reference
+		for _, workers := range []int{1, 4} {
+			frozen := runMode(t, g, src, workers, false)
+			assertSameResult(t, src, ref, frozen, workers)
+			append_ := runMode(t, g, src, workers, true)
+			assertSameResult(t, src, ref, append_, workers)
+		}
+	}
+}
+
+// TestFrozenMatchesAppendOnDatagen runs the same A/B over the randomized
+// synthetic datasets (skewed, cyclic, and grid-shaped graphs).
+func TestFrozenMatchesAppendOnDatagen(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		graphs := datagenGraphs(t, seed)
+		for name, g := range graphs {
+			for _, src := range datasetQueries[name] {
+				ref := runMode(t, g, src, 1, true)
+				for _, workers := range []int{1, 4} {
+					assertSameResult(t, src, ref, runMode(t, g, src, workers, false), workers)
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenErrorsMatchAppend pins error behavior (row limits included)
+// across the storage modes.
+func TestFrozenErrorsMatchAppend(t *testing.T) {
+	g, _ := lineage(t)
+	q := mustParse(t, `MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f`)
+	for _, noFrozen := range []bool{false, true} {
+		ex := &Executor{G: g, MaxRows: 2, noFrozen: noFrozen}
+		if _, err := ex.Execute(q); err != ErrRowLimit {
+			t.Errorf("noFrozen=%v: got %v, want ErrRowLimit", noFrozen, err)
+		}
+	}
+	for _, src := range []string{
+		`MATCH (j:Job) RETURN unknown_var`,
+		`MATCH (j:Job) WHERE j.CPU RETURN j`,
+	} {
+		for _, noFrozen := range []bool{false, true} {
+			ex := &Executor{G: g, noFrozen: noFrozen}
+			if _, err := ex.Execute(mustParse(t, src)); err == nil {
+				t.Errorf("query %q noFrozen=%v: want error", src, noFrozen)
+			}
+		}
+	}
+}
+
+// declaredSchema builds the lineage schema with Job.CPU declared as an
+// integer property.
+func declaredSchema(t *testing.T) *graph.Schema {
+	t.Helper()
+	s, err := graph.NewSchema(
+		[]string{"Job", "File"},
+		[]graph.EdgeType{
+			{From: "Job", To: "File", Name: "WRITES_TO"},
+			{From: "File", To: "Job", Name: "IS_READ_BY"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeclareProperty("Job", "CPU", graph.PropInt); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAggModeSchemaDeclaredProperty pins the ROADMAP item: SUM over a
+// property is unprovable without type information and buffers, but a
+// schema declaration (Job.CPU is PropInt) licenses the
+// partial-aggregation path — and only for matching variables and
+// properties.
+func TestAggModeSchemaDeclaredProperty(t *testing.T) {
+	sumCPU := mustParse(t, `MATCH (j:Job) RETURN SUM(j.CPU) AS total`)
+	// Without a schema, property SUM is unprovable: buffered.
+	if got := QueryAggModeFor(sumCPU, nil); got != AggModeBuffered {
+		t.Errorf("no schema: mode = %v, want buffered", got)
+	}
+	s := declaredSchema(t)
+	cases := []struct {
+		src  string
+		want AggMode
+	}{
+		// The declaration proves integer SUM: partial.
+		{`MATCH (j:Job) RETURN SUM(j.CPU) AS total`, AggModePartial},
+		// Composed integer arithmetic over the declared property.
+		{`MATCH (j:Job) RETURN SUM(j.CPU * 2 + 1) AS total`, AggModePartial},
+		// Undeclared property on the same variable: buffered.
+		{`MATCH (j:Job) RETURN SUM(j.mem) AS total`, AggModeBuffered},
+		// Untyped variable (no label in the pattern): buffered.
+		{`MATCH (j) RETURN SUM(j.CPU) AS total`, AggModeBuffered},
+		// AVG stays buffered regardless of declarations.
+		{`MATCH (j:Job) RETURN AVG(j.CPU) AS a`, AggModeBuffered},
+	}
+	for _, tc := range cases {
+		if got := QueryAggModeFor(mustParse(t, tc.src), s); got != tc.want {
+			t.Errorf("%q: mode = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+	// A float declaration must not license partial.
+	if err := s.DeclareProperty("Job", "load", graph.PropFloat); err != nil {
+		t.Fatal(err)
+	}
+	if got := QueryAggModeFor(mustParse(t, `MATCH (j:Job) RETURN SUM(j.load) AS l`), s); got != AggModeBuffered {
+		t.Errorf("float-declared property: mode = %v, want buffered", got)
+	}
+}
+
+// TestDeclaredPropertyPartialEquivalence proves the schema-widened
+// partial path byte-identical to buffered and sequential on real data.
+func TestDeclaredPropertyPartialEquivalence(t *testing.T) {
+	s := declaredSchema(t)
+	g := graph.NewGraph(s)
+	for i := 0; i < 40; i++ {
+		j := g.MustAddVertex("Job", graph.Properties{"CPU": int64(i * 7 % 13)})
+		f := g.MustAddVertex("File", nil)
+		g.MustAddEdge(j, f, "WRITES_TO", nil)
+		if i > 0 {
+			g.MustAddEdge(f, j-2, "IS_READ_BY", nil)
+		}
+	}
+	src := `MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN SUM(j.CPU) AS total`
+	q := mustParse(t, src)
+	if got := QueryAggModeFor(q, g.Schema()); got != AggModePartial {
+		t.Fatalf("mode = %v, want partial", got)
+	}
+	seq := runWorkers(t, g, src, 1)
+	for _, workers := range []int{2, 4} {
+		// Partial (default) and buffered (noPartialAgg) must both match.
+		assertSameResult(t, src, seq, runWorkers(t, g, src, workers), workers)
+		ex := &Executor{G: g, Workers: workers, noPartialAgg: true}
+		res, err := ex.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, src, seq, res, workers)
+	}
+}
+
+// TestMisdeclaredPropertyFailsLoudly pins the lying-schema behavior: a
+// property declared PropInt whose stored values are float64 routes SUM
+// onto the partial path, and the partial merge must fail with a clear
+// error instead of silently folding floats in chunk order
+// (worker-count-dependent bits).
+func TestMisdeclaredPropertyFailsLoudly(t *testing.T) {
+	s := declaredSchema(t)
+	g := graph.NewGraph(s)
+	for i := 0; i < 30; i++ {
+		j := g.MustAddVertex("Job", graph.Properties{"CPU": float64(i) / 3}) // lies: declared PropInt
+		f := g.MustAddVertex("File", nil)
+		g.MustAddEdge(j, f, "WRITES_TO", nil)
+	}
+	q := mustParse(t, `MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN SUM(j.CPU) AS total`)
+	if got := QueryAggModeFor(q, g.Schema()); got != AggModePartial {
+		t.Fatalf("mode = %v, want partial (declaration trusted at plan time)", got)
+	}
+	ex := &Executor{G: g, Workers: 4}
+	if _, err := ex.Execute(q); err == nil || !strings.Contains(err.Error(), "declared integer") {
+		t.Fatalf("err = %v, want loud mis-declaration error", err)
+	}
+}
+
+// BenchmarkFrozenPatternMatch prices the frozen CSR matcher against the
+// append-mode reference on the 2-hop typed lineage join — the matcher
+// hot path the tentpole optimizes (typed adjacency removes the per-edge
+// type filter and the Edge-record loads).
+func BenchmarkFrozenPatternMatch(b *testing.B) {
+	g := benchGraph(b)
+	q := gql.MustParse(`MATCH (a:Job)-[:WRITES_TO]->(f:File)-[:IS_READ_BY]->(c:Job) RETURN a, c`)
+	b.Run("append", func(b *testing.B) {
+		ex := &Executor{G: g, noFrozen: true}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		ex := &Executor{G: g}
+		ex.G.Freeze()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFrozenVarLength prices the storage modes on variable-length
+// traversal (untyped steps — flat CSR rows vs pointer-chased slices).
+func BenchmarkFrozenVarLength(b *testing.B) {
+	g := benchGraph(b)
+	q := gql.MustParse(`MATCH (a:Job)-[r*1..3]->(v) RETURN COUNT(r) AS n`)
+	for _, mode := range []struct {
+		name     string
+		noFrozen bool
+	}{{"append", true}, {"frozen", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ex := &Executor{G: g, noFrozen: mode.noFrozen}
+			g.Freeze()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchGraph is a mid-size filtered-provenance-shaped graph for the
+// frozen benchmarks.
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := datagen.Prov(datagen.ProvConfig{
+		Jobs: 400, Files: 900, TasksPerJob: 2, Machines: 15, Users: 5,
+		MaxReads: 15, Pipelines: 6, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}

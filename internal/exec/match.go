@@ -12,14 +12,106 @@ import (
 // graph, with Cypher edge-uniqueness semantics: no edge is used twice
 // within one match of the whole clause (this is what makes variable-length
 // traversal over cyclic graphs terminate).
+//
+// When f is set (the default — the executor freezes its graph at query
+// start), traversal steps run on the frozen CSR view: a typed edge
+// pattern expands through OutOfType/InOfType, one contiguous
+// pre-filtered slice per step instead of a filter over the full
+// adjacency row, and endpoint/type lookups read flat arrays instead of
+// the Edge records. Enumeration order is identical either way (the
+// frozen view preserves insertion order within each type group), so
+// both modes produce byte-identical results; the append-mode path
+// (f == nil) is kept as the semantic reference for the equivalence
+// tests.
 type matcher struct {
 	g        *graph.Graph
-	bindings map[string]Value      // var name -> VertexRef/EdgeRef/PathRef
-	usedEdge map[graph.EdgeID]bool // edge-uniqueness set
-	where    gql.Expr              // optional row filter
-	yield    func() error          // called once per full match
-	ctx      context.Context       // optional cancellation (nil = never)
-	steps    int                   // tick counter amortizing ctx polls
+	f        *graph.Frozen // frozen CSR view; nil = append-mode traversal
+	bindings map[string]Value
+	usedEdge []bool          // edge-uniqueness set, indexed by EdgeID
+	where    gql.Expr        // optional row filter
+	yield    func() error    // called once per full match
+	ctx      context.Context // optional cancellation (nil = never)
+	steps    int             // tick counter amortizing ctx polls
+}
+
+// newMatcher builds a matcher for q over ex's graph, on the frozen CSR
+// path unless the executor's noFrozen escape hatch is set. The
+// edge-uniqueness set costs O(NumEdges) to allocate and zero, so it is
+// only built when the patterns actually contain edge steps — a
+// vertex-only point query pays nothing for it regardless of graph
+// size.
+func (ex *Executor) newMatcher(ctx context.Context, q *gql.MatchQuery) *matcher {
+	m := &matcher{
+		g:        ex.G,
+		bindings: make(map[string]Value),
+		where:    q.Where,
+		ctx:      ctx,
+	}
+	for _, pat := range q.Patterns {
+		if len(pat.Edges) > 0 {
+			m.usedEdge = make([]bool, ex.G.NumEdges())
+			break
+		}
+	}
+	if !ex.noFrozen {
+		m.f = ex.G.Freeze()
+	}
+	return m
+}
+
+// stepEdges returns the adjacency slice to scan for one edge-pattern
+// step at vertex v, and whether it is already restricted to the
+// pattern's edge type. On the frozen path a typed step gets the
+// contiguous (v, type) group; otherwise callers filter per edge.
+func (m *matcher) stepEdges(v graph.VertexID, etype string, reversed bool) (edges []graph.EdgeID, typed bool) {
+	if m.f != nil {
+		if etype != "" {
+			if reversed {
+				return m.f.InOfType(v, etype), true
+			}
+			return m.f.OutOfType(v, etype), true
+		}
+		if reversed {
+			return m.f.In(v), false
+		}
+		return m.f.Out(v), false
+	}
+	if reversed {
+		return m.g.In(v), false
+	}
+	return m.g.Out(v), false
+}
+
+// edgeEndpoint returns the step's target endpoint of eid (the source
+// when reversed), from the frozen flat arrays when available.
+func (m *matcher) edgeEndpoint(eid graph.EdgeID, reversed bool) graph.VertexID {
+	if m.f != nil {
+		if reversed {
+			return m.f.From(eid)
+		}
+		return m.f.To(eid)
+	}
+	e := m.g.Edge(eid)
+	if reversed {
+		return e.From
+	}
+	return e.To
+}
+
+// edgeTypeOf returns eid's type label.
+func (m *matcher) edgeTypeOf(eid graph.EdgeID) string {
+	if m.f != nil {
+		return m.f.EdgeTypeOf(eid)
+	}
+	return m.g.Edge(eid).Type
+}
+
+// vertexTypeOf returns v's type label.
+func (m *matcher) vertexTypeOf(v graph.VertexID) string {
+	if m.f != nil {
+		return m.f.VertexTypeOf(v)
+	}
+	return m.g.Vertex(v).Type
 }
 
 // tickEvery is how many traversal steps pass between context polls: a
@@ -102,7 +194,7 @@ func (m *matcher) bindNode(n gql.NodePattern, cont func(graph.VertexID) error) e
 			if !ok {
 				return fmt.Errorf("exec: variable %s is not a vertex", n.Var)
 			}
-			if n.Type != "" && m.g.Vertex(ref.ID).Type != n.Type {
+			if n.Type != "" && m.vertexTypeOf(ref.ID) != n.Type {
 				return nil
 			}
 			return cont(ref.ID)
@@ -139,7 +231,7 @@ func (m *matcher) bindNode(n gql.NodePattern, cont func(graph.VertexID) error) e
 // checkAndBindTarget binds (or joins) the target node of an edge step and
 // invokes cont with the target vertex.
 func (m *matcher) checkAndBindTarget(toPat gql.NodePattern, target graph.VertexID, cont func(graph.VertexID) error) error {
-	if toPat.Type != "" && m.g.Vertex(target).Type != toPat.Type {
+	if toPat.Type != "" && m.vertexTypeOf(target) != toPat.Type {
 		return nil
 	}
 	if toPat.Var == "" {
@@ -162,10 +254,7 @@ func (m *matcher) checkAndBindTarget(toPat gql.NodePattern, target graph.VertexI
 }
 
 func (m *matcher) matchSingleEdge(from graph.VertexID, e gql.EdgePattern, toPat gql.NodePattern, cont func(graph.VertexID) error) error {
-	edges := m.g.Out(from)
-	if e.Reversed {
-		edges = m.g.In(from)
-	}
+	edges, typed := m.stepEdges(from, e.Type, e.Reversed)
 	for _, eid := range edges {
 		if err := m.tick(); err != nil {
 			return err
@@ -173,14 +262,10 @@ func (m *matcher) matchSingleEdge(from graph.VertexID, e gql.EdgePattern, toPat 
 		if m.usedEdge[eid] {
 			continue
 		}
-		ed := m.g.Edge(eid)
-		if e.Type != "" && ed.Type != e.Type {
+		if !typed && e.Type != "" && m.edgeTypeOf(eid) != e.Type {
 			continue
 		}
-		target := ed.To
-		if e.Reversed {
-			target = ed.From
-		}
+		target := m.edgeEndpoint(eid, e.Reversed)
 		var undoVar bool
 		if e.Var != "" {
 			if prev, exists := m.bindings[e.Var]; exists {
@@ -238,10 +323,7 @@ func (m *matcher) matchVarLength(from graph.VertexID, e gql.EdgePattern, toPat g
 		if max >= 0 && hops == max {
 			return nil
 		}
-		edges := m.g.Out(at)
-		if e.Reversed {
-			edges = m.g.In(at)
-		}
+		edges, typed := m.stepEdges(at, e.Type, e.Reversed)
 		for _, eid := range edges {
 			if err := m.tick(); err != nil {
 				return err
@@ -249,14 +331,10 @@ func (m *matcher) matchVarLength(from graph.VertexID, e gql.EdgePattern, toPat g
 			if m.usedEdge[eid] {
 				continue
 			}
-			ed := m.g.Edge(eid)
-			if e.Type != "" && ed.Type != e.Type {
+			if !typed && e.Type != "" && m.edgeTypeOf(eid) != e.Type {
 				continue
 			}
-			next := ed.To
-			if e.Reversed {
-				next = ed.From
-			}
+			next := m.edgeEndpoint(eid, e.Reversed)
 			m.usedEdge[eid] = true
 			path = append(path, eid)
 			err := walk(next, hops+1)

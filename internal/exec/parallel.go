@@ -151,7 +151,7 @@ func (ex *Executor) streamMatchParallel(ctx context.Context, q *gql.MatchQuery, 
 		workers = len(cands)
 	}
 
-	mode := aggModeOf(q.Return)
+	mode := aggModeOf(q.Return, newTypeEnv(ex.G.Schema(), q.Patterns))
 	if mode == AggModePartial && ex.noPartialAgg {
 		mode = AggModeBuffered
 	}
@@ -191,15 +191,9 @@ func (ex *Executor) streamMatchParallel(ctx context.Context, q *gql.MatchQuery, 
 			defer close(poolDone)
 			par.DoContextDone(wctx, numChunks, workers, func(next func() (int, bool)) {
 				// One matcher per worker: bindings and usedEdge drain
-				// back to empty between candidates, so the maps are
-				// reusable across chunks without cross-talk.
-				m := &matcher{
-					g:        ex.G,
-					bindings: make(map[string]Value),
-					usedEdge: make(map[graph.EdgeID]bool),
-					where:    q.Where,
-					ctx:      wctx,
-				}
+				// back to empty between candidates, so the per-matcher
+				// state is reusable across chunks without cross-talk.
+				m := ex.newMatcher(wctx, q)
 				for {
 					ci, ok := next()
 					if !ok {

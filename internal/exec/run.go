@@ -43,6 +43,12 @@ type Executor struct {
 	// path — the A/B switch the equivalence tests and benchmarks use to
 	// prove the two strategies byte-identical.
 	noPartialAgg bool
+
+	// noFrozen forces the matcher onto the append-mode adjacency
+	// (Graph.Out/In with per-edge type filtering) instead of the frozen
+	// CSR view — the A/B switch the frozen-vs-append equivalence suite
+	// and benchmarks use. Results are byte-identical either way.
+	noFrozen bool
 }
 
 // QueryAggMode reports the aggregation execution strategy the parallel
@@ -50,12 +56,22 @@ type Executor struct {
 // block's RETURN items, since that is the block the worker pool
 // executes (a wrapping SELECT's own aggregation is a blocking
 // relational operator either way). See AggMode for the strategies.
+// It assumes no schema; QueryAggModeFor additionally consults schema
+// property declarations.
 func QueryAggMode(q gql.Query) AggMode {
+	return QueryAggModeFor(q, nil)
+}
+
+// QueryAggModeFor is QueryAggMode with the schema of the graph the
+// query will run against: schema-declared property kinds
+// (Schema.DeclareProperty) let the plan-time analysis prove integer SUM
+// over properties like j.CPU, widening the partial-aggregation class.
+func QueryAggModeFor(q gql.Query, schema *graph.Schema) AggMode {
 	m := gql.InnermostMatch(q)
 	if m == nil {
 		return AggModeNone
 	}
-	return aggModeOf(m.Return)
+	return aggModeOf(m.Return, newTypeEnv(schema, m.Patterns))
 }
 
 // ErrRowLimit is returned when a query exceeds the executor's MaxRows.
@@ -170,13 +186,7 @@ func (ex *Executor) streamMatchSeq(ctx context.Context, q *gql.MatchQuery) ([]st
 	cols := returnCols(q.Return)
 	body := func(yield func(Row, error) bool) {
 		agg := newAggregator(q.Return, nil)
-		m := &matcher{
-			g:        ex.G,
-			bindings: make(map[string]Value),
-			usedEdge: make(map[graph.EdgeID]bool),
-			where:    q.Where,
-			ctx:      ctx,
-		}
+		m := ex.newMatcher(ctx, q)
 		rows := 0
 		m.yield = func() error {
 			rows++

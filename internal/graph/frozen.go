@@ -1,0 +1,311 @@
+package graph
+
+import "sort"
+
+// Frozen is an immutable, cache-friendly view of a Graph: adjacency is
+// laid out in flat CSR (compressed sparse row) arrays instead of the
+// loader's pointer-heavy per-vertex slices, edge endpoints and type
+// labels are interned into dense parallel arrays, and every vertex's
+// out- and in-edges are additionally grouped by edge type so a typed
+// traversal step reads one contiguous slice with no per-edge filtering.
+//
+// A Frozen is derived from its Graph by Freeze and shares the graph's
+// vertex/edge records and property bags read-only; it adds only index
+// structure. All iteration orders are preserved exactly: Out/In return
+// edges in insertion order, OutOfType/InOfType return the insertion-
+// order subsequence of that type, and VerticesOfType matches
+// Graph.VerticesOfType — so an algorithm ported from the append-mode
+// accessors to the frozen ones produces byte-identical results.
+//
+// Freeze memoizes: the first call builds the index in O(V+E) and caches
+// it on the graph; later calls return the cached value (one atomic
+// load). Mutating the graph (AddVertex/AddEdge) invalidates the cache,
+// so a graph still being loaded may be frozen early at no correctness
+// cost — but the intended lifecycle is freeze-after-load: the loader
+// (graph.Load), the catalog (each landed view), and the executor all
+// freeze once and then only read.
+type Frozen struct {
+	g *Graph
+
+	// Interned type labels, in first-appearance (vertex/edge ID) order.
+	vtypes  []string
+	vtypeID map[string]int32
+	etypes  []string
+	etypeID map[string]int32
+
+	vtypeOf []int32 // vertex ID -> index into vtypes
+	etypeOf []int32 // edge ID -> index into etypes
+
+	// Flat edge endpoints (edge ID -> vertex ID), so traversals never
+	// touch the Edge struct (and its property-map pointer) just to step.
+	edgeFrom []VertexID
+	edgeTo   []VertexID
+
+	// CSR adjacency in insertion order: vertex v's out-edges are
+	// outEdges[outOff[v]:outOff[v+1]], matching Graph.Out(v) exactly.
+	outOff   []int32
+	outEdges []EdgeID
+	inOff    []int32
+	inEdges  []EdgeID
+
+	// Type-grouped adjacency: outTyped holds each vertex's row permuted
+	// so edges of one type are contiguous (insertion order within a
+	// group), occupying the same [outOff[v], outOff[v+1]) span as the
+	// flat row. The groups present at v are outGroups[outGroupOff[v]:
+	// outGroupOff[v+1]] — one (type, start) record per distinct type in
+	// the row, so memory is O(V+E) regardless of how many edge types the
+	// graph declares. OutOfType resolves a group with a short linear
+	// scan (vertices rarely carry more than a handful of types).
+	outGroupOff []int32
+	outGroups   []typeGroup
+	outTyped    []EdgeID
+	inGroupOff  []int32
+	inGroups    []typeGroup
+	inTyped     []EdgeID
+
+	// Dense per-type vertex index, aligned with vtypes; the slices are
+	// shared with (and ordered like) Graph.VerticesOfType.
+	verticesByType [][]VertexID
+}
+
+// Freeze returns the graph's frozen CSR view, building and caching it on
+// first use. Concurrent callers may race the first build (both build,
+// one result wins — they are identical); mutation must not overlap
+// Freeze, per the read-only-after-load contract.
+func (g *Graph) Freeze() *Frozen {
+	if f := g.frozen.Load(); f != nil {
+		return f
+	}
+	f := buildFrozen(g)
+	if !g.frozen.CompareAndSwap(nil, f) {
+		return g.frozen.Load()
+	}
+	return f
+}
+
+func buildFrozen(g *Graph) *Frozen {
+	nv, ne := len(g.vertices), len(g.edges)
+	f := &Frozen{
+		g:       g,
+		vtypeID: make(map[string]int32),
+		etypeID: make(map[string]int32),
+		vtypeOf: make([]int32, nv),
+		etypeOf: make([]int32, ne),
+	}
+	for i := range g.vertices {
+		t := g.vertices[i].Type
+		id, ok := f.vtypeID[t]
+		if !ok {
+			id = int32(len(f.vtypes))
+			f.vtypeID[t] = id
+			f.vtypes = append(f.vtypes, t)
+		}
+		f.vtypeOf[i] = id
+	}
+	f.edgeFrom = make([]VertexID, ne)
+	f.edgeTo = make([]VertexID, ne)
+	for i := range g.edges {
+		e := &g.edges[i]
+		t := e.Type
+		id, ok := f.etypeID[t]
+		if !ok {
+			id = int32(len(f.etypes))
+			f.etypeID[t] = id
+			f.etypes = append(f.etypes, t)
+		}
+		f.etypeOf[i] = id
+		f.edgeFrom[i] = e.From
+		f.edgeTo[i] = e.To
+	}
+	f.outOff, f.outEdges = flattenAdjacency(g.out, ne)
+	f.inOff, f.inEdges = flattenAdjacency(g.in, ne)
+	nt := len(f.etypes)
+	f.outGroupOff, f.outGroups, f.outTyped = groupByType(f.outOff, f.outEdges, f.etypeOf, nv, nt)
+	f.inGroupOff, f.inGroups, f.inTyped = groupByType(f.inOff, f.inEdges, f.etypeOf, nv, nt)
+	f.verticesByType = make([][]VertexID, len(f.vtypes))
+	for i, t := range f.vtypes {
+		f.verticesByType[i] = g.byType[t]
+	}
+	return f
+}
+
+// flattenAdjacency packs per-vertex edge lists into one offset array and
+// one edge array, preserving per-vertex order.
+func flattenAdjacency(adj [][]EdgeID, ne int) ([]int32, []EdgeID) {
+	off := make([]int32, len(adj)+1)
+	edges := make([]EdgeID, 0, ne)
+	for v, row := range adj {
+		edges = append(edges, row...)
+		off[v+1] = int32(len(edges))
+	}
+	return off, edges
+}
+
+// typeGroup records one contiguous same-type run in the type-grouped
+// edge array: the interned type and the run's start offset. The run
+// ends where the vertex's next group starts (or at the row end).
+type typeGroup struct {
+	t  int32
+	lo int32
+}
+
+// groupByType builds the (vertex, edge type)-grouped copy of a CSR row
+// set: a per-row counting sort that keeps insertion order within each
+// type group (the typed traversal determinism rests on it), emitting
+// one typeGroup per distinct type present in the row — sparse, so the
+// index stays O(V+E) no matter how many edge types the graph declares.
+func groupByType(off []int32, edges []EdgeID, etypeOf []int32, nv, nt int) ([]int32, []typeGroup, []EdgeID) {
+	groupOff := make([]int32, nv+1)
+	var groups []typeGroup
+	grouped := make([]EdgeID, len(edges))
+	// Per-type scratch, reused across rows and cleared via the touched
+	// list (rows touch few types, so clearing is O(row), not O(nt)).
+	count := make([]int32, nt)
+	cursor := make([]int32, nt)
+	var touched []int32
+	for v := 0; v < nv; v++ {
+		row := edges[off[v]:off[v+1]]
+		for _, eid := range row {
+			t := etypeOf[eid]
+			if count[t] == 0 {
+				touched = append(touched, t)
+			}
+			count[t]++
+		}
+		// Groups in first-appearance order; their runs tile the row's
+		// span [off[v], off[v+1]) of the grouped array.
+		at := off[v]
+		for _, t := range touched {
+			groups = append(groups, typeGroup{t: t, lo: at})
+			cursor[t] = at
+			at += count[t]
+			count[t] = 0
+		}
+		for _, eid := range row {
+			t := etypeOf[eid]
+			grouped[cursor[t]] = eid
+			cursor[t]++
+		}
+		touched = touched[:0]
+		groupOff[v+1] = int32(len(groups))
+	}
+	return groupOff, groups, grouped
+}
+
+// Graph returns the underlying graph (for property and record access).
+func (f *Frozen) Graph() *Graph { return f.g }
+
+// NumVertices returns the vertex count.
+func (f *Frozen) NumVertices() int { return len(f.vtypeOf) }
+
+// NumEdges returns the edge count.
+func (f *Frozen) NumEdges() int { return len(f.etypeOf) }
+
+// Vertex returns the vertex record (read-only), like Graph.Vertex.
+func (f *Frozen) Vertex(id VertexID) *Vertex { return f.g.Vertex(id) }
+
+// Edge returns the edge record (read-only), like Graph.Edge.
+func (f *Frozen) Edge(id EdgeID) *Edge { return f.g.Edge(id) }
+
+// Out returns the IDs of edges leaving v, in insertion order — the same
+// sequence as Graph.Out(v), read from the flat CSR row.
+func (f *Frozen) Out(v VertexID) []EdgeID { return f.outEdges[f.outOff[v]:f.outOff[v+1]] }
+
+// In returns the IDs of edges entering v, in insertion order.
+func (f *Frozen) In(v VertexID) []EdgeID { return f.inEdges[f.inOff[v]:f.inOff[v+1]] }
+
+// OutDegree returns the out-degree of v.
+func (f *Frozen) OutDegree(v VertexID) int { return int(f.outOff[v+1] - f.outOff[v]) }
+
+// InDegree returns the in-degree of v.
+func (f *Frozen) InDegree(v VertexID) int { return int(f.inOff[v+1] - f.inOff[v]) }
+
+// From returns an edge's source vertex from the flat endpoint array.
+func (f *Frozen) From(e EdgeID) VertexID { return f.edgeFrom[e] }
+
+// To returns an edge's target vertex from the flat endpoint array.
+func (f *Frozen) To(e EdgeID) VertexID { return f.edgeTo[e] }
+
+// EdgeTypeID resolves an edge type label to its dense interned ID,
+// reporting false when no edge of that type exists.
+func (f *Frozen) EdgeTypeID(etype string) (int32, bool) {
+	id, ok := f.etypeID[etype]
+	return id, ok
+}
+
+// EdgeTypeOf returns an edge's type label (interned — comparing results
+// of EdgeTypeIDOf is cheaper in hot loops).
+func (f *Frozen) EdgeTypeOf(e EdgeID) string { return f.etypes[f.etypeOf[e]] }
+
+// EdgeTypeIDOf returns an edge's interned type ID.
+func (f *Frozen) EdgeTypeIDOf(e EdgeID) int32 { return f.etypeOf[e] }
+
+// VertexTypeOf returns a vertex's type label without touching the
+// vertex record.
+func (f *Frozen) VertexTypeOf(v VertexID) string { return f.vtypes[f.vtypeOf[v]] }
+
+// OutOfType returns the out-edges of v with the given edge type as one
+// contiguous slice — the insertion-order subsequence of Out(v) with
+// that type, with no per-edge filtering. Unknown types return nil.
+func (f *Frozen) OutOfType(v VertexID, etype string) []EdgeID {
+	t, ok := f.etypeID[etype]
+	if !ok {
+		return nil
+	}
+	return f.OutTyped(v, t)
+}
+
+// InOfType is OutOfType for in-edges.
+func (f *Frozen) InOfType(v VertexID, etype string) []EdgeID {
+	t, ok := f.etypeID[etype]
+	if !ok {
+		return nil
+	}
+	return f.InTyped(v, t)
+}
+
+// OutTyped returns the out-edges of v with interned edge type t (from
+// EdgeTypeID), contiguous and in insertion order.
+func (f *Frozen) OutTyped(v VertexID, t int32) []EdgeID {
+	return typedRun(f.outGroupOff, f.outGroups, f.outOff, f.outTyped, v, t)
+}
+
+// InTyped is OutTyped for in-edges.
+func (f *Frozen) InTyped(v VertexID, t int32) []EdgeID {
+	return typedRun(f.inGroupOff, f.inGroups, f.inOff, f.inTyped, v, t)
+}
+
+// typedRun resolves vertex v's type-t group: a linear scan over the few
+// groups present at v, returning the contiguous run (nil when absent).
+func typedRun(groupOff []int32, groups []typeGroup, off []int32, typed []EdgeID, v VertexID, t int32) []EdgeID {
+	gs := groups[groupOff[v]:groupOff[v+1]]
+	for i, g := range gs {
+		if g.t != t {
+			continue
+		}
+		hi := off[v+1]
+		if i+1 < len(gs) {
+			hi = gs[i+1].lo
+		}
+		return typed[g.lo:hi]
+	}
+	return nil
+}
+
+// VerticesOfType returns the vertex IDs with the given type, in
+// insertion order — the same (shared, read-only) slice as
+// Graph.VerticesOfType.
+func (f *Frozen) VerticesOfType(vtype string) []VertexID {
+	id, ok := f.vtypeID[vtype]
+	if !ok {
+		return nil
+	}
+	return f.verticesByType[id]
+}
+
+// EdgeTypes returns the distinct edge types present, sorted.
+func (f *Frozen) EdgeTypes() []string {
+	out := append([]string(nil), f.etypes...)
+	sort.Strings(out)
+	return out
+}

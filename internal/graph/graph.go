@@ -8,11 +8,25 @@
 // view materialization and never removed. Derived graphs (summarizer and
 // connector views) are new Graph values. After loading, a Graph is safe for
 // concurrent readers.
+//
+// # Frozen CSR views
+//
+// Freeze derives an immutable Frozen view: flat CSR offset/edge arrays
+// for out- and in-adjacency, interned type labels, per-vertex edges
+// grouped by edge type (OutOfType returns a contiguous slice with no
+// per-edge filtering), and a dense per-type vertex index. The frozen
+// view shares the graph's records and property bags read-only, preserves
+// every iteration order exactly, and is memoized on the graph — the
+// loader, the view catalog, and the executor freeze once after load and
+// then only read. AddVertex/AddEdge invalidate the cached Frozen, so
+// freezing early is safe (merely wasteful); mutation must not run
+// concurrently with readers, as ever.
 package graph
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // VertexID identifies a vertex within one Graph. IDs are dense: the n-th
@@ -57,6 +71,8 @@ type Graph struct {
 	out      [][]EdgeID // out[v] = edges with From == v, in insertion order
 	in       [][]EdgeID // in[v] = edges with To == v
 	byType   map[string][]VertexID
+	// frozen caches the CSR view built by Freeze; any mutation clears it.
+	frozen atomic.Pointer[Frozen]
 }
 
 // NewGraph returns an empty graph governed by schema. A nil schema means
@@ -81,6 +97,7 @@ func (g *Graph) AddVertex(vtype string, props Properties) (VertexID, error) {
 	if g.schema != nil && !g.schema.HasVertexType(vtype) {
 		return NoVertex, fmt.Errorf("graph: vertex type %q not in schema", vtype)
 	}
+	g.frozen.Store(nil)
 	id := VertexID(len(g.vertices))
 	g.vertices = append(g.vertices, Vertex{ID: id, Type: vtype, Props: props})
 	g.out = append(g.out, nil)
@@ -118,6 +135,7 @@ func (g *Graph) AddEdge(from, to VertexID, etype string, props Properties) (Edge
 			return -1, fmt.Errorf("graph: schema forbids edge %s-[%s]->%s", ft, etype, tt)
 		}
 	}
+	g.frozen.Store(nil)
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Type: etype, Props: props})
 	g.out[from] = append(g.out[from], id)

@@ -160,6 +160,9 @@ func Load(r io.Reader) (*Graph, error) {
 	if g == nil {
 		g = NewGraph(nil)
 	}
+	// A loaded graph is complete and read-only from here on; freezing now
+	// means the first query or traversal finds the CSR index ready.
+	g.Freeze()
 	return g, nil
 }
 

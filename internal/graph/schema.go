@@ -16,14 +16,52 @@ type EdgeType struct {
 	Name string // edge label
 }
 
+// PropKind is a schema-declared property value type. Declarations are
+// optional metadata layered on the otherwise-untyped property bags; the
+// executor's plan-time analysis trusts them (e.g. a PropInt declaration
+// licenses the partial-aggregation path for SUM over that property).
+type PropKind int
+
+// Declarable property kinds, mirroring the query language's value types.
+const (
+	PropInt PropKind = iota + 1
+	PropFloat
+	PropString
+	PropBool
+)
+
+// String names the kind for display.
+func (k PropKind) String() string {
+	switch k {
+	case PropInt:
+		return "int"
+	case PropFloat:
+		return "float"
+	case PropString:
+		return "string"
+	case PropBool:
+		return "bool"
+	}
+	return "unknown"
+}
+
+// propKey identifies one declared property: the owning vertex type (or
+// edge type name) and the property name.
+type propKey struct{ typeName, prop string }
+
 // Schema is a property-graph schema: the set of vertex types and the set
 // of typed, direction-constrained edge types between them. It is the
-// source of the schemaVertex/schemaEdge facts of §IV-A1.
+// source of the schemaVertex/schemaEdge facts of §IV-A1. Optionally it
+// also declares property value types (DeclareProperty), which the
+// executor consults at plan time.
 type Schema struct {
 	vertexTypes map[string]bool
 	edgeTypes   []EdgeType
 	// allowed indexes (from,to,name) triples for O(1) AddEdge validation.
 	allowed map[EdgeType]bool
+	// props holds declared property kinds per vertex type or edge type
+	// name. Declarations happen at setup, before concurrent use.
+	props map[propKey]PropKind
 }
 
 // NewSchema builds a schema from vertex type names and edge type
@@ -67,6 +105,67 @@ func MustSchema(vertexTypes []string, edgeTypes []EdgeType) *Schema {
 
 // HasVertexType reports whether the schema declares the vertex type.
 func (s *Schema) HasVertexType(vtype string) bool { return s.vertexTypes[vtype] }
+
+// DeclareProperty declares the value type of property `prop` on the
+// given vertex type (or edge type name). The declaration is trusted
+// metadata: the executor uses it to prove, at plan time, that an
+// expression like SUM(j.CPU) folds in integers and may therefore run on
+// the parallel partial-aggregation path. Declare properties during
+// setup, before the schema is shared across goroutines. It returns an
+// error when the type name is neither a declared vertex type nor an
+// edge type name, or when kind is invalid.
+func (s *Schema) DeclareProperty(typeName, prop string, kind PropKind) error {
+	if kind < PropInt || kind > PropBool {
+		return fmt.Errorf("schema: invalid property kind %d", kind)
+	}
+	if prop == "" {
+		return fmt.Errorf("schema: empty property name")
+	}
+	if !s.vertexTypes[typeName] && !s.hasEdgeTypeName(typeName) {
+		return fmt.Errorf("schema: DeclareProperty: unknown type %q", typeName)
+	}
+	if s.props == nil {
+		s.props = make(map[propKey]PropKind)
+	}
+	s.props[propKey{typeName, prop}] = kind
+	return nil
+}
+
+// PropertyKind returns the declared kind of a property on a vertex type
+// (or edge type name), reporting false when undeclared.
+func (s *Schema) PropertyKind(typeName, prop string) (PropKind, bool) {
+	k, ok := s.props[propKey{typeName, prop}]
+	return k, ok
+}
+
+// AdoptProperties copies every property declaration from `from` whose
+// owning type s also declares (as a vertex type or edge type name) —
+// used when deriving a view graph's schema, so queries rewritten over
+// the view keep the base types' property typing. A nil `from` is a
+// no-op.
+func (s *Schema) AdoptProperties(from *Schema) {
+	if from == nil {
+		return
+	}
+	for k, v := range from.props {
+		if !s.vertexTypes[k.typeName] && !s.hasEdgeTypeName(k.typeName) {
+			continue
+		}
+		if s.props == nil {
+			s.props = make(map[propKey]PropKind)
+		}
+		s.props[k] = v
+	}
+}
+
+func (s *Schema) hasEdgeTypeName(name string) bool {
+	for _, et := range s.edgeTypes {
+		if et.Name == name {
+			return true
+		}
+	}
+	return false
+}
 
 // AllowsEdge reports whether an edge of type name may connect a vertex of
 // type from to a vertex of type to.
@@ -132,7 +231,19 @@ func (s *Schema) Extend(vertexTypes []string, edgeTypes []EdgeType) (*Schema, er
 			ets = append(ets, et)
 		}
 	}
-	return NewSchema(vts, ets)
+	ext, err := NewSchema(vts, ets)
+	if err != nil {
+		return nil, err
+	}
+	// Property declarations carry over to derived schemas (a view graph
+	// keeps the base types' property typing).
+	if len(s.props) > 0 {
+		ext.props = make(map[propKey]PropKind, len(s.props))
+		for k, v := range s.props {
+			ext.props[k] = v
+		}
+	}
+	return ext, nil
 }
 
 // String renders the schema compactly, e.g. for the CLI's schema command.

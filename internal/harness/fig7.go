@@ -85,6 +85,11 @@ func Fig7Context(ctx context.Context, cfg Config) ([]Fig7Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Freeze both sides before the timed runs: the queries execute on
+		// the CSR path either way (the executor freezes lazily), but the
+		// one-off index build must not land inside a measured interval.
+		base.Freeze()
+		conn.Freeze()
 		sample := cfg.Sample
 		if sc.sampleCap > 0 && (sample == 0 || sample > sc.sampleCap) {
 			sample = sc.sampleCap

@@ -115,18 +115,20 @@ func pairAdder(out *graph.Graph, name string, dedupPairs bool) func(connEdge) er
 // the sequential build. Only the merge touches the view graph, so add
 // needs no locking.
 //
-// enumerate must confine its mutation to the used set it is handed
-// (empty on entry, drained again on return, reusable across sources)
-// and may only fail by propagating emit's error — the contract that
-// makes buffered emits infallible.
-func materializeBySource(sources []graph.VertexID, workers int,
-	enumerate func(s graph.VertexID, used map[graph.EdgeID]bool, emit func(connEdge) error) error,
+// numEdges sizes the edge-uniqueness set: a dense []bool indexed by
+// EdgeID (the DFS unwinds its own marks, so one set serves a worker's
+// whole chunk sequence). enumerate must confine its mutation to that
+// set — every bit it sets must be cleared again on return — and may
+// only fail by propagating emit's error, the contract that makes
+// buffered emits infallible.
+func materializeBySource(sources []graph.VertexID, numEdges, workers int,
+	enumerate func(s graph.VertexID, used []bool, emit func(connEdge) error) error,
 	add func(connEdge) error) error {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 || len(sources) < 2 {
-		used := make(map[graph.EdgeID]bool)
+		used := make([]bool, numEdges)
 		for _, s := range sources {
 			if err := enumerate(s, used, add); err != nil {
 				return err
@@ -137,8 +139,8 @@ func materializeBySource(sources []graph.VertexID, workers int,
 	chunkSize, numChunks := par.Chunks(len(sources), workers, sourceChunkTarget)
 	chunks := make([][]connEdge, numChunks)
 	par.Do(numChunks, workers, func(next func() (int, bool)) {
-		// One edge-uniqueness set per worker, drained between sources.
-		used := make(map[graph.EdgeID]bool)
+		// One edge-uniqueness set per worker, unwound between sources.
+		used := make([]bool, numEdges)
 		for {
 			ci, ok := next()
 			if !ok {
@@ -192,13 +194,13 @@ func (c KHopConnector) MaterializeParallel(g *graph.Graph, workers int) (*graph.
 	if err != nil {
 		return nil, err
 	}
-	allowEdge := edgeTypeFilter(c.EdgeTypes)
-	enumerate := func(s graph.VertexID, used map[graph.EdgeID]bool, emit func(connEdge) error) error {
-		return c.pathsFrom(g, s, allowEdge, used, func(at graph.VertexID, ts int64) error {
+	f := g.Freeze()
+	enumerate := func(s graph.VertexID, used []bool, emit func(connEdge) error) error {
+		return c.pathsFrom(f, s, used, func(at graph.VertexID, ts int64) error {
 			return emit(connEdge{from: remap[s], to: remap[at], ts: ts, hops: int64(c.K)})
 		})
 	}
-	if err := materializeBySource(sourceIDs(g, c.SrcType), workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
+	if err := materializeBySource(sourceIDs(g, c.SrcType), g.NumEdges(), workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -207,28 +209,43 @@ func (c KHopConnector) MaterializeParallel(g *graph.Graph, workers int) (*graph.
 // pathsFrom runs the edge-unique DFS enumerating every k-length path
 // from s whose hops satisfy the connector's edge filter, calling emit
 // with each path's endpoint and aggregated max timestamp, in DFS
-// (= sequential materialization) order. used must be empty on entry
-// and is drained again on return, so callers may reuse it across
-// sources.
-func (c KHopConnector) pathsFrom(g *graph.Graph, s graph.VertexID, allowEdge func(string) bool, used map[graph.EdgeID]bool, emit func(at graph.VertexID, ts int64) error) error {
+// (= sequential materialization) order. The traversal runs on the
+// frozen CSR view: with a single allowed edge type the step reads the
+// contiguous typed group (the insertion-order subsequence, so emit
+// order is unchanged); otherwise it filters the flat row against the
+// type label array. used must be all-false on entry and is unwound on
+// return, so callers reuse it across sources.
+func (c KHopConnector) pathsFrom(f *graph.Frozen, s graph.VertexID, used []bool, emit func(at graph.VertexID, ts int64) error) error {
+	var allowEdge func(string) bool // nil = every type allowed
+	single := ""
+	switch len(c.EdgeTypes) {
+	case 0:
+	case 1:
+		single = c.EdgeTypes[0]
+	default:
+		allowEdge = edgeTypeFilter(c.EdgeTypes)
+	}
 	var dfs func(at graph.VertexID, hops int, maxTS int64) error
 	dfs = func(at graph.VertexID, hops int, maxTS int64) error {
 		if hops == c.K {
-			if c.DstType != "" && g.Vertex(at).Type != c.DstType {
+			if c.DstType != "" && f.VertexTypeOf(at) != c.DstType {
 				return nil
 			}
 			return emit(at, maxTS)
 		}
-		for _, eid := range g.Out(at) {
+		edges := f.Out(at)
+		if single != "" {
+			edges = f.OutOfType(at, single)
+		}
+		for _, eid := range edges {
 			if used[eid] {
 				continue
 			}
-			e := g.Edge(eid)
-			if !allowEdge(e.Type) {
+			if allowEdge != nil && !allowEdge(f.EdgeTypeOf(eid)) {
 				continue
 			}
 			used[eid] = true
-			err := dfs(e.To, hops+1, maxInt64(maxTS, tsOf(e)))
+			err := dfs(f.To(eid), hops+1, maxInt64(maxTS, tsOf(f.Edge(eid))))
 			used[eid] = false
 			if err != nil {
 				return err
@@ -295,23 +312,23 @@ func (c SameVertexTypeConnector) MaterializeParallel(g *graph.Graph, workers int
 	if err != nil {
 		return nil, err
 	}
-	enumerate := func(s graph.VertexID, used map[graph.EdgeID]bool, emit func(connEdge) error) error {
+	f := g.Freeze()
+	enumerate := func(s graph.VertexID, used []bool, emit func(connEdge) error) error {
 		var dfs func(at graph.VertexID, hops int, maxTS int64) error
 		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
-			if hops > 0 && g.Vertex(at).Type == c.VType {
+			if hops > 0 && f.VertexTypeOf(at) == c.VType {
 				// The path ends at the first same-type vertex.
 				return emit(connEdge{from: remap[s], to: remap[at], ts: maxTS, hops: int64(hops)})
 			}
 			if hops == c.MaxLen {
 				return nil
 			}
-			for _, eid := range g.Out(at) {
+			for _, eid := range f.Out(at) {
 				if used[eid] {
 					continue
 				}
-				e := g.Edge(eid)
 				used[eid] = true
-				err := dfs(e.To, hops+1, maxInt64(maxTS, tsOf(e)))
+				err := dfs(f.To(eid), hops+1, maxInt64(maxTS, tsOf(f.Edge(eid))))
 				used[eid] = false
 				if err != nil {
 					return err
@@ -321,7 +338,7 @@ func (c SameVertexTypeConnector) MaterializeParallel(g *graph.Graph, workers int
 		}
 		return dfs(s, 0, 0)
 	}
-	if err := materializeBySource(g.VerticesOfType(c.VType), workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
+	if err := materializeBySource(g.VerticesOfType(c.VType), g.NumEdges(), workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -374,7 +391,12 @@ func (c SameEdgeTypeConnector) MaterializeParallel(g *graph.Graph, workers int) 
 	if err != nil {
 		return nil, err
 	}
-	enumerate := func(s graph.VertexID, used map[graph.EdgeID]bool, emit func(connEdge) error) error {
+	// The single-edge-type walk is the typed-adjacency showcase: every
+	// DFS step reads the contiguous (vertex, EType) group — the
+	// insertion-order subsequence the append-mode filter produced — so
+	// no edge of another type is even looked at.
+	f := g.Freeze()
+	enumerate := func(s graph.VertexID, used []bool, emit func(connEdge) error) error {
 		var dfs func(at graph.VertexID, hops int, maxTS int64) error
 		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
 			if hops > 0 {
@@ -387,16 +409,12 @@ func (c SameEdgeTypeConnector) MaterializeParallel(g *graph.Graph, workers int) 
 			if hops == c.MaxLen {
 				return nil
 			}
-			for _, eid := range g.Out(at) {
+			for _, eid := range f.OutOfType(at, c.EType) {
 				if used[eid] {
 					continue
 				}
-				e := g.Edge(eid)
-				if e.Type != c.EType {
-					continue
-				}
 				used[eid] = true
-				err := dfs(e.To, hops+1, maxInt64(maxTS, tsOf(e)))
+				err := dfs(f.To(eid), hops+1, maxInt64(maxTS, tsOf(f.Edge(eid))))
 				used[eid] = false
 				if err != nil {
 					return err
@@ -406,7 +424,7 @@ func (c SameEdgeTypeConnector) MaterializeParallel(g *graph.Graph, workers int) 
 		}
 		return dfs(s, 0, 0)
 	}
-	if err := materializeBySource(sourceIDs(g, ""), workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
+	if err := materializeBySource(sourceIDs(g, ""), g.NumEdges(), workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -460,29 +478,29 @@ func (c SourceToSinkConnector) MaterializeParallel(g *graph.Graph, workers int) 
 	// Only true sources (in-degree 0, at least one outgoing edge) seed
 	// the search; filtering up front keeps the chunk partition balanced
 	// over real work.
+	f := g.Freeze()
 	var sources []graph.VertexID
-	for s := 0; s < g.NumVertices(); s++ {
+	for s := 0; s < f.NumVertices(); s++ {
 		id := graph.VertexID(s)
-		if g.InDegree(id) == 0 && g.OutDegree(id) > 0 {
+		if f.InDegree(id) == 0 && f.OutDegree(id) > 0 {
 			sources = append(sources, id)
 		}
 	}
-	enumerate := func(s graph.VertexID, used map[graph.EdgeID]bool, emit func(connEdge) error) error {
+	enumerate := func(s graph.VertexID, used []bool, emit func(connEdge) error) error {
 		var dfs func(at graph.VertexID, hops int, maxTS int64) error
 		dfs = func(at graph.VertexID, hops int, maxTS int64) error {
-			if hops > 0 && g.OutDegree(at) == 0 {
+			if hops > 0 && f.OutDegree(at) == 0 {
 				return emit(connEdge{from: remap[s], to: remap[at], ts: maxTS, hops: int64(hops)})
 			}
 			if hops == c.MaxLen {
 				return nil
 			}
-			for _, eid := range g.Out(at) {
+			for _, eid := range f.Out(at) {
 				if used[eid] {
 					continue
 				}
-				e := g.Edge(eid)
 				used[eid] = true
-				err := dfs(e.To, hops+1, maxInt64(maxTS, tsOf(e)))
+				err := dfs(f.To(eid), hops+1, maxInt64(maxTS, tsOf(f.Edge(eid))))
 				used[eid] = false
 				if err != nil {
 					return err
@@ -492,7 +510,7 @@ func (c SourceToSinkConnector) MaterializeParallel(g *graph.Graph, workers int) 
 		}
 		return dfs(s, 0, 0)
 	}
-	if err := materializeBySource(sources, workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
+	if err := materializeBySource(sources, g.NumEdges(), workers, enumerate, pairAdder(out, c.Name(), c.DedupPairs)); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -507,22 +525,23 @@ func CountKHopPaths(g *graph.Graph, srcType, dstType string, k int) int64 {
 	if k < 1 {
 		return 0
 	}
+	f := g.Freeze()
 	var count int64
-	used := make(map[graph.EdgeID]bool)
+	used := make([]bool, g.NumEdges())
 	var dfs func(at graph.VertexID, hops int)
 	dfs = func(at graph.VertexID, hops int) {
 		if hops == k {
-			if dstType == "" || g.Vertex(at).Type == dstType {
+			if dstType == "" || f.VertexTypeOf(at) == dstType {
 				count++
 			}
 			return
 		}
-		for _, eid := range g.Out(at) {
+		for _, eid := range f.Out(at) {
 			if used[eid] {
 				continue
 			}
 			used[eid] = true
-			dfs(g.Edge(eid).To, hops+1)
+			dfs(f.To(eid), hops+1)
 			used[eid] = false
 		}
 	}
@@ -550,14 +569,21 @@ func colonType(t string) string {
 
 // connectorSchema builds the view graph's schema: the endpoint types plus
 // the contracted edge type. Unconstrained graphs stay unconstrained.
+// Property declarations for the kept endpoint types carry over, so a
+// query rewritten over the view keeps its schema-proved typing.
 func connectorSchema(g *graph.Graph, src, dst, edgeName string) (*graph.Schema, error) {
 	if g.Schema() == nil || src == "" || dst == "" {
 		return nil, nil
 	}
-	return graph.NewSchema(
+	s, err := graph.NewSchema(
 		dedupeStrings([]string{src, dst}),
 		[]graph.EdgeType{{From: src, To: dst, Name: edgeName}},
 	)
+	if err != nil {
+		return nil, err
+	}
+	s.AdoptProperties(g.Schema())
+	return s, nil
 }
 
 func dedupeStrings(in []string) []string {

@@ -17,6 +17,14 @@ import (
 // insertions (the dominant case for provenance/lineage graphs, which
 // only grow); deletions would require tombstoning and are out of scope,
 // as in the paper's prototype.
+//
+// Frozen-view interaction: every AddVertex/AddEdge routed through the
+// maintainer invalidates the cached CSR view (graph.Frozen) of both
+// the base and the view graph, so the next query over either pays one
+// O(V+E) Freeze rebuild. The incremental edge maintenance itself stays
+// cheap; only the storage index is coarse-grained. Batch mutations
+// between query bursts where that matters — incremental CSR
+// maintenance is an open ROADMAP item.
 type MaintainedConnector struct {
 	def  KHopConnector
 	base *graph.Graph

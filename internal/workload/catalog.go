@@ -116,8 +116,12 @@ func (c *Catalog) has(name string) bool {
 }
 
 // insert lands one built view, skipping it if a concurrent Add won the
-// race for the name, and bumps the epoch when the catalog changed.
+// race for the name, and bumps the epoch when the catalog changed. The
+// view graph is frozen (CSR view built) before it becomes visible, so
+// every query rewritten over a landed view runs on the frozen path
+// without paying the index build on its first execution.
 func (c *Catalog) insert(name string, m *Materialized) {
+	m.Graph.Freeze()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.byName[name]; dup {

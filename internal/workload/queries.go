@@ -66,8 +66,12 @@ type Runner struct {
 	// Sample caps the number of per-source traversals for Q2-Q4 (0 =
 	// all sources). The same sample must be used for base and view runs.
 	Sample int
-	// Workers sets pattern-match parallelism for the gql-executed
-	// queries (Q5/Q6): 0 or 1 = sequential, negative = one per CPU.
+	// Workers sets execution parallelism: pattern-match workers for the
+	// gql-executed queries (Q5/Q6), per-source traversal fan-out for
+	// Q1-Q4, and per-round label propagation chunks for Q7. 0 or 1 =
+	// sequential, negative = one per CPU. Results are identical at any
+	// setting (per-source merges are index-ordered; label passes are
+	// synchronous).
 	Workers int
 }
 
@@ -78,8 +82,12 @@ func (r *Runner) Run(id QueryID) (int64, error) {
 }
 
 // RunContext is Run with cancellation: the gql-executed queries observe
-// ctx inside the matcher, and the per-source traversal loops check it
-// between sources, so a harness sweep can be abandoned mid-experiment.
+// ctx inside the matcher, and the traversal queries observe it inside
+// the algo kernels (not merely between sources), so a harness sweep can
+// be abandoned promptly mid-experiment. Q1-Q4 fan their per-source
+// traversals out over Workers goroutines with an index-ordered merge,
+// and Q7 runs its label passes chunk-parallel — results are identical
+// to sequential execution at any worker count.
 func (r *Runner) RunContext(ctx context.Context, id QueryID) (int64, error) {
 	switch id {
 	case Q1BlastRadius:
@@ -95,7 +103,10 @@ func (r *Runner) RunContext(ctx context.Context, id QueryID) (int64, error) {
 	case Q6VertexCount:
 		return r.count(ctx, `MATCH (v) RETURN COUNT(*) AS n`)
 	case Q7Community:
-		labels := algo.LabelPropagation(r.G, r.LPPasses, "community")
+		labels, err := algo.LabelPropagationParallel(ctx, r.G, r.LPPasses, "community", r.Workers)
+		if err != nil {
+			return 0, err
+		}
 		distinct := make(map[int64]bool, len(labels))
 		for _, l := range labels {
 			distinct[l] = true
@@ -120,16 +131,42 @@ func (r *Runner) sources() []graph.VertexID {
 	return src
 }
 
+// perSourceSum fans the per-source traversals out over r.Workers and
+// folds the per-source partial sums in source order — byte-identical to
+// the sequential loop (int64 addition is associative and each slot is
+// deterministic).
+func (r *Runner) perSourceSum(ctx context.Context, fn func(t *algo.Traversal, src graph.VertexID) (int64, error)) (int64, error) {
+	srcs := r.sources()
+	sums := make([]int64, len(srcs))
+	err := algo.ForEachSource(ctx, r.G, srcs, r.Workers, func(t *algo.Traversal, i int, src graph.VertexID) error {
+		s, err := fn(t, src)
+		if err != nil {
+			return err
+		}
+		sums[i] = s
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	return total, nil
+}
+
 // blastRadius is Q1: for every job, the sum of CPU over its downstream
 // consumers within BlastHops, aggregated across jobs (the per-pipeline
 // AVG of Listing 1 is a cheap postprocess; the traversal dominates).
 func (r *Runner) blastRadius(ctx context.Context) (int64, error) {
-	var total int64
-	for _, j := range r.sources() {
-		if err := ctx.Err(); err != nil {
+	return r.perSourceSum(ctx, func(t *algo.Traversal, j graph.VertexID) (int64, error) {
+		nb, err := t.KHopContext(ctx, j, r.BlastHops, algo.Forward)
+		if err != nil {
 			return 0, err
 		}
-		for _, v := range algo.KHopNeighborhood(r.G, j, r.BlastHops, algo.Forward) {
+		var total int64
+		for _, v := range nb {
 			vv := r.G.Vertex(v)
 			if vv.Type != r.SourceType || v == j {
 				continue
@@ -138,32 +175,32 @@ func (r *Runner) blastRadius(ctx context.Context) (int64, error) {
 				total += cpu
 			}
 		}
-	}
-	return total, nil
+		return total, nil
+	})
 }
 
 func (r *Runner) neighborhoodSum(ctx context.Context, dir algo.Direction) (int64, error) {
-	var total int64
-	for _, s := range r.sources() {
-		if err := ctx.Err(); err != nil {
+	return r.perSourceSum(ctx, func(t *algo.Traversal, s graph.VertexID) (int64, error) {
+		nb, err := t.KHopContext(ctx, s, r.Hops, dir)
+		if err != nil {
 			return 0, err
 		}
-		total += int64(len(algo.KHopNeighborhood(r.G, s, r.Hops, dir)))
-	}
-	return total, nil
+		return int64(len(nb)), nil
+	})
 }
 
 func (r *Runner) pathLengths(ctx context.Context) (int64, error) {
-	var total int64
-	for _, s := range r.sources() {
-		if err := ctx.Err(); err != nil {
+	return r.perSourceSum(ctx, func(t *algo.Traversal, s graph.VertexID) (int64, error) {
+		dist, err := t.PathLengthsContext(ctx, s, r.Hops, "ts")
+		if err != nil {
 			return 0, err
 		}
-		for _, agg := range algo.PathLengths(r.G, s, r.Hops, "ts") {
+		var total int64
+		for _, agg := range dist {
 			total += agg
 		}
-	}
-	return total, nil
+		return total, nil
+	})
 }
 
 func (r *Runner) count(ctx context.Context, q string) (int64, error) {

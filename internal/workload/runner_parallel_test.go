@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"context"
+	"testing"
+
+	"kaskade/internal/datagen"
+)
+
+// TestRunnerWorkersEquivalence proves the per-source fan-out (Q1-Q4)
+// and the chunk-parallel label propagation (Q7/Q8) return the same
+// scalar at every worker count — the deterministic-merge contract of
+// the parallel algo variants, end to end through the Table IV runner.
+func TestRunnerWorkersEquivalence(t *testing.T) {
+	g, err := datagen.Prov(datagen.ProvConfig{
+		Jobs: 50, Files: 120, TasksPerJob: 3, Machines: 8, Users: 4,
+		MaxReads: 12, Pipelines: 5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []QueryID{
+		Q1BlastRadius, Q2Ancestors, Q3Descendants, Q4PathLengths,
+		Q5EdgeCount, Q6VertexCount, Q7Community, Q8LargestComm,
+	}
+	want := make(map[QueryID]int64)
+	{
+		r := BaseRunner(g, "Job", 0)
+		for _, q := range queries {
+			v, err := r.Run(q)
+			if err != nil {
+				t.Fatalf("sequential %s: %v", q, err)
+			}
+			want[q] = v
+		}
+	}
+	for _, workers := range []int{2, 4, -1} {
+		r := BaseRunner(g, "Job", 0)
+		r.Workers = workers
+		for _, q := range queries {
+			got, err := r.RunContext(context.Background(), q)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, q, err)
+			}
+			if got != want[q] {
+				t.Errorf("workers=%d %s: %d, want %d", workers, q, got, want[q])
+			}
+		}
+	}
+}
+
+// TestRunnerCancellation proves the traversal queries observe a
+// cancelled context inside the kernels.
+func TestRunnerCancellation(t *testing.T) {
+	g, err := datagen.Prov(datagen.ProvConfig{
+		Jobs: 40, Files: 100, TasksPerJob: 2, Machines: 5, Users: 3,
+		MaxReads: 10, Pipelines: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := BaseRunner(g, "Job", 0)
+	r.Workers = 4
+	for _, q := range []QueryID{Q1BlastRadius, Q2Ancestors, Q4PathLengths, Q7Community} {
+		if _, err := r.RunContext(ctx, q); err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", q, err)
+		}
+	}
+}

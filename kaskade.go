@@ -68,6 +68,21 @@
 // WithWorkers (match parallelism), WithMaxRows (row guard),
 // WithoutViews (baseline execution — what QueryRaw does).
 //
+// # Frozen CSR storage
+//
+// Execution runs on an immutable, cache-friendly storage layout: a
+// graph's Freeze method derives a Frozen view with flat CSR adjacency
+// arrays, interned type labels, per-vertex edges grouped by edge type
+// (a typed traversal step reads one contiguous pre-filtered slice),
+// and a dense per-type vertex index. Freezing happens automatically —
+// New freezes the base graph, LoadGraph freezes what it loads, and
+// every view landed in the catalog is frozen before it becomes
+// visible — and is memoized, so it costs one O(V+E) build per graph.
+// The frozen view preserves every iteration order, so results are
+// byte-identical to the append-mode accessors; Explain reports the
+// storage line of the plan's graph. Graphs must not be mutated after
+// freezing (the read-only-after-load contract, unchanged).
+//
 // # Parallel execution
 //
 // Query execution and view materialization run on worker pools when
@@ -121,16 +136,34 @@ func New(g *Graph) *System { return core.New(g) }
 type (
 	// Graph is the in-memory property graph Kaskade operates on.
 	Graph = graph.Graph
-	// Schema declares vertex types and the domain/range of edge types.
+	// Frozen is a graph's immutable CSR view: flat adjacency arrays with
+	// per-vertex edges grouped by type, built once by Graph.Freeze and
+	// cached. New, AdoptSelection/MaterializeView, and LoadGraph freeze
+	// automatically, so queries and traversals run on it by default.
+	Frozen = graph.Frozen
+	// Schema declares vertex types and the domain/range of edge types,
+	// plus optional property kinds (Schema.DeclareProperty).
 	Schema = graph.Schema
 	// EdgeType declares one typed edge with its endpoint vertex types.
 	EdgeType = graph.EdgeType
+	// PropKind is a schema-declared property value type; declaring a
+	// property PropInt lets the planner prove integer SUM over it and
+	// select the partial-aggregation path.
+	PropKind = graph.PropKind
 	// Properties is a key-value bag on a vertex or edge.
 	Properties = graph.Properties
 	// VertexID identifies a vertex within a Graph.
 	VertexID = graph.VertexID
 	// EdgeID identifies an edge within a Graph.
 	EdgeID = graph.EdgeID
+)
+
+// Declarable property kinds (see PropKind).
+const (
+	PropInt    = graph.PropInt
+	PropFloat  = graph.PropFloat
+	PropString = graph.PropString
+	PropBool   = graph.PropBool
 )
 
 // NewGraph returns an empty graph governed by schema (nil = unconstrained).
