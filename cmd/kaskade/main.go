@@ -11,9 +11,16 @@
 //	kaskade -dataset prov -cmd enumerate -query "$(cat q.gql)"
 //	kaskade -dataset prov -cmd select -query "$(cat q.gql)" -budget 100000
 //	kaskade -dataset prov -cmd run -query "$(cat q.gql)" -budget 100000
+//	kaskade -dataset prov -cmd repl < script.gql
+//
+// The repl command reads ';'-terminated statements from stdin —
+// queries and view DDL alike (CREATE [MATERIALIZED] VIEW .. AS <pattern>,
+// SHOW VIEWS, DROP VIEW), plus EXPLAIN <query> — and executes each
+// through the same System.Exec dispatcher the library exposes.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -32,7 +39,7 @@ import (
 
 func main() {
 	var (
-		cmd     = flag.String("cmd", "help", "tables|schema|stats|enumerate|select|run|explain")
+		cmd     = flag.String("cmd", "help", "tables|schema|stats|enumerate|select|run|explain|repl")
 		dataset = flag.String("dataset", "prov", "dataset: prov|dblp|roadnet|soc")
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor")
 		seed    = flag.Int64("seed", 0, "generator seed override")
@@ -246,8 +253,101 @@ func run(ctx context.Context, cmd, dataset string, scale float64, seed int64, qu
 			fmt.Print(preview.String())
 		}
 		return nil
+
+	case "repl":
+		return repl(ctx, sys, timeout)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// repl reads ';'-terminated statements from stdin and executes each
+// through System.Exec — queries, CREATE/DROP VIEW, SHOW VIEWS — plus
+// EXPLAIN <query> for plan inspection. A statement error is printed and
+// the loop continues, so piped scripts run end to end; each statement
+// runs under the session context (-timeout, Ctrl-C).
+func repl(ctx context.Context, sys *kaskade.System, timeout time.Duration) error {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var buf strings.Builder
+	exec1 := func(stmt string) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			return
+		}
+		if rest, ok := cutKeyword(stmt, "EXPLAIN"); ok {
+			out, err := sys.Explain(strings.TrimSuffix(strings.TrimSpace(rest), ";"))
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Print(out)
+			return
+		}
+		qctx, cancel := queryCtx(ctx, timeout)
+		res, err := sys.Exec(qctx, stmt)
+		cancel()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(res.String())
+	}
+	for in.Scan() {
+		line := in.Text()
+		if t := strings.TrimSpace(line); buf.Len() == 0 && (t == "" || strings.HasPrefix(t, "--")) {
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		stmts, rest := splitStatements(buf.String())
+		buf.Reset()
+		buf.WriteString(rest)
+		for _, st := range stmts {
+			exec1(st)
+		}
+	}
+	if buf.Len() > 0 {
+		exec1(buf.String())
+	}
+	return in.Err()
+}
+
+// splitStatements cuts the buffer at every ';' outside a string
+// literal, returning the complete statements (terminator included, as
+// ParseStatement accepts it) and the unterminated remainder — so
+// several statements may share a line and a quoted ';' never
+// terminates one.
+func splitStatements(s string) (stmts []string, rest string) {
+	start := 0
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case quote != 0:
+			if c == '\\' {
+				i++ // skip the escaped character
+			} else if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ';':
+			stmts = append(stmts, s[start:i+1])
+			start = i + 1
+		}
+	}
+	return stmts, s[start:]
+}
+
+// cutKeyword strips a leading case-insensitive keyword followed by
+// whitespace, reporting whether it was present.
+func cutKeyword(s, kw string) (string, bool) {
+	if len(s) <= len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return s, false
+	}
+	if c := s[len(kw)]; c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+		return s, false
+	}
+	return s[len(kw):], true
 }
 
 // describeCancelled turns a context error into actionable CLI output.

@@ -1,0 +1,133 @@
+// View DDL execution surface of a System: Exec dispatches parsed
+// statements — CREATE [MATERIALIZED] VIEW, DROP VIEW, SHOW VIEWS, or a
+// plain query — through the same entry point, the wire-expressible face
+// of the view lifecycle. The query-only paths (Query*, Prepare) reject
+// DDL with an error wrapping gql.ErrDDL.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"kaskade/internal/exec"
+	"kaskade/internal/gql"
+	"kaskade/internal/views"
+	"kaskade/internal/workload"
+)
+
+// Exec parses and executes one statement. Queries take the ordinary
+// path (view-based rewriting, then execution under ctx, honoring the
+// per-query options); DDL statements run the view lifecycle:
+//
+//   - CREATE [MATERIALIZED] VIEW name AS <pattern> compiles the pattern
+//     to its Table I/II view class (views.CompilePattern), materializes
+//     it under the System's Parallelism, and lands it in the catalog —
+//     prepared statements transparently re-rewrite over it. Every
+//     Kaskade view is materialized; the MATERIALIZED keyword is
+//     optional. A name collision errors (wrapping
+//     workload.ErrViewExists) — DROP VIEW first.
+//   - DROP VIEW name evicts the view (by DDL or structural name) and
+//     bumps the catalog epoch, so prepared statements re-rewrite away
+//     from it.
+//   - SHOW VIEWS returns one row per materialized view: name, kind,
+//     |V|, |E|, the §V-C rewrite-hit counter, and the canonical DDL.
+//
+// DDL results are small status tables, so the REPL and scripts can
+// treat every statement uniformly. Materialization does not poll ctx
+// (like AdoptSelection); cancellation applies to query execution.
+func (s *System) Exec(ctx context.Context, src string, opts ...QueryOption) (*exec.Result, error) {
+	stmt, err := gql.ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *gql.QueryStmt:
+		cfg := s.config(opts)
+		plan, err := s.plan(st.Query, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return cfg.executor(plan.Graph).ExecuteContext(ctx, plan.Query)
+	case *gql.CreateViewStmt:
+		return s.execCreateView(st)
+	case *gql.DropViewStmt:
+		if !s.catalog.DropView(st.Name) {
+			return nil, fmt.Errorf("kaskade: view %q does not exist", st.Name)
+		}
+		return statusResult(fmt.Sprintf("dropped view %s", st.Name)), nil
+	case *gql.ShowViewsStmt:
+		return s.showViews(), nil
+	}
+	return nil, fmt.Errorf("kaskade: unsupported statement %T", stmt)
+}
+
+// execCreateView compiles the defining pattern, materializes the view,
+// and registers it under the statement's name.
+func (s *System) execCreateView(st *gql.CreateViewStmt) (*exec.Result, error) {
+	v, err := views.CompilePattern(st.Body)
+	if err != nil {
+		return nil, fmt.Errorf("kaskade: CREATE VIEW %s: %w", st.Name, err)
+	}
+	def := views.ViewDef{Name: st.Name, DDL: canonicalCreate(st.Name, v), View: v}
+	if err := s.catalog.CreateView(def, s.Parallelism); err != nil {
+		return nil, err
+	}
+	status := fmt.Sprintf("materialized view %s: %s", st.Name, v.Describe())
+	// A racing DROP VIEW may evict the view before this lookup; the
+	// create itself still happened, so only the size suffix is lost.
+	if m, ok := s.catalog.Get(v.Name()); ok {
+		status += fmt.Sprintf(" (|V|=%d, |E|=%d)", m.Graph.NumVertices(), m.Graph.NumEdges())
+	}
+	return statusResult(status), nil
+}
+
+// canonicalCreate renders the canonical CREATE statement for a compiled
+// view — the AST-independent text SHOW VIEWS and Explain print, which
+// reparses and recompiles to the same view.
+func canonicalCreate(name string, v views.View) string {
+	pat, err := views.CanonicalPattern(v)
+	if err != nil {
+		return ""
+	}
+	return "CREATE MATERIALIZED VIEW " + name + " AS " + pat
+}
+
+// showViews renders the catalog's named-view registry as a result
+// table, in view creation order.
+func (s *System) showViews() *exec.Result {
+	infos := s.catalog.ListViews()
+	res := &exec.Result{Cols: []string{"name", "kind", "vertices", "edges", "rewrite_hits", "definition"}}
+	for _, in := range infos {
+		ddl := in.DDL
+		if ddl == "" {
+			ddl = "(struct-defined; no DDL form)"
+		}
+		res.Rows = append(res.Rows, exec.Row{
+			in.Name, in.Kind, int64(in.Vertices), int64(in.Edges), in.Hits, ddl,
+		})
+	}
+	return res
+}
+
+// statusResult wraps a one-line DDL outcome as a result table.
+func statusResult(msg string) *exec.Result {
+	return &exec.Result{Cols: []string{"status"}, Rows: []exec.Row{{msg}}}
+}
+
+// CreateViewFromPattern is the programmatic form of CREATE VIEW: it
+// compiles a defining pattern already parsed or built as a query and
+// lands it under the given name. The struct API (MaterializeView)
+// remains the escape hatch for options the DDL cannot express.
+func (s *System) CreateViewFromPattern(name string, q gql.Query) error {
+	v, err := views.CompilePattern(q)
+	if err != nil {
+		return fmt.Errorf("kaskade: CREATE VIEW %s: %w", name, err)
+	}
+	return s.catalog.CreateView(views.ViewDef{Name: name, DDL: canonicalCreate(name, v), View: v}, s.Parallelism)
+}
+
+// ListViews reports every materialized view (name, kind, sizes,
+// rewrite hits, canonical DDL) in creation order — SHOW VIEWS as data.
+func (s *System) ListViews() []workload.ViewInfo {
+	return s.catalog.ListViews()
+}

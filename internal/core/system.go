@@ -30,6 +30,11 @@ import (
 // mutation bumps the catalog epoch; prepared queries poll it and
 // transparently re-rewrite, and ad-hoc queries always rewrite against
 // the current view set.
+//
+// Views are managed declaratively through Exec (CREATE [MATERIALIZED]
+// VIEW name AS <pattern>, DROP VIEW, SHOW VIEWS — see ddl.go); the
+// struct-based MaterializeView/AdoptSelection/DropView calls are the
+// programmatic face of the same catalog.
 type System struct {
 	graph    *graph.Graph
 	analyzer *workload.Analyzer
@@ -172,6 +177,16 @@ func (s *System) Explain(src string) (string, error) {
 		fmt.Fprintf(&b, "plan: base graph scan (no applicable materialized view)\n")
 	} else {
 		fmt.Fprintf(&b, "plan: rewritten over materialized view %s\n", plan.ViewName)
+		if m, ok := s.catalog.Get(plan.ViewName); ok {
+			if m.Def.DDL != "" {
+				// The canonical DDL round-trips: feeding it back through
+				// Exec recreates an identical view.
+				fmt.Fprintf(&b, "view: %s\n", m.Def.DDL)
+			} else {
+				fmt.Fprintf(&b, "view: %s (struct-defined; no DDL form)\n", m.Candidate.View.Describe())
+			}
+			fmt.Fprintf(&b, "rewrite hits: %d\n", m.RewriteHits())
+		}
 	}
 	fmt.Fprintf(&b, "estimated cost: %.4g\n", plan.Cost)
 	fz := plan.Graph.Freeze()
@@ -185,37 +200,55 @@ func (s *System) Explain(src string) (string, error) {
 }
 
 // ViewInventory renders Tables I and II: the connector and summarizer
-// classes the view template library supports.
+// classes the view template library supports, each with the canonical
+// defining pattern CREATE VIEW accepts (the text round-trips through
+// the parser and the view compiler).
 func ViewInventory() string {
-	type row struct{ name, desc string }
+	type row struct{ name, desc, ddl string }
 	connectors := []row{
-		{"Same-vertex-type connector", "Target vertices are all pairs of vertices with a specific vertex type."},
-		{"k-hop connector", "Target vertices are all vertex pairs that are connected through k-length paths."},
-		{"Same-edge-type connector", "Target vertices are all pairs of vertices connected with a path of edges of a specific edge type."},
-		{"Source-to-sink connector", "Target vertices are (source, sink) pairs: no incoming resp. no outgoing edges."},
+		{"Same-vertex-type connector", "Target vertices are all pairs of vertices with a specific vertex type.",
+			views.SameVertexTypeConnector{VType: "T", MaxLen: 8}.Cypher()},
+		{"k-hop connector", "Target vertices are all vertex pairs that are connected through k-length paths.",
+			views.KHopConnector{SrcType: "S", DstType: "T", K: 2}.Cypher()},
+		{"Same-edge-type connector", "Target vertices are all pairs of vertices connected with a path of edges of a specific edge type.",
+			views.SameEdgeTypeConnector{EType: "E", MaxLen: 8}.Cypher()},
+		{"Source-to-sink connector", "Target vertices are (source, sink) pairs: no incoming resp. no outgoing edges.",
+			views.SourceToSinkConnector{MaxLen: 8}.Cypher()},
 	}
 	summarizers := []row{
-		{"Vertex-removal summarizer", "Removes vertices (and connected edges) satisfying a predicate."},
-		{"Edge-removal summarizer", "Removes edges satisfying a predicate."},
-		{"Vertex-inclusion summarizer", "Keeps vertices satisfying the predicate and edges with both endpoints kept."},
-		{"Edge-inclusion summarizer", "Keeps only edges satisfying a predicate."},
-		{"Vertex-aggregator summarizer", "Groups vertices satisfying a predicate into supervertices with aggregated properties."},
-		{"Edge-aggregator summarizer", "Groups parallel edges into superedges with aggregated properties."},
-		{"Subgraph-aggregator summarizer", "Groups vertices and the edges among them into supervertices."},
+		{"Vertex-removal summarizer", "Removes vertices (and connected edges) satisfying a predicate.",
+			views.VertexRemovalSummarizer{Types: []string{"T"}}.Cypher()},
+		{"Edge-removal summarizer", "Removes edges satisfying a predicate.",
+			views.EdgeRemovalSummarizer{Types: []string{"E"}}.Cypher()},
+		{"Vertex-inclusion summarizer", "Keeps vertices satisfying the predicate and edges with both endpoints kept.",
+			views.VertexInclusionSummarizer{Types: []string{"S", "T"}}.Cypher()},
+		{"Edge-inclusion summarizer", "Keeps only edges satisfying a predicate.",
+			views.EdgeInclusionSummarizer{Types: []string{"E"}}.Cypher()},
+		{"Vertex-aggregator summarizer", "Groups vertices satisfying a predicate into supervertices with aggregated properties.",
+			views.VertexAggregatorSummarizer{VType: "T", GroupBy: "g"}.Cypher()},
+		{"Edge-aggregator summarizer", "Groups parallel edges into superedges with aggregated properties.",
+			views.EdgeAggregatorSummarizer{EType: "E"}.Cypher()},
+		{"Subgraph-aggregator summarizer", "Groups vertices and the edges among them into supervertices.",
+			views.SubgraphAggregatorSummarizer{VType: "T", GroupBy: "g"}.Cypher()},
 	}
 	var b strings.Builder
+	emit := func(rows []row) {
+		for _, r := range rows {
+			fmt.Fprintf(&b, "  %-32s %s\n", r.name, r.desc)
+			fmt.Fprintf(&b, "  %-32s e.g. CREATE VIEW v AS %s\n", "", r.ddl)
+		}
+	}
 	b.WriteString("Table I: Connectors in KASKADE\n")
-	for _, r := range connectors {
-		fmt.Fprintf(&b, "  %-32s %s\n", r.name, r.desc)
-	}
+	emit(connectors)
 	b.WriteString("Table II: Summarizers in KASKADE\n")
-	for _, r := range summarizers {
-		fmt.Fprintf(&b, "  %-32s %s\n", r.name, r.desc)
-	}
+	emit(summarizers)
 	return b.String()
 }
 
-// DescribeCandidates renders enumerated candidates deterministically.
+// DescribeCandidates renders enumerated candidates deterministically,
+// appending the canonical DDL pattern where the candidate is
+// DDL-expressible — the text an operator can hand straight back to
+// CREATE VIEW.
 func DescribeCandidates(cands []enum.Candidate) string {
 	lines := make([]string, 0, len(cands))
 	for _, c := range cands {
@@ -223,7 +256,11 @@ func DescribeCandidates(cands []enum.Candidate) string {
 		if c.SrcVar != "" {
 			anchor = fmt.Sprintf(" anchored at (%s, %s)", c.SrcVar, c.DstVar)
 		}
-		lines = append(lines, fmt.Sprintf("%-28s %s%s", c.Template, c.View.Describe(), anchor))
+		line := fmt.Sprintf("%-28s %s%s", c.Template, c.View.Describe(), anchor)
+		if pat, err := views.CanonicalPattern(c.View); err == nil {
+			line += "\n" + fmt.Sprintf("%-28s ddl: %s", "", pat)
+		}
+		lines = append(lines, line)
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

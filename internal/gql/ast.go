@@ -11,8 +11,13 @@
 //	  ) GROUP BY A, B
 //	) GROUP BY A.pipelineName
 //
+// Besides queries, the language carries Kaskade's view DDL — CREATE
+// [MATERIALIZED] VIEW name AS <pattern>, DROP VIEW name, SHOW VIEWS —
+// parsed by ParseStatement (see stmt.go); the query-only Parse rejects
+// DDL with ErrDDL.
+//
 // The package provides the lexer, parser, and AST; evaluation lives in
-// internal/exec.
+// internal/exec, and view-pattern compilation in internal/views.
 package gql
 
 import (

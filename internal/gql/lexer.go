@@ -25,6 +25,9 @@ var keywords = map[string]bool{
 	"ORDER": true, "LIMIT": true, "AS": true, "MATCH": true, "RETURN": true,
 	"AND": true, "OR": true, "NOT": true, "ASC": true, "DESC": true,
 	"TRUE": true, "FALSE": true, "DISTINCT": true,
+	// view DDL (CREATE [MATERIALIZED] VIEW .. AS, DROP VIEW, SHOW VIEWS)
+	"CREATE": true, "MATERIALIZED": true, "VIEW": true, "DROP": true,
+	"SHOW": true, "VIEWS": true,
 }
 
 type tok struct {
@@ -45,7 +48,7 @@ func (t tok) String() string {
 // multi-character symbols, longest first.
 var symbols = []string{
 	"<=", ">=", "<>", "!=", "->", "<-", "..",
-	"(", ")", "[", "]", "{", "}", ",", ":", "*", "-", "+", "/", "=", "<", ">", ".",
+	"(", ")", "[", "]", "{", "}", ",", ":", ";", "*", "-", "+", "/", "=", "<", ">", ".",
 }
 
 func lexQuery(src string) ([]tok, error) {

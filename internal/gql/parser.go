@@ -1,18 +1,33 @@
 package gql
 
 import (
+	"errors"
 	"fmt"
 )
 
+// ErrDDL marks a DDL statement (CREATE VIEW, DROP VIEW, SHOW VIEWS)
+// handed to a query-only entry point. The query surface (Query*,
+// Prepare) wraps parse errors, so callers test with errors.Is(err,
+// gql.ErrDDL) and route the statement through System.Exec instead.
+var ErrDDL = errors.New("DDL statement, not a query (execute it with Exec)")
+
+// ddlKeywords are the keywords that can only begin a DDL statement.
+var ddlKeywords = map[string]bool{"CREATE": true, "DROP": true, "SHOW": true}
+
 // Parse parses a query in Kaskade's hybrid language. The top level is
 // either a Cypher-style MATCH block or a SQL-style SELECT over a
-// parenthesized subquery that bottoms out in a MATCH block.
+// parenthesized subquery that bottoms out in a MATCH block. View DDL is
+// not a query: it is rejected with an error wrapping ErrDDL (parse it
+// with ParseStatement, execute it with System.Exec).
 func Parse(src string) (Query, error) {
 	toks, err := lexQuery(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &qparser{toks: toks}
+	if t := p.peek(); t.kind == tKeyword && ddlKeywords[t.text] {
+		return nil, fmt.Errorf("gql: %s begins a %w", t.text, ErrDDL)
+	}
 	q, err := p.parseQuery()
 	if err != nil {
 		return nil, err
@@ -30,6 +45,102 @@ func MustParse(src string) Query {
 		panic(err)
 	}
 	return q
+}
+
+// ParseStatement parses one statement: a query (wrapped in QueryStmt)
+// or a view DDL statement. A single trailing ';' is accepted, so
+// script-style input (the REPL, CI smoke scripts) needs no stripping.
+func ParseStatement(src string) (Statement, error) {
+	toks, err := lexQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tSymbol, ";")
+	if p.peek().kind != tEOF {
+		return nil, fmt.Errorf("gql: trailing input at %s", p.peek())
+	}
+	return st, nil
+}
+
+func (p *qparser) parseStatement() (Statement, error) {
+	switch t := p.peek(); {
+	case t.kind == tKeyword && t.text == "CREATE":
+		return p.parseCreateView()
+	case t.kind == tKeyword && t.text == "DROP":
+		return p.parseDropView()
+	case t.kind == tKeyword && t.text == "SHOW":
+		return p.parseShowViews()
+	default:
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &QueryStmt{Query: q}, nil
+	}
+}
+
+// parseCreateView parses CREATE [MATERIALIZED] VIEW name AS <query>.
+func (p *qparser) parseCreateView() (Statement, error) {
+	if err := p.expect(tKeyword, "CREATE"); err != nil {
+		return nil, err
+	}
+	st := &CreateViewStmt{}
+	st.Materialized = p.accept(tKeyword, "MATERIALIZED")
+	if err := p.expect(tKeyword, "VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.viewName()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expect(tKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	st.Body, err = p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseDropView parses DROP VIEW name.
+func (p *qparser) parseDropView() (Statement, error) {
+	if err := p.expect(tKeyword, "DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tKeyword, "VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.viewName()
+	if err != nil {
+		return nil, err
+	}
+	return &DropViewStmt{Name: name}, nil
+}
+
+// parseShowViews parses SHOW VIEWS.
+func (p *qparser) parseShowViews() (Statement, error) {
+	if err := p.expect(tKeyword, "SHOW"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tKeyword, "VIEWS"); err != nil {
+		return nil, err
+	}
+	return &ShowViewsStmt{}, nil
+}
+
+func (p *qparser) viewName() (string, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return "", fmt.Errorf("gql: expected view name at offset %d, found %s", t.pos, t)
+	}
+	return t.text, nil
 }
 
 type qparser struct {

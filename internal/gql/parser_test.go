@@ -268,16 +268,40 @@ func FuzzParse(f *testing.F) {
 		`MATCH`,
 		`SELECT FROM () GROUP BY`,
 		"MATCH (a)-[r*1..]->(b) RETURN a -- trailing",
+		// View DDL statements (ParseStatement), including near-miss
+		// garbage the statement parser must reject without panicking.
+		`CREATE MATERIALIZED VIEW jj AS MATCH (x:Job)-[p*2..2]->(y:Job) RETURN x, y`,
+		`CREATE VIEW keep AS MATCH (v) WHERE LABEL(v) = 'File' OR LABEL(v) = 'Job' RETURN v`,
+		`CREATE VIEW drop_t AS MATCH (v) WHERE NOT (LABEL(v) = 'Task') RETURN v`,
+		`CREATE VIEW chain AS MATCH (x)-[e:TRANSFERS_TO*1..4]->(y) RETURN x, y`,
+		`CREATE VIEW ss AS MATCH (x)-[p*1..6]->(y) WHERE INDEGREE(x) = 0 AND OUTDEGREE(y) = 0 RETURN x, y`,
+		`CREATE VIEW agg AS MATCH (v:Job) RETURN v.pipelineName, COUNT(v), SUM(v.CPU)`,
+		`DROP VIEW jj;`,
+		`SHOW VIEWS`,
+		`CREATE VIEW x AS SELECT`,
+		`CREATE VIEW AS MATCH (a) RETURN a`,
+		`CREATE MATERIALIZED x`,
+		`DROP VIEWS`,
+		`SHOW VIEW jj`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
+		// The statement surface: accepted inputs must print to
+		// something ParseStatement accepts.
+		if st, err := ParseStatement(src); err == nil {
+			printed := st.String()
+			if _, err := ParseStatement(printed); err != nil {
+				t.Errorf("String() of accepted statement does not reparse: %q -> %q: %v", src, printed, err)
+			}
+		}
+		// The query-only surface (kept panic-free independently; it
+		// additionally rejects every DDL statement with ErrDDL).
 		q, err := Parse(src)
 		if err != nil {
 			return
 		}
-		// Accepted inputs must print to something the parser accepts.
 		printed := q.String()
 		if _, err := Parse(printed); err != nil {
 			t.Errorf("String() of accepted query does not reparse: %q -> %q: %v", src, printed, err)

@@ -1,0 +1,65 @@
+package gql
+
+// Statement is one parsed gql statement: either a query wrapped in a
+// QueryStmt, or a view DDL statement. DDL is the declarative face of
+// Kaskade's view library — the paper's Table I/II view templates are
+// themselves graph patterns, so views are created, listed, and dropped
+// in the same language queries are written in:
+//
+//	CREATE MATERIALIZED VIEW jj AS
+//	  MATCH (x:Job)-[p*2..2]->(y:Job) RETURN x, y
+//	SHOW VIEWS
+//	DROP VIEW jj
+//
+// ParseStatement produces Statements; the query-only Parse entry point
+// rejects DDL with ErrDDL. Execution lives in core.System.Exec.
+type Statement interface {
+	isStatement()
+	// String renders the statement back to (canonicalized) source text
+	// that ParseStatement accepts.
+	String() string
+}
+
+// QueryStmt wraps an ordinary query (MATCH or SELECT) as a statement.
+type QueryStmt struct {
+	Query Query
+}
+
+// CreateViewStmt is CREATE [MATERIALIZED] VIEW name AS <pattern>. The
+// defining Body is a query in the same language; the view compiler
+// (views.CompilePattern) decides which Table I/II class it denotes.
+// Every Kaskade view is physically materialized on creation; the
+// MATERIALIZED keyword is accepted and preserved for round-tripping,
+// but both spellings mean the same thing.
+type CreateViewStmt struct {
+	Name         string
+	Materialized bool
+	Body         Query
+}
+
+// DropViewStmt is DROP VIEW name.
+type DropViewStmt struct {
+	Name string
+}
+
+// ShowViewsStmt is SHOW VIEWS.
+type ShowViewsStmt struct{}
+
+func (*QueryStmt) isStatement()      {}
+func (*CreateViewStmt) isStatement() {}
+func (*DropViewStmt) isStatement()   {}
+func (*ShowViewsStmt) isStatement()  {}
+
+func (s *QueryStmt) String() string { return s.Query.String() }
+
+func (s *CreateViewStmt) String() string {
+	kw := "CREATE VIEW "
+	if s.Materialized {
+		kw = "CREATE MATERIALIZED VIEW "
+	}
+	return kw + s.Name + " AS " + s.Body.String()
+}
+
+func (s *DropViewStmt) String() string { return "DROP VIEW " + s.Name }
+
+func (*ShowViewsStmt) String() string { return "SHOW VIEWS" }

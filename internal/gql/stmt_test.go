@@ -1,0 +1,142 @@
+package gql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseCreateView(t *testing.T) {
+	st, err := ParseStatement(`CREATE MATERIALIZED VIEW jj AS MATCH (x:Job)-[p*2..2]->(y:Job) RETURN x, y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, ok := st.(*CreateViewStmt)
+	if !ok {
+		t.Fatalf("statement is %T, want *CreateViewStmt", st)
+	}
+	if cv.Name != "jj" || !cv.Materialized {
+		t.Errorf("stmt = %+v", cv)
+	}
+	m, ok := cv.Body.(*MatchQuery)
+	if !ok || len(m.Patterns) != 1 {
+		t.Fatalf("body = %#v", cv.Body)
+	}
+	if e := m.Patterns[0].Edges[0]; !e.VarLength || e.MinHops != 2 || e.MaxHops != 2 {
+		t.Errorf("edge = %+v", e)
+	}
+
+	// Plain CREATE VIEW (no MATERIALIZED) and a trailing semicolon.
+	st, err = ParseStatement(`CREATE VIEW f AS MATCH (v) WHERE LABEL(v) = 'File' RETURN v;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv := st.(*CreateViewStmt); cv.Materialized || cv.Name != "f" {
+		t.Errorf("stmt = %+v", cv)
+	}
+}
+
+func TestParseDropShowAndQueryStatements(t *testing.T) {
+	st, err := ParseStatement(`DROP VIEW jj;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv := st.(*DropViewStmt); dv.Name != "jj" {
+		t.Errorf("drop name = %q", dv.Name)
+	}
+	st, err = ParseStatement(`SHOW VIEWS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*ShowViewsStmt); !ok {
+		t.Errorf("statement is %T", st)
+	}
+	// A query is a statement too, wrapped in QueryStmt.
+	st, err = ParseStatement(`MATCH (a:Job) RETURN a;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, ok := st.(*QueryStmt)
+	if !ok {
+		t.Fatalf("statement is %T, want *QueryStmt", st)
+	}
+	if _, ok := qs.Query.(*MatchQuery); !ok {
+		t.Errorf("query is %T", qs.Query)
+	}
+}
+
+func TestStatementStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`CREATE MATERIALIZED VIEW jj AS MATCH (x:Job)-[p*2..2]->(y:Job) RETURN x, y`,
+		`CREATE VIEW keep AS MATCH (v) WHERE LABEL(v) = 'File' OR LABEL(v) = 'Job' RETURN v`,
+		`CREATE VIEW ss AS MATCH (x)-[p*1..6]->(y) WHERE INDEGREE(x) = 0 AND OUTDEGREE(y) = 0 RETURN x, y`,
+		`DROP VIEW jj`,
+		`SHOW VIEWS`,
+		`MATCH (a:Job)-[:W]->(b:File) RETURN a, b`,
+	}
+	for _, src := range srcs {
+		st1, err := ParseStatement(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		printed := st1.String()
+		st2, err := ParseStatement(printed)
+		if err != nil {
+			t.Errorf("reparse %q: %v", printed, err)
+			continue
+		}
+		if st2.String() != printed {
+			t.Errorf("round trip mismatch:\n  first:  %s\n  second: %s", printed, st2.String())
+		}
+	}
+}
+
+func TestParseRejectsDDLAsQuery(t *testing.T) {
+	for _, src := range []string{
+		`CREATE VIEW x AS MATCH (a) RETURN a`,
+		`DROP VIEW x`,
+		`SHOW VIEWS`,
+	} {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q): DDL accepted as a query", src)
+			continue
+		}
+		if !errors.Is(err, ErrDDL) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrDDL", src, err)
+		}
+	}
+	// ParseStatement error paths are ordinary parse errors, not ErrDDL.
+	if _, err := ParseStatement(`MATCH (a:Job RETURN a`); errors.Is(err, ErrDDL) {
+		t.Error("query parse error wrongly wraps ErrDDL")
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of the error message
+	}{
+		{`CREATE VIEW x AS SELECT`, "unexpected end"},      // SELECT needs items + FROM
+		{`CREATE VIEW AS MATCH (a) RETURN a`, "view name"}, // name missing
+		{`CREATE TABLE x AS MATCH (a) RETURN a`, `"VIEW"`},
+		{`CREATE VIEW x MATCH (a) RETURN a`, `"AS"`},
+		{`CREATE VIEW 7 AS MATCH (a) RETURN a`, "view name"},
+		{`DROP VIEW`, "view name"},
+		{`DROP x`, `"VIEW"`},
+		{`SHOW VIEW`, `"VIEWS"`},
+		{`SHOW VIEWS extra`, "trailing input"},
+		{`CREATE VIEW x AS MATCH (a) RETURN a; DROP VIEW x`, "trailing input"},
+	}
+	for _, tc := range cases {
+		_, err := ParseStatement(tc.src)
+		if err == nil {
+			t.Errorf("ParseStatement(%q): want error, got nil", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseStatement(%q) error %q does not mention %q", tc.src, err, tc.want)
+		}
+	}
+}

@@ -52,8 +52,13 @@ func (c KHopConnector) Describe() string {
 		c.K, orAny(c.SrcType), orAny(c.DstType), c.K)
 }
 
-// Cypher renders the defining pattern.
+// Cypher renders the defining pattern — the canonical DDL body where
+// the connector is DDL-expressible (it compiles back to this view), the
+// plain contraction pattern otherwise.
 func (c KHopConnector) Cypher() string {
+	if p, err := CanonicalPattern(c); err == nil {
+		return p
+	}
 	return fmt.Sprintf("MATCH (x%s)-[p*%d..%d]->(y%s) RETURN x, y",
 		colonType(c.SrcType), c.K, c.K, colonType(c.DstType))
 }
@@ -283,8 +288,12 @@ func (c SameVertexTypeConnector) Describe() string {
 		c.VType, c.MaxLen, c.VType)
 }
 
-// Cypher renders the defining pattern.
+// Cypher renders the defining pattern (the canonical DDL body where
+// DDL-expressible; see KHopConnector.Cypher).
 func (c SameVertexTypeConnector) Cypher() string {
+	if p, err := CanonicalPattern(c); err == nil {
+		return p
+	}
 	return fmt.Sprintf("MATCH (x:%s)-[p*1..%d]->(y:%s) RETURN x, y", c.VType, c.MaxLen, c.VType)
 }
 
@@ -369,8 +378,12 @@ func (c SameEdgeTypeConnector) Describe() string {
 	return fmt.Sprintf("same-edge-type connector over %s paths up to %d hops", c.EType, c.MaxLen)
 }
 
-// Cypher renders the defining pattern.
+// Cypher renders the defining pattern (the canonical DDL body where
+// DDL-expressible; see KHopConnector.Cypher).
 func (c SameEdgeTypeConnector) Cypher() string {
+	if p, err := CanonicalPattern(c); err == nil {
+		return p
+	}
 	return fmt.Sprintf("MATCH (x)-[p:%s*1..%d]->(y) RETURN x, y", c.EType, c.MaxLen)
 }
 
@@ -452,9 +465,13 @@ func (c SourceToSinkConnector) Describe() string {
 	return fmt.Sprintf("source-to-sink connector (paths up to %d hops from in-degree-0 to out-degree-0 vertices)", c.MaxLen)
 }
 
-// Cypher renders the defining pattern (source/sink predicates are not
-// expressible in the pattern language; noted as a comment).
+// Cypher renders the defining pattern (the canonical DDL body where
+// DDL-expressible; the INDEGREE/OUTDEGREE predicate in the WHERE clause
+// is the class marker the view compiler recognizes).
 func (c SourceToSinkConnector) Cypher() string {
+	if p, err := CanonicalPattern(c); err == nil {
+		return p
+	}
 	return fmt.Sprintf("MATCH (x)-[p*1..%d]->(y) RETURN x, y -- WHERE indeg(x)=0 AND outdeg(y)=0", c.MaxLen)
 }
 

@@ -31,9 +31,12 @@ func (s VertexInclusionSummarizer) Describe() string {
 	return fmt.Sprintf("vertex-inclusion summarizer keeping types {%s}", strings.Join(s.Types, ", "))
 }
 
-// Cypher renders the defining filter.
+// Cypher renders the defining filter as the canonical DDL body (it
+// parses and compiles back to this summarizer; edges survive iff both
+// endpoints are kept).
 func (s VertexInclusionSummarizer) Cypher() string {
-	return fmt.Sprintf("MATCH (v) WHERE LABEL(v) IN [%s] RETURN v -- plus edges with both endpoints kept", joinSorted(s.Types))
+	p, _ := CanonicalPattern(s)
+	return p
 }
 
 // Materialize filters the graph.
@@ -73,9 +76,10 @@ func (s VertexRemovalSummarizer) Describe() string {
 	return fmt.Sprintf("vertex-removal summarizer dropping types {%s}", strings.Join(s.Types, ", "))
 }
 
-// Cypher renders the defining filter.
+// Cypher renders the defining filter as the canonical DDL body.
 func (s VertexRemovalSummarizer) Cypher() string {
-	return fmt.Sprintf("MATCH (v) WHERE NOT LABEL(v) IN [%s] RETURN v", joinSorted(s.Types))
+	p, _ := CanonicalPattern(s)
+	return p
 }
 
 // Materialize filters the graph.
@@ -115,9 +119,10 @@ func (s EdgeInclusionSummarizer) Describe() string {
 	return fmt.Sprintf("edge-inclusion summarizer keeping edge types {%s}", strings.Join(s.Types, ", "))
 }
 
-// Cypher renders the defining filter.
+// Cypher renders the defining filter as the canonical DDL body.
 func (s EdgeInclusionSummarizer) Cypher() string {
-	return fmt.Sprintf("MATCH (x)-[e]->(y) WHERE TYPE(e) IN [%s] RETURN x, e, y", joinSorted(s.Types))
+	p, _ := CanonicalPattern(s)
+	return p
 }
 
 // Materialize filters the graph.
@@ -154,9 +159,10 @@ func (s EdgeRemovalSummarizer) Describe() string {
 	return fmt.Sprintf("edge-removal summarizer dropping edge types {%s}", strings.Join(s.Types, ", "))
 }
 
-// Cypher renders the defining filter.
+// Cypher renders the defining filter as the canonical DDL body.
 func (s EdgeRemovalSummarizer) Cypher() string {
-	return fmt.Sprintf("MATCH (x)-[e]->(y) WHERE NOT TYPE(e) IN [%s] RETURN x, e, y", joinSorted(s.Types))
+	p, _ := CanonicalPattern(s)
+	return p
 }
 
 // Materialize filters the graph.
@@ -215,9 +221,11 @@ func (s VertexAggregatorSummarizer) Describe() string {
 	return fmt.Sprintf("vertex-aggregator summarizer grouping %s by %s", s.VType, s.GroupBy)
 }
 
-// Cypher renders the defining aggregation.
+// Cypher renders the defining aggregation as the canonical DDL body
+// (one supervertex per group).
 func (s VertexAggregatorSummarizer) Cypher() string {
-	return fmt.Sprintf("MATCH (v:%s) RETURN v.%s, COUNT(v) -- supervertex per group", s.VType, s.GroupBy)
+	p, _ := CanonicalPattern(s)
+	return p
 }
 
 // Materialize builds the aggregated graph.
@@ -322,9 +330,11 @@ func (s EdgeAggregatorSummarizer) Describe() string {
 	return fmt.Sprintf("edge-aggregator summarizer merging parallel %s edges", orAny(s.EType))
 }
 
-// Cypher renders the defining aggregation.
+// Cypher renders the defining aggregation as the canonical DDL body
+// (one superedge per (x, y) pair).
 func (s EdgeAggregatorSummarizer) Cypher() string {
-	return fmt.Sprintf("MATCH (x)-[e%s]->(y) RETURN x, y, COUNT(e) -- superedge per (x,y)", colonType(s.EType))
+	p, _ := CanonicalPattern(s)
+	return p
 }
 
 // Materialize merges parallel edges.
@@ -406,9 +416,11 @@ func (s SubgraphAggregatorSummarizer) Describe() string {
 	return fmt.Sprintf("subgraph-aggregator summarizer contracting %s groups by %s", s.VType, s.GroupBy)
 }
 
-// Cypher renders the defining aggregation.
+// Cypher renders the defining aggregation as the canonical DDL body
+// (one supervertex per group, internal edge mass annotated).
 func (s SubgraphAggregatorSummarizer) Cypher() string {
-	return fmt.Sprintf("MATCH (v:%s) RETURN v.%s, COUNT(v) -- supervertex with internal edge mass", s.VType, s.GroupBy)
+	p, _ := CanonicalPattern(s)
+	return p
 }
 
 // Materialize contracts each group subgraph into a supervertex.

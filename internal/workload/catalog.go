@@ -22,7 +22,21 @@ type Materialized struct {
 	Candidate enum.Candidate
 	Graph     *graph.Graph
 	Props     *cost.GraphProperties
+	// Def is the named declarative definition: the DDL name and
+	// canonical CREATE VIEW text for CREATE VIEW statements, the
+	// structural name (and derived DDL where one exists) for
+	// struct-API views.
+	Def views.ViewDef
+
+	// hits counts §V-C rewrites that landed on this view — the usage
+	// signal behind SHOW VIEWS, Explain, and future benefit-based
+	// eviction. Atomic: bumped under the catalog's read lock.
+	hits atomic.Int64
 }
+
+// RewriteHits returns how many times §V-C rewriting has landed on this
+// view since it was materialized.
+func (m *Materialized) RewriteHits() int64 { return m.hits.Load() }
 
 // Catalog holds the materialized views over a base graph and implements
 // view-based query rewriting (§V-C): on query arrival it enumerates the
@@ -45,6 +59,11 @@ type Catalog struct {
 	epoch  atomic.Uint64
 	byName map[string]*Materialized
 	order  []string
+	// defs maps registry (DDL) names to structural view names — the
+	// named-view registry behind CREATE VIEW / DROP VIEW / SHOW VIEWS.
+	// Struct-API views register under their structural name, so every
+	// materialized view has exactly one registry entry.
+	defs map[string]string
 }
 
 // Epoch returns the catalog's mutation counter. It increments every
@@ -63,6 +82,7 @@ func Materialize(g *graph.Graph, sel *Selection) (*Catalog, error) {
 		Schema:    g.Schema(),
 		Alpha:     cost.DefaultAlpha,
 		byName:    make(map[string]*Materialized),
+		defs:      make(map[string]string),
 	}
 	for _, ev := range sel.Chosen {
 		if err := c.Add(ev.Candidate); err != nil {
@@ -80,6 +100,7 @@ func NewCatalog(g *graph.Graph) *Catalog {
 		Schema:    g.Schema(),
 		Alpha:     cost.DefaultAlpha,
 		byName:    make(map[string]*Materialized),
+		defs:      make(map[string]string),
 	}
 }
 
@@ -119,8 +140,13 @@ func (c *Catalog) has(name string) bool {
 // race for the name, and bumps the epoch when the catalog changed. The
 // view graph is frozen (CSR view built) before it becomes visible, so
 // every query rewritten over a landed view runs on the frozen path
-// without paying the index build on its first execution.
+// without paying the index build on its first execution. Views landing
+// without an explicit Def (the struct API) are named after their
+// structural name, so SHOW VIEWS lists them alongside DDL-created ones.
 func (c *Catalog) insert(name string, m *Materialized) {
+	if m.Def.View == nil {
+		m.Def = views.Define(m.Candidate.View)
+	}
 	m.Graph.Freeze()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -129,7 +155,83 @@ func (c *Catalog) insert(name string, m *Materialized) {
 	}
 	c.byName[name] = m
 	c.order = append(c.order, name)
+	if c.defs == nil {
+		c.defs = make(map[string]string)
+	}
+	// A DDL view may already hold this registry name (a CREATE VIEW
+	// named like another view's structural name). The struct path
+	// cannot error, so the view lands unregistered: still listed,
+	// rewritten over, and droppable by its structural name — DropView
+	// resolves exact structural matches first.
+	if _, taken := c.defs[m.Def.Name]; !taken {
+		c.defs[m.Def.Name] = name
+	}
 	c.epoch.Add(1)
+}
+
+// ErrViewExists is wrapped by CreateView when the view name (or an
+// identically defined view) is already in the catalog; DROP VIEW it
+// first.
+var ErrViewExists = fmt.Errorf("view already exists")
+
+// CreateView materializes a declaratively defined, named view into the
+// catalog — the CREATE VIEW execution path. Unlike the idempotent Add,
+// a name collision (with another registry name or with an identically
+// defined materialized view) is an error wrapping ErrViewExists: the
+// DDL lifecycle makes re-CREATE meaningful only after DROP VIEW.
+// Materialization runs outside the catalog lock; landing the view bumps
+// the epoch, so prepared statements re-rewrite over it on their next
+// execution.
+func (c *Catalog) CreateView(def views.ViewDef, workers int) error {
+	if def.Name == "" || def.View == nil {
+		return fmt.Errorf("workload: view definition needs a name and a compiled view")
+	}
+	structural := def.View.Name()
+	if err := c.checkNames(def.Name, structural); err != nil {
+		return err
+	}
+	vg, err := materializeView(def.View, c.Base, workers)
+	if err != nil {
+		return fmt.Errorf("workload: materializing %s: %w", def.Name, err)
+	}
+	m := &Materialized{
+		Candidate: enum.Candidate{View: def.View},
+		Graph:     vg,
+		Props:     cost.Collect(vg),
+		Def:       def,
+	}
+	m.Graph.Freeze()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Re-check under the lock: a racing CREATE may have landed the name
+	// while this one materialized.
+	if err := c.checkNamesLocked(def.Name, structural); err != nil {
+		return err
+	}
+	c.byName[structural] = m
+	c.defs[def.Name] = structural
+	c.order = append(c.order, structural)
+	c.epoch.Add(1)
+	return nil
+}
+
+func (c *Catalog) checkNames(defName, structural string) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.checkNamesLocked(defName, structural)
+}
+
+func (c *Catalog) checkNamesLocked(defName, structural string) error {
+	if s, dup := c.defs[defName]; dup {
+		return fmt.Errorf("workload: %w: %q (over %s)", ErrViewExists, defName, s)
+	}
+	if _, dup := c.byName[defName]; dup {
+		return fmt.Errorf("workload: %w: %q names a materialized view", ErrViewExists, defName)
+	}
+	if m, dup := c.byName[structural]; dup {
+		return fmt.Errorf("workload: %w: an identical view is materialized as %q", ErrViewExists, m.Def.Name)
+	}
+	return nil
 }
 
 // materializeView builds a view graph, fanning the build itself out
@@ -224,26 +326,75 @@ func (c *Catalog) AddAll(cands []enum.Candidate, workers int) error {
 // view graph, and bumps the epoch — the part that matters for
 // correctness: a PreparedQuery whose cached plan was rewritten over the
 // dropped view sees the epoch move and re-rewrites on its next
-// execution instead of running the stale plan. It reports whether the
-// view was present. An execution already racing the drop may finish
-// over the old plan — the view graph stays alive until the last
-// reference drops, so such a straggler reads consistent (if
+// execution instead of running the stale plan. The name may be either
+// the registry (DDL) name or the structural view name. It reports
+// whether the view was present. An execution already racing the drop
+// may finish over the old plan — the view graph stays alive until the
+// last reference drops, so such a straggler reads consistent (if
 // one-epoch-old) data, never freed memory.
 func (c *Catalog) DropView(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// An exact structural match wins over a registry alias — the
+	// structural name is what Plan.ViewName and Views() report, so a
+	// caller naming one means that physical view even if another view's
+	// DDL name shadows it.
+	structural := name
 	if _, ok := c.byName[name]; !ok {
+		if s, ok := c.defs[name]; ok {
+			structural = s
+		}
+	}
+	m, ok := c.byName[structural]
+	if !ok {
 		return false
 	}
-	delete(c.byName, name)
+	delete(c.byName, structural)
+	// Release the registry name only if it points here: a view whose
+	// def name was shadowed at insert time never owned the entry.
+	if c.defs[m.Def.Name] == structural {
+		delete(c.defs, m.Def.Name)
+	}
 	for i, n := range c.order {
-		if n == name {
+		if n == structural {
 			c.order = append(c.order[:i], c.order[i+1:]...)
 			break
 		}
 	}
 	c.epoch.Add(1)
 	return true
+}
+
+// ViewInfo is one SHOW VIEWS row: the registry name, class, canonical
+// DDL text (empty for views the DDL surface cannot express), view graph
+// size, and the rewrite-hit counter.
+type ViewInfo struct {
+	Name     string
+	Kind     string
+	DDL      string
+	Vertices int
+	Edges    int
+	Hits     int64
+}
+
+// ListViews reports every materialized view in creation order — the
+// data behind SHOW VIEWS.
+func (c *Catalog) ListViews() []ViewInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]ViewInfo, 0, len(c.order))
+	for _, n := range c.order {
+		m := c.byName[n]
+		out = append(out, ViewInfo{
+			Name:     m.Def.Name,
+			Kind:     string(m.Candidate.View.Kind()),
+			DDL:      m.Def.DDL,
+			Vertices: m.Graph.NumVertices(),
+			Edges:    m.Graph.NumEdges(),
+			Hits:     m.hits.Load(),
+		})
+	}
+	return out
 }
 
 // Views returns the materialized view names in creation order.
@@ -326,6 +477,14 @@ func (c *Catalog) Rewrite(q gql.Query) (*Plan, error) {
 		if plan.Cost < best.Cost {
 			best = plan
 		}
+	}
+	if best.ViewName != "" {
+		// The rewrite landed on a view: bump its usage counter (the
+		// signal SHOW VIEWS and Explain surface, and the input to a
+		// future benefit-based eviction policy). Prepared statements
+		// rewrite once per catalog epoch, so this counts distinct
+		// plannings, not executions.
+		c.byName[best.ViewName].hits.Add(1)
 	}
 	return best, nil
 }

@@ -68,6 +68,33 @@
 // WithWorkers (match parallelism), WithMaxRows (row guard),
 // WithoutViews (baseline execution — what QueryRaw does).
 //
+// # Declarative view DDL
+//
+// Views are defined in the query language itself — the paper's Table
+// I/II templates are graph patterns, so CREATE VIEW takes one as its
+// body. System.Exec executes DDL (and plain queries) through one
+// dispatcher:
+//
+//	_, _ = sys.Exec(ctx, `CREATE MATERIALIZED VIEW jj AS
+//	    MATCH (x:Job)-[p*2..2]->(y:Job) RETURN x, y`)
+//	res, _ := sys.Exec(ctx, `SHOW VIEWS`) // name, kind, sizes, rewrite hits, DDL
+//	_, _ = sys.Exec(ctx, `DROP VIEW jj`)
+//
+// The view compiler recognizes which Table I/II class a pattern
+// denotes — k-hop ((x:S)-[p*k..k]->(y:T)), same-vertex-type
+// ((x:T)-[p*1..n]->(y:T)), same-edge-type ((x)-[p:E*1..n]->(y)),
+// source-to-sink ((x)-[p*1..n]->(y) WHERE INDEGREE(x) = 0 AND
+// OUTDEGREE(y) = 0), label/type inclusion and removal filters, and the
+// vertex/edge/subgraph aggregators — and errors descriptively on
+// anything else. Every view is materialized on creation (MATERIALIZED
+// is optional); CREATE bumps the catalog epoch so prepared statements
+// transparently re-rewrite over the new view, and DROP VIEW re-rewrites
+// them away from it. The query-only paths (Query*, Prepare) reject DDL
+// with an error wrapping ErrDDL. ViewInventory lists every class with
+// an example CREATE statement; the struct-based view constructors below
+// remain the programmatic escape hatch for options the DDL cannot
+// express (multi-edge-type k-hop filters, DedupPairs).
+//
 // # Frozen CSR storage
 //
 // Execution runs on an immutable, cache-friendly storage layout: a
@@ -121,6 +148,7 @@ import (
 	"kaskade/internal/cost"
 	"kaskade/internal/enum"
 	"kaskade/internal/exec"
+	"kaskade/internal/gql"
 	"kaskade/internal/graph"
 	"kaskade/internal/views"
 	"kaskade/internal/workload"
@@ -198,6 +226,34 @@ type Value = exec.Value
 
 // ErrRowLimit is returned when a query exceeds MaxRows.
 var ErrRowLimit = exec.ErrRowLimit
+
+// ErrDDL is wrapped by the query-only paths (Query*, Prepare, Explain)
+// when handed a DDL statement (CREATE VIEW, DROP VIEW, SHOW VIEWS);
+// execute those with System.Exec.
+var ErrDDL = gql.ErrDDL
+
+// ErrViewExists is wrapped by CREATE VIEW when the name (or an
+// identically defined view) is already in the catalog; DROP VIEW first.
+var ErrViewExists = workload.ErrViewExists
+
+// ViewDef is a named, declaratively defined view: catalog name,
+// canonical CREATE VIEW text, and the compiled View. CREATE VIEW
+// produces one; DefineView derives one from a struct-built view.
+type ViewDef = views.ViewDef
+
+// ViewInfo is one SHOW VIEWS row: registry name, class, canonical DDL,
+// view graph size, and the §V-C rewrite-hit counter. System.ListViews
+// returns them programmatically.
+type ViewInfo = workload.ViewInfo
+
+// CompileView compiles a defining pattern (the body of a CREATE VIEW
+// statement) to the Table I/II view class it denotes, erroring
+// descriptively on patterns outside the inventory.
+func CompileView(src string) (View, error) { return views.Compile(src) }
+
+// DefineView wraps a struct-built view in a named ViewDef, deriving the
+// canonical DDL text where the view is DDL-expressible.
+func DefineView(v View) ViewDef { return views.Define(v) }
 
 // PreparedQuery is a parsed, view-rewritten query cached for repeated
 // execution; it re-rewrites transparently when the catalog changes

@@ -4,6 +4,8 @@
 package kaskade_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -171,5 +173,63 @@ func TestEnumerateThroughFacade(t *testing.T) {
 	}
 	if !hasK2 {
 		t.Error("missing the job-to-job 2-hop connector candidate")
+	}
+}
+
+// TestDDLThroughFacade follows the README's declarative flow: create a
+// view in the query language, watch prepared statements pick it up,
+// inspect it, and drop it.
+func TestDDLThroughFacade(t *testing.T) {
+	ctx := context.Background()
+	sys := kaskade.New(buildLineage(7, 60, 150))
+
+	stmt, err := sys.Prepare(blastRadiusQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := stmt.ExecContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sys.Exec(ctx, `CREATE MATERIALIZED VIEW jj AS
+	    MATCH (x:Job)-[p*2..2]->(y:Job) RETURN x, y`); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := stmt.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ViewName == "" {
+		t.Fatal("prepared statement did not re-rewrite over the DDL-created view")
+	}
+	got, err := stmt.ExecContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != base.String() {
+		t.Fatal("rewritten result differs from base result")
+	}
+
+	infos := sys.ListViews()
+	if len(infos) != 1 || infos[0].Name != "jj" || infos[0].DDL == "" {
+		t.Fatalf("ListViews = %+v", infos)
+	}
+	if v, err := kaskade.CompileView(`MATCH (x:Job)-[p*2..2]->(y:Job) RETURN x, y`); err != nil || v.Name() == "" {
+		t.Fatalf("CompileView: %v", err)
+	}
+	if d := kaskade.DefineView(kaskade.KHopConnector{SrcType: "Job", DstType: "Job", K: 2}); d.DDL == "" {
+		t.Fatal("DefineView derived no DDL")
+	}
+
+	// The query-only surface rejects DDL with the typed error.
+	if _, err := sys.Query(`SHOW VIEWS`); !errors.Is(err, kaskade.ErrDDL) {
+		t.Errorf("Query(SHOW VIEWS) error = %v, want ErrDDL", err)
+	}
+	if _, err := sys.Exec(ctx, `DROP VIEW jj`); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.ListViews()) != 0 {
+		t.Fatal("view survived DROP VIEW")
 	}
 }
