@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		cmd     = flag.String("cmd", "help", "tables|schema|stats|enumerate|select|run|explain|repl")
+		cmd     = flag.String("cmd", "help", "tables|schema|stats|enumerate|select|run|explain|repl|top")
 		dataset = flag.String("dataset", "prov", "dataset: prov|dblp|roadnet|soc")
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor")
 		seed    = flag.Int64("seed", 0, "generator seed override")
@@ -51,8 +52,15 @@ func main() {
 		save    = flag.String("save", "", "save the (possibly filtered) graph to a file and exit")
 		workers = flag.Int("workers", 1, "pattern-match and view-materialization parallelism (1 = sequential, -1 = one per CPU)")
 		timeout = flag.Duration("timeout", 0, "per-query deadline (0 = none); Ctrl-C also cancels a running query cleanly")
+
+		// -cmd top knobs.
+		interval  = flag.Duration("interval", 500*time.Millisecond, "for -cmd top: sampling and redraw interval")
+		retention = flag.Duration("retention", 2*time.Minute, "for -cmd top: how much sample history the ring buffer keeps")
+		duration  = flag.Duration("duration", 0, "for -cmd top: stop after this long (0 = run until Ctrl-C)")
+		drivers   = flag.Int("drivers", 4, "for -cmd top: self-driving workload goroutines generating load")
 	)
 	flag.Parse()
+	top := topConfig{interval: *interval, retention: *retention, duration: *duration, drivers: *drivers}
 
 	// Queries run under a signal-aware context: the first Ctrl-C
 	// cancels the in-flight pattern match (worker pool included)
@@ -67,7 +75,7 @@ func main() {
 		stop()
 	}()
 
-	if err := run(ctx, *cmd, *dataset, *scale, *seed, *query, *budget, *filter, *rawRun, *load, *save, *workers, *timeout); err != nil {
+	if err := run(ctx, *cmd, *dataset, *scale, *seed, *query, *budget, *filter, *rawRun, *load, *save, *workers, *timeout, top); err != nil {
 		fmt.Fprintln(os.Stderr, "kaskade:", err)
 		os.Exit(1)
 	}
@@ -81,7 +89,7 @@ func queryCtx(ctx context.Context, timeout time.Duration) (context.Context, cont
 	return context.WithCancel(ctx)
 }
 
-func run(ctx context.Context, cmd, dataset string, scale float64, seed int64, query string, budget int64, filter, rawRun bool, load, save string, workers int, timeout time.Duration) error {
+func run(ctx context.Context, cmd, dataset string, scale float64, seed int64, query string, budget int64, filter, rawRun bool, load, save string, workers int, timeout time.Duration, top topConfig) error {
 	if (cmd == "help" || cmd == "") && save == "" {
 		flag.Usage()
 		return nil
@@ -255,45 +263,40 @@ func run(ctx context.Context, cmd, dataset string, scale float64, seed int64, qu
 		return nil
 
 	case "repl":
-		return repl(ctx, sys, timeout)
+		return repl(ctx, sys, timeout, os.Stdin, os.Stdout)
+
+	case "top":
+		return topCmd(ctx, sys, budget, query, top, os.Stdout)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
 }
 
-// repl reads ';'-terminated statements from stdin and executes each
-// through System.Exec — queries, CREATE/DROP VIEW, SHOW VIEWS — plus
-// EXPLAIN <query> for plan inspection. A statement error is printed and
-// the loop continues, so piped scripts run end to end; each statement
-// runs under the session context (-timeout, Ctrl-C).
-func repl(ctx context.Context, sys *kaskade.System, timeout time.Duration) error {
-	in := bufio.NewScanner(os.Stdin)
-	in.Buffer(make([]byte, 0, 1<<20), 1<<20)
+// repl reads ';'-terminated statements from in and executes each
+// through System.Exec — queries, CREATE/DROP VIEW, SHOW VIEWS, and
+// EXPLAIN [ANALYZE] <query> — printing results (and statement errors)
+// to out. A statement error is printed and the loop continues, so piped
+// scripts run end to end; each statement runs under the session context
+// (-timeout, Ctrl-C).
+func repl(ctx context.Context, sys *kaskade.System, timeout time.Duration, in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var buf strings.Builder
 	exec1 := func(stmt string) {
 		stmt = strings.TrimSpace(stmt)
 		if stmt == "" {
 			return
 		}
-		if rest, ok := cutKeyword(stmt, "EXPLAIN"); ok {
-			out, err := sys.Explain(strings.TrimSuffix(strings.TrimSpace(rest), ";"))
-			if err != nil {
-				fmt.Println("error:", err)
-				return
-			}
-			fmt.Print(out)
-			return
-		}
 		qctx, cancel := queryCtx(ctx, timeout)
 		res, err := sys.Exec(qctx, stmt)
 		cancel()
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 			return
 		}
-		fmt.Print(res.String())
+		fmt.Fprint(out, res.String())
 	}
-	for in.Scan() {
-		line := in.Text()
+	for sc.Scan() {
+		line := sc.Text()
 		if t := strings.TrimSpace(line); buf.Len() == 0 && (t == "" || strings.HasPrefix(t, "--")) {
 			continue
 		}
@@ -309,14 +312,16 @@ func repl(ctx context.Context, sys *kaskade.System, timeout time.Duration) error
 	if buf.Len() > 0 {
 		exec1(buf.String())
 	}
-	return in.Err()
+	return sc.Err()
 }
 
-// splitStatements cuts the buffer at every ';' outside a string
-// literal, returning the complete statements (terminator included, as
-// ParseStatement accepts it) and the unterminated remainder — so
-// several statements may share a line and a quoted ';' never
-// terminates one.
+// splitStatements cuts the buffer at every ';' outside a string literal
+// or comment, returning the complete statements (terminator included,
+// as ParseStatement accepts it) and the unterminated remainder — so
+// several statements may share a line, and neither a quoted ';' nor one
+// buried in a comment terminates a statement. Comment detection mirrors
+// the gql lexer: `--` and `//` start line comments, except the
+// bracketless edge `-->` (the anonymous-edge form String() emits).
 func splitStatements(s string) (stmts []string, rest string) {
 	start := 0
 	var quote byte
@@ -330,24 +335,17 @@ func splitStatements(s string) (stmts []string, rest string) {
 			}
 		case c == '\'' || c == '"':
 			quote = c
+		case c == '-' && i+1 < len(s) && s[i+1] == '-' && !(i+2 < len(s) && s[i+2] == '>'),
+			c == '/' && i+1 < len(s) && s[i+1] == '/':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
 		case c == ';':
 			stmts = append(stmts, s[start:i+1])
 			start = i + 1
 		}
 	}
 	return stmts, s[start:]
-}
-
-// cutKeyword strips a leading case-insensitive keyword followed by
-// whitespace, reporting whether it was present.
-func cutKeyword(s, kw string) (string, bool) {
-	if len(s) <= len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
-		return s, false
-	}
-	if c := s[len(kw)]; c != ' ' && c != '\t' && c != '\n' && c != '\r' {
-		return s, false
-	}
-	return s[len(kw):], true
 }
 
 // describeCancelled turns a context error into actionable CLI output.

@@ -1,0 +1,278 @@
+// kaskade top: a live terminal dashboard over the System's metrics.
+// It adopts a view selection for the configured query, spins up a small
+// self-driving workload (half the drivers run the view-rewritten query,
+// half a base-graph query), and then samples MetricsSnapshot into a
+// ring buffer on every tick, rendering QPS, latency quantiles, rewrite
+// hit-ratio, per-view usage sparklines, and the top queries by
+// cumulative time. Pure stdlib: ANSI clear on a TTY, sequential frames
+// otherwise (so `kaskade -cmd top -duration 2s | cat` works in CI).
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"kaskade"
+	"kaskade/internal/metrics"
+)
+
+// topConfig bundles the -cmd top flags.
+type topConfig struct {
+	interval  time.Duration // sampling/redraw period
+	retention time.Duration // ring-buffer history window
+	duration  time.Duration // total runtime; 0 = until Ctrl-C
+	drivers   int           // workload goroutines
+}
+
+// topMissQuery is the base-graph half of the driver mix: a single-hop
+// pattern no connector view covers, so its rewrite decisions count as
+// misses and the hit-ratio series has both sides to move between.
+const topMissQuery = `SELECT A, COUNT(B) FROM (
+  MATCH (q_j:Job)-[:WRITES_TO]->(q_f:File) RETURN q_j AS A, q_f AS B
+) GROUP BY A`
+
+// topCmd runs the dashboard until ctx is cancelled or cfg.duration
+// elapses.
+func topCmd(ctx context.Context, sys *kaskade.System, budget int64, query string, cfg topConfig, out io.Writer) error {
+	if cfg.interval <= 0 {
+		cfg.interval = 500 * time.Millisecond
+	}
+	if cfg.drivers < 1 {
+		cfg.drivers = 1
+	}
+	if cfg.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.duration)
+		defer cancel()
+	}
+
+	// Materialize views for the hit query so the workload exercises the
+	// rewrite path, mirroring -cmd run.
+	sel, err := sys.SelectViews([]string{query}, budget)
+	if err != nil {
+		return err
+	}
+	if err := sys.AdoptSelection(sel); err != nil {
+		return err
+	}
+
+	// Validate the driver mix once up front; a query that cannot run on
+	// this dataset is dropped rather than spamming the error counter.
+	mix := make([]string, 0, 2)
+	for _, q := range []string{query, topMissQuery} {
+		if _, err := sys.QueryContext(ctx, q); err == nil {
+			mix = append(mix, q)
+		}
+	}
+	if len(mix) == 0 {
+		return fmt.Errorf("top: no runnable workload query on dataset")
+	}
+
+	// Self-driving workload: driver i loops its mix[i%len] query until
+	// the session ends. Ad-hoc execution (not prepared) is deliberate —
+	// every execution makes a rewrite decision, so the hit-ratio series
+	// reflects load, not just epoch changes.
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.drivers; i++ {
+		q := mix[i%len(mix)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				_, _ = sys.QueryContext(ctx, q)
+			}
+		}()
+	}
+	defer wg.Wait()
+
+	capacity := 2
+	if cfg.retention > cfg.interval {
+		capacity = int(cfg.retention/cfg.interval) + 1
+	}
+	ring := metrics.NewRing(capacity)
+	ring.Push(metrics.Sample{At: time.Now(), Snap: sys.MetricsSnapshot()})
+
+	tty := false
+	if f, ok := out.(*os.File); ok {
+		if fi, err := f.Stat(); err == nil {
+			tty = fi.Mode()&os.ModeCharDevice != 0
+		}
+	}
+
+	start := time.Now()
+	tick := time.NewTicker(cfg.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			// Final frame so short -duration runs always show data.
+			ring.Push(metrics.Sample{At: time.Now(), Snap: sys.MetricsSnapshot()})
+			fmt.Fprint(out, renderTop(sys, ring, start, tty))
+			return nil
+		case <-tick.C:
+			ring.Push(metrics.Sample{At: time.Now(), Snap: sys.MetricsSnapshot()})
+			fmt.Fprint(out, renderTop(sys, ring, start, tty))
+		}
+	}
+}
+
+// renderTop formats one dashboard frame from the ring's history.
+func renderTop(sys *kaskade.System, ring *metrics.Ring, start time.Time, tty bool) string {
+	samples := ring.Samples()
+	last := samples[len(samples)-1]
+	s := last.Snap
+
+	var b strings.Builder
+	if tty {
+		b.WriteString("\x1b[H\x1b[2J") // home + clear
+	}
+	g := sys.Graph()
+	fmt.Fprintf(&b, "kaskade top — uptime %s, |V|=%d |E|=%d, views=%d, freezes=%d, workers %d (peak %d)\n",
+		time.Since(start).Round(time.Second), g.NumVertices(), g.NumEdges(),
+		len(s.Views), s.FreezeEvents, s.WorkersActive, s.WorkersPeak)
+	fmt.Fprintf(&b, "queries=%d  errors=%d  rows=%d  rewrites: %d hit / %d miss (ratio %.2f)\n\n",
+		s.Queries, s.QueryErrors, s.Rows, s.RewriteHits, s.RewriteMisses, s.HitRatio())
+
+	const width = 48
+	qps := seriesOf(samples, func(cur, prev metrics.Sample) float64 {
+		dt := cur.At.Sub(prev.At).Seconds()
+		if dt <= 0 {
+			return 0
+		}
+		return float64(cur.Snap.Queries-prev.Snap.Queries) / dt
+	})
+	fmt.Fprintf(&b, "qps       %s %8.1f\n", sparkline(qps, width), lastOr0(qps))
+
+	lat := seriesOf(samples, func(cur, prev metrics.Sample) float64 {
+		return float64(cur.Snap.Latency.Sub(prev.Snap.Latency).Mean())
+	})
+	var p50, p95 time.Duration
+	if len(samples) >= 2 {
+		ih := last.Snap.Latency.Sub(samples[len(samples)-2].Snap.Latency)
+		p50, p95 = ih.Quantile(0.50), ih.Quantile(0.95)
+	}
+	fmt.Fprintf(&b, "latency   %s p50≤%-8s p95≤%s\n", sparkline(lat, width),
+		p50.Round(time.Microsecond), p95.Round(time.Microsecond))
+
+	ratio := seriesOf(samples, func(cur, prev metrics.Sample) float64 {
+		dh := cur.Snap.RewriteHits - prev.Snap.RewriteHits
+		dm := cur.Snap.RewriteMisses - prev.Snap.RewriteMisses
+		if dh+dm == 0 {
+			return 0
+		}
+		return float64(dh) / float64(dh+dm)
+	})
+	fmt.Fprintf(&b, "hit ratio %s %8.2f\n", sparkline(ratio, width), lastOr0(ratio))
+
+	if len(s.Views) > 0 {
+		b.WriteString("\nviews (rewrite hits / interval)\n")
+		for _, v := range s.Views {
+			name := v.Name
+			series := seriesOf(samples, func(cur, prev metrics.Sample) float64 {
+				return float64(viewHits(cur.Snap, name) - viewHits(prev.Snap, name))
+			})
+			fmt.Fprintf(&b, "  %-28s %s %8d total\n", truncate(name, 28), sparkline(series, width-10), v.Hits)
+		}
+	}
+
+	if r := sys.Metrics(); r != nil {
+		if top := r.TopQueries(5); len(top) > 0 {
+			b.WriteString("\ntop queries by cumulative time\n")
+			fmt.Fprintf(&b, "  %8s %12s %12s %10s  %s\n", "count", "total", "mean", "rows", "query")
+			for _, q := range top {
+				fmt.Fprintf(&b, "  %8d %12s %12s %10d  %s\n",
+					q.Count, q.Total.Round(time.Microsecond), q.Mean().Round(time.Microsecond),
+					q.Rows, truncate(strings.Join(strings.Fields(q.Query), " "), 60))
+			}
+		}
+	}
+	if !tty {
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// seriesOf maps consecutive sample pairs to a derived per-interval
+// series (len = len(samples)-1; empty with fewer than two samples).
+func seriesOf(samples []metrics.Sample, f func(cur, prev metrics.Sample) float64) []float64 {
+	if len(samples) < 2 {
+		return nil
+	}
+	out := make([]float64, len(samples)-1)
+	for i := 1; i < len(samples); i++ {
+		out[i-1] = f(samples[i], samples[i-1])
+	}
+	return out
+}
+
+// viewHits finds one view's hit counter in a snapshot (0 if absent —
+// e.g. the view was created mid-window).
+func viewHits(s metrics.Snapshot, name string) int64 {
+	for _, v := range s.Views {
+		if v.Name == name {
+			return v.Hits
+		}
+	}
+	return 0
+}
+
+// sparkBars is the eight-level Unicode block ramp sparklines draw with.
+var sparkBars = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the last `width` values scaled against the window
+// maximum; an all-zero (or empty) window renders as baseline blocks.
+func sparkline(vals []float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, 0, width)
+	for i := len(vals); i < width; i++ {
+		out = append(out, ' ') // left-pad until the window fills
+	}
+	for _, v := range vals {
+		idx := 0
+		if max > 0 && v > 0 {
+			idx = int(v / max * float64(len(sparkBars)-1))
+			if idx >= len(sparkBars) {
+				idx = len(sparkBars) - 1
+			}
+		}
+		out = append(out, sparkBars[idx])
+	}
+	return string(out)
+}
+
+// lastOr0 returns the final element of a series (0 when empty).
+func lastOr0(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[len(vals)-1]
+}
+
+// truncate shortens s to at most n runes, marking the cut with an
+// ellipsis.
+func truncate(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	if n < 1 {
+		return ""
+	}
+	return string(r[:n-1]) + "…"
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"kaskade/internal/exec"
 	"kaskade/internal/gql"
@@ -38,6 +39,7 @@ import (
 func (s *System) Exec(ctx context.Context, src string, opts ...QueryOption) (*exec.Result, error) {
 	stmt, err := gql.ParseStatement(src)
 	if err != nil {
+		s.countError()
 		return nil, err
 	}
 	switch st := stmt.(type) {
@@ -45,9 +47,12 @@ func (s *System) Exec(ctx context.Context, src string, opts ...QueryOption) (*ex
 		cfg := s.config(opts)
 		plan, err := s.plan(st.Query, cfg)
 		if err != nil {
+			s.countError()
 			return nil, err
 		}
-		return cfg.executor(plan.Graph).ExecuteContext(ctx, plan.Query)
+		return s.executor(cfg, plan.Graph, src).ExecuteContext(ctx, plan.Query)
+	case *gql.ExplainStmt:
+		return s.execExplain(ctx, st, opts)
 	case *gql.CreateViewStmt:
 		return s.execCreateView(st)
 	case *gql.DropViewStmt:
@@ -59,6 +64,33 @@ func (s *System) Exec(ctx context.Context, src string, opts ...QueryOption) (*ex
 		return s.showViews(), nil
 	}
 	return nil, fmt.Errorf("kaskade: unsupported statement %T", stmt)
+}
+
+// execExplain runs EXPLAIN [ANALYZE] as a statement, returning the
+// rendered text as a one-column result table (one row per line) so the
+// REPL prints it like any other statement. Plain EXPLAIN plans through
+// Catalog.PlanOnly and moves no counter; EXPLAIN ANALYZE executes.
+func (s *System) execExplain(ctx context.Context, st *gql.ExplainStmt, opts []QueryOption) (*exec.Result, error) {
+	var text string
+	if st.Analyze {
+		t, err := s.explainAnalyze(ctx, st.Query, st.Query.String(), opts)
+		if err != nil {
+			return nil, err
+		}
+		text = t
+	} else {
+		plan, err := s.catalog.PlanOnly(st.Query)
+		if err != nil {
+			s.countError()
+			return nil, err
+		}
+		text = s.explainText(plan)
+	}
+	res := &exec.Result{Cols: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		res.Rows = append(res.Rows, exec.Row{line})
+	}
+	return res, nil
 }
 
 // execCreateView compiles the defining pattern, materializes the view,

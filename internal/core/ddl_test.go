@@ -247,6 +247,16 @@ func TestExplainPrintsDDLAndHits(t *testing.T) {
 	if _, err := sys.Exec(context.Background(), createJJ); err != nil {
 		t.Fatal(err)
 	}
+	// Explain plans without executing, so it must not move the hit
+	// counter — only the actual execution below does.
+	if out, err := sys.Explain(blastRadius); err != nil {
+		t.Fatal(err)
+	} else if !strings.Contains(out, "rewrite hits: 0") {
+		t.Errorf("explain before any execution should report 0 hits:\n%s", out)
+	}
+	if _, err := sys.Query(blastRadius); err != nil {
+		t.Fatal(err)
+	}
 	out, err := sys.Explain(blastRadius)
 	if err != nil {
 		t.Fatal(err)
@@ -256,6 +266,10 @@ func TestExplainPrintsDDLAndHits(t *testing.T) {
 	}
 	if !strings.Contains(out, "rewrite hits: 1") {
 		t.Errorf("explain missing rewrite hits:\n%s", out)
+	}
+	// Repeated Explain still observes, never counts.
+	if out, _ := sys.Explain(blastRadius); !strings.Contains(out, "rewrite hits: 1") {
+		t.Errorf("repeated explain moved the hit counter:\n%s", out)
 	}
 	// The DDL line round-trips through the parser.
 	for _, line := range strings.Split(out, "\n") {

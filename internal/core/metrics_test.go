@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// viewHitsOf sums the per-view rewrite-hit counters — the SHOW VIEWS
+// numbers, which must move in lockstep with the registry's RewriteHits.
+func viewHitsOf(sys *System) int64 {
+	var total int64
+	for _, v := range sys.ListViews() {
+		total += v.Hits
+	}
+	return total
+}
+
+func TestCounterSemantics(t *testing.T) {
+	ctx := context.Background()
+	sys := testSystem(t)
+
+	if _, err := sys.Exec(ctx, createJJ); err != nil {
+		t.Fatal(err)
+	}
+	s := sys.MetricsSnapshot()
+	if s.Materializations != 1 {
+		t.Errorf("materializations = %d, want 1", s.Materializations)
+	}
+	if s.Queries != 0 {
+		t.Errorf("DDL counted as a query execution: %d", s.Queries)
+	}
+
+	// Plan-only inspection moves nothing: not the registry counters, not
+	// the per-view hits.
+	if _, err := sys.Explain(blastRadius); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exec(ctx, "EXPLAIN "+blastRadius); err != nil {
+		t.Fatal(err)
+	}
+	s = sys.MetricsSnapshot()
+	if s.RewriteHits != 0 || s.RewriteMisses != 0 || s.Queries != 0 {
+		t.Errorf("EXPLAIN moved counters: hits=%d misses=%d queries=%d",
+			s.RewriteHits, s.RewriteMisses, s.Queries)
+	}
+	if got := viewHitsOf(sys); got != 0 {
+		t.Errorf("EXPLAIN moved per-view hits: %d", got)
+	}
+
+	// One ad-hoc execution: one query, one rewrite decision (a hit), rows
+	// and latency observed.
+	res, err := sys.Query(blastRadius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = sys.MetricsSnapshot()
+	if s.Queries != 1 || s.RewriteHits != 1 || s.RewriteMisses != 0 {
+		t.Errorf("after one query: queries=%d hits=%d misses=%d, want 1/1/0",
+			s.Queries, s.RewriteHits, s.RewriteMisses)
+	}
+	if s.Rows != int64(len(res.Rows)) {
+		t.Errorf("rows = %d, want %d", s.Rows, len(res.Rows))
+	}
+	if s.Latency.Count != 1 {
+		t.Errorf("latency count = %d, want 1", s.Latency.Count)
+	}
+	if got := viewHitsOf(sys); got != s.RewriteHits {
+		t.Errorf("per-view hits %d out of lockstep with registry hits %d", got, s.RewriteHits)
+	}
+
+	// A prepared query re-plans once per catalog epoch: five executions
+	// count five queries but a single rewrite decision.
+	p, err := sys.Prepare(blastRadius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := p.Exec(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = sys.MetricsSnapshot()
+	if s.Queries != 6 || s.RewriteHits != 2 {
+		t.Errorf("after prepared runs: queries=%d hits=%d, want 6/2", s.Queries, s.RewriteHits)
+	}
+
+	// Dropping the view bumps the epoch; the next prepared execution
+	// re-plans and the decision is now a miss.
+	if !sys.DropView("jj") {
+		t.Fatal("drop failed")
+	}
+	if _, err := p.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	s = sys.MetricsSnapshot()
+	if s.Queries != 7 || s.RewriteHits != 2 || s.RewriteMisses != 1 {
+		t.Errorf("after drop: queries=%d hits=%d misses=%d, want 7/2/1",
+			s.Queries, s.RewriteHits, s.RewriteMisses)
+	}
+
+	// WithoutViews bypasses planning entirely — no rewrite decision.
+	if _, err := sys.QueryRaw(blastRadius); err != nil {
+		t.Fatal(err)
+	}
+	s = sys.MetricsSnapshot()
+	if s.Queries != 8 || s.RewriteHits+s.RewriteMisses != 3 {
+		t.Errorf("raw query made a rewrite decision: queries=%d hits=%d misses=%d",
+			s.Queries, s.RewriteHits, s.RewriteMisses)
+	}
+
+	// Parse failures count as errors, not executions.
+	if _, err := sys.Query("MATCH oops"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	s = sys.MetricsSnapshot()
+	if s.QueryErrors != 1 || s.Queries != 8 {
+		t.Errorf("after parse error: errors=%d queries=%d, want 1/8", s.QueryErrors, s.Queries)
+	}
+
+	// Per-query stats accumulated under the source text.
+	top := sys.Metrics().TopQueries(1)
+	if len(top) != 1 || top[0].Count != 8 {
+		t.Fatalf("top = %+v, want the workload query with count 8", top)
+	}
+}
+
+func TestSetMetricsNilDisablesRecording(t *testing.T) {
+	sys := testSystem(t)
+	sys.SetMetrics(nil)
+	if _, err := sys.Query(blastRadius); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Metrics() != nil {
+		t.Fatal("registry not nil after SetMetrics(nil)")
+	}
+	// Snapshot still works, composing only the process-wide gauges.
+	if s := sys.MetricsSnapshot(); s.Queries != 0 || s.FreezeEvents == 0 {
+		t.Errorf("disabled snapshot = %+v", s)
+	}
+}
+
+func TestExplainAnalyzeRowsMatchBufferedExecute(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		sys := testSystem(t)
+		if _, err := sys.Exec(ctx, createJJ); err != nil {
+			t.Fatal(err)
+		}
+		want, err := sys.QueryContext(ctx, blastRadius, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sys.ExplainAnalyze(ctx, blastRadius, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The profile's total row count is the buffered result's, exactly.
+		totalLine := fmt.Sprintf("%-28s %12d", "total", len(want.Rows))
+		if !strings.Contains(out, totalLine) {
+			t.Errorf("w=%d: analyze output missing %q:\n%s", workers, totalLine, out)
+		}
+		if !strings.Contains(out, "plan: rewritten over materialized view") {
+			t.Errorf("w=%d: analyze output missing plan text:\n%s", workers, out)
+		}
+		for _, stage := range []string{"match", "select: aggregate"} {
+			if !strings.Contains(out, stage) {
+				t.Errorf("w=%d: analyze output missing stage %q:\n%s", workers, stage, out)
+			}
+		}
+		if !strings.Contains(out, fmt.Sprintf("workers=%d", workers)) {
+			t.Errorf("w=%d: analyze output missing worker count:\n%s", workers, out)
+		}
+
+		// The statement form goes through Exec and returns the same text
+		// as a one-column table.
+		res, err := sys.Exec(ctx, "EXPLAIN ANALYZE "+blastRadius, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cols) != 1 || res.Cols[0] != "plan" {
+			t.Fatalf("w=%d: EXPLAIN ANALYZE cols = %v", workers, res.Cols)
+		}
+		var joined strings.Builder
+		for _, r := range res.Rows {
+			fmt.Fprintf(&joined, "%v\n", r[0])
+		}
+		if !strings.Contains(joined.String(), totalLine) {
+			t.Errorf("w=%d: statement form missing %q:\n%s", workers, totalLine, joined.String())
+		}
+
+		// ANALYZE executes for real: the run moved the counters.
+		s := sys.MetricsSnapshot()
+		if s.Queries != 3 { // QueryContext + ExplainAnalyze + statement form
+			t.Errorf("w=%d: queries = %d, want 3", workers, s.Queries)
+		}
+		if s.RewriteHits != 3 {
+			t.Errorf("w=%d: analyze did not count its rewrite decisions: hits=%d", workers, s.RewriteHits)
+		}
+	}
+}
+
+// TestMetricsConcurrentWithQueries races executions, snapshot scrapes,
+// and the registry disable switch (run under -race in CI).
+func TestMetricsConcurrentWithQueries(t *testing.T) {
+	ctx := context.Background()
+	sys := testSystem(t)
+	if _, err := sys.Exec(ctx, createJJ); err != nil {
+		t.Fatal(err)
+	}
+	reg := sys.Metrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := sys.QueryContext(ctx, blastRadius); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			_ = sys.MetricsSnapshot()
+			_ = reg.TopQueries(3)
+			if j == 25 {
+				sys.SetMetrics(nil)
+				sys.SetMetrics(reg)
+			}
+		}
+	}()
+	wg.Wait()
+	// The disable window may drop a few observations; everything that was
+	// recorded must be internally consistent.
+	s := sys.MetricsSnapshot()
+	if s.Queries == 0 || s.Queries > 20 {
+		t.Errorf("queries = %d, want in (0, 20]", s.Queries)
+	}
+	if s.Latency.Count != s.Queries {
+		t.Errorf("latency count %d != queries %d", s.Latency.Count, s.Queries)
+	}
+}

@@ -89,9 +89,10 @@ func (p *PreparedQuery) resolve(opts []QueryOption) (queryConfig, *workload.Plan
 func (p *PreparedQuery) ExecContext(ctx context.Context, opts ...QueryOption) (*exec.Result, error) {
 	cfg, plan, err := p.resolve(opts)
 	if err != nil {
+		p.sys.countError()
 		return nil, err
 	}
-	return cfg.executor(plan.Graph).ExecuteContext(ctx, plan.Query)
+	return p.sys.executor(cfg, plan.Graph, p.src).ExecuteContext(ctx, plan.Query)
 }
 
 // Exec is ExecContext without cancellation.
@@ -104,9 +105,10 @@ func (p *PreparedQuery) Exec(opts ...QueryOption) (*exec.Result, error) {
 func (p *PreparedQuery) QueryContext(ctx context.Context, opts ...QueryOption) (*exec.Rows, error) {
 	cfg, plan, err := p.resolve(opts)
 	if err != nil {
+		p.sys.countError()
 		return nil, err
 	}
-	return cfg.executor(plan.Graph).Stream(ctx, plan.Query)
+	return p.sys.executor(cfg, plan.Graph, p.src).Stream(ctx, plan.Query)
 }
 
 // Plan returns the plan the next execution would run (rewriting if the

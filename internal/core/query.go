@@ -58,6 +58,24 @@ func (cfg queryConfig) executor(g *graph.Graph) *exec.Executor {
 	return &exec.Executor{G: g, MaxRows: cfg.maxRows, Workers: cfg.workers}
 }
 
+// executor builds the metrics-instrumented executor for one run: the
+// System's registry receives the execution's count/rows/latency, and
+// label names it in the per-query stats (top queries by time).
+func (s *System) executor(cfg queryConfig, g *graph.Graph, label string) *exec.Executor {
+	ex := cfg.executor(g)
+	ex.Metrics = s.metrics.Load()
+	ex.Label = label
+	return ex
+}
+
+// countError records a statement that failed before execution (parse or
+// plan error) — executions that start are observed by the executor.
+func (s *System) countError() {
+	if r := s.metrics.Load(); r != nil {
+		r.QueryErrors.Inc()
+	}
+}
+
 // plan resolves the graph and (possibly rewritten) query to execute:
 // the base graph verbatim under WithoutViews, the catalog's cheapest
 // view-based rewriting otherwise.
@@ -76,14 +94,16 @@ func (s *System) plan(q gql.Query, cfg queryConfig) (*workload.Plan, error) {
 func (s *System) QueryContext(ctx context.Context, src string, opts ...QueryOption) (*exec.Result, error) {
 	q, err := gql.Parse(src)
 	if err != nil {
+		s.countError()
 		return nil, err
 	}
 	cfg := s.config(opts)
 	plan, err := s.plan(q, cfg)
 	if err != nil {
+		s.countError()
 		return nil, err
 	}
-	return cfg.executor(plan.Graph).ExecuteContext(ctx, plan.Query)
+	return s.executor(cfg, plan.Graph, src).ExecuteContext(ctx, plan.Query)
 }
 
 // QueryRows is QueryContext returning a streaming cursor instead of a
@@ -93,12 +113,14 @@ func (s *System) QueryContext(ctx context.Context, src string, opts ...QueryOpti
 func (s *System) QueryRows(ctx context.Context, src string, opts ...QueryOption) (*exec.Rows, error) {
 	q, err := gql.Parse(src)
 	if err != nil {
+		s.countError()
 		return nil, err
 	}
 	cfg := s.config(opts)
 	plan, err := s.plan(q, cfg)
 	if err != nil {
+		s.countError()
 		return nil, err
 	}
-	return cfg.executor(plan.Graph).Stream(ctx, plan.Query)
+	return s.executor(cfg, plan.Graph, src).Stream(ctx, plan.Query)
 }

@@ -11,12 +11,15 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"kaskade/internal/cost"
 	"kaskade/internal/enum"
 	"kaskade/internal/exec"
 	"kaskade/internal/gql"
 	"kaskade/internal/graph"
+	"kaskade/internal/metrics"
+	"kaskade/internal/par"
 	"kaskade/internal/views"
 	"kaskade/internal/workload"
 )
@@ -39,6 +42,11 @@ type System struct {
 	graph    *graph.Graph
 	analyzer *workload.Analyzer
 	catalog  *workload.Catalog
+	// metrics is the always-on observability registry (see
+	// internal/metrics); SetMetrics(nil) disables recording (the
+	// overhead A/B switch the bench guard uses). Atomic so the switch
+	// may race in-flight queries.
+	metrics atomic.Pointer[metrics.Registry]
 	// MaxRows guards query execution (0 = unlimited).
 	MaxRows int
 	// Parallelism controls both pattern-match workers during query
@@ -57,11 +65,50 @@ type System struct {
 // contract, the graph must not be mutated after this.
 func New(g *graph.Graph) *System {
 	g.Freeze()
-	return &System{
+	s := &System{
 		graph:    g,
 		analyzer: &workload.Analyzer{Schema: g.Schema()},
 		catalog:  workload.NewCatalog(g),
 	}
+	r := metrics.NewRegistry()
+	s.metrics.Store(r)
+	s.catalog.SetMetrics(r)
+	return s
+}
+
+// Metrics returns the System's metrics registry (nil when disabled via
+// SetMetrics). Query execution, rewriting, and materialization record
+// into it continuously; read it directly for cumulative counters and
+// top-queries, or take consistent point-in-time copies with
+// MetricsSnapshot.
+func (s *System) Metrics() *metrics.Registry { return s.metrics.Load() }
+
+// SetMetrics replaces the System's metrics registry; nil disables
+// recording entirely (the A/B switch behind the metrics-overhead bench
+// guard). Safe to call concurrently with queries: in-flight executions
+// finish recording into whichever registry they started with.
+func (s *System) SetMetrics(r *metrics.Registry) {
+	s.metrics.Store(r)
+	s.catalog.SetMetrics(r)
+}
+
+// MetricsSnapshot returns a point-in-time copy of every metric: the
+// registry's counters and latency histogram, the process-wide freeze
+// and worker-pool gauges, and the per-view rewrite-hit counters in
+// catalog order. It is lock-free with respect to query execution, so
+// a monitoring loop (the `kaskade top` sampler) never stalls queries.
+func (s *System) MetricsSnapshot() metrics.Snapshot {
+	var snap metrics.Snapshot
+	if r := s.metrics.Load(); r != nil {
+		snap = r.Snapshot()
+	}
+	snap.FreezeEvents = graph.CSRBuilds()
+	snap.WorkersActive = par.ActiveWorkers()
+	snap.WorkersPeak = par.PeakWorkers()
+	for _, v := range s.catalog.ListViews() {
+		snap.Views = append(snap.Views, metrics.ViewCount{Name: v.Name, Hits: v.Hits})
+	}
+	return snap
 }
 
 // Graph returns the base graph.
@@ -84,14 +131,16 @@ func (s *System) Query(src string) (*exec.Result, error) {
 func (s *System) QueryWithPlan(src string) (*exec.Result, *workload.Plan, error) {
 	q, err := gql.Parse(src)
 	if err != nil {
+		s.countError()
 		return nil, nil, err
 	}
 	cfg := s.config(nil)
 	plan, err := s.plan(q, cfg)
 	if err != nil {
+		s.countError()
 		return nil, nil, err
 	}
-	res, err := cfg.executor(plan.Graph).Execute(plan.Query)
+	res, err := s.executor(cfg, plan.Graph, src).Execute(plan.Query)
 	return res, plan, err
 }
 
@@ -162,16 +211,63 @@ func (s *System) DropView(name string) bool {
 	return s.catalog.DropView(name)
 }
 
-// Explain describes the plan Kaskade would choose for a query.
+// Explain describes the plan Kaskade would choose for a query, without
+// executing it — and without touching any usage counter: planning goes
+// through Catalog.PlanOnly, so SHOW VIEWS rewrite-hit counters keep
+// meaning actual executions. Use ExplainAnalyze to run the plan and see
+// per-stage actuals.
 func (s *System) Explain(src string) (string, error) {
 	q, err := gql.Parse(src)
 	if err != nil {
 		return "", err
 	}
-	plan, err := s.catalog.Rewrite(q)
+	plan, err := s.catalog.PlanOnly(q)
 	if err != nil {
 		return "", err
 	}
+	return s.explainText(plan), nil
+}
+
+// ExplainAnalyze executes src through the ordinary query path and
+// renders the chosen plan together with per-stage actuals: wall time,
+// row counts, and parallel chunk counts per stage, plus the worker
+// count and aggregation mode the execution actually used. Unlike
+// Explain, this is a real execution — rewrite-hit and query counters
+// move, and the reported row counts are exactly what QueryContext
+// would have returned.
+func (s *System) ExplainAnalyze(ctx context.Context, src string, opts ...QueryOption) (string, error) {
+	q, err := gql.Parse(src)
+	if err != nil {
+		s.countError()
+		return "", err
+	}
+	return s.explainAnalyze(ctx, q, src, opts)
+}
+
+// explainAnalyze is ExplainAnalyze over a parsed query — shared with
+// the EXPLAIN ANALYZE statement path in Exec.
+func (s *System) explainAnalyze(ctx context.Context, q gql.Query, label string, opts []QueryOption) (string, error) {
+	cfg := s.config(opts)
+	plan, err := s.plan(q, cfg)
+	if err != nil {
+		s.countError()
+		return "", err
+	}
+	ex := s.executor(cfg, plan.Graph, label)
+	ex.Prof = &exec.Profile{}
+	if _, err := ex.ExecuteContext(ctx, plan.Query); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(s.explainText(plan))
+	fmt.Fprintf(&b, "execution: workers=%d, agg mode=%s\n", ex.Prof.Workers, ex.Prof.Mode)
+	b.WriteString(ex.Prof.String())
+	return b.String(), nil
+}
+
+// explainText renders one plan the way Explain and EXPLAIN [ANALYZE]
+// print it.
+func (s *System) explainText(plan *workload.Plan) string {
 	var b strings.Builder
 	if plan.ViewName == "" {
 		fmt.Fprintf(&b, "plan: base graph scan (no applicable materialized view)\n")
@@ -196,7 +292,7 @@ func (s *System) Explain(src string) (string, error) {
 		fmt.Fprintf(&b, "aggregation: %s\n", mode)
 	}
 	fmt.Fprintf(&b, "query: %s\n", plan.Query.String())
-	return b.String(), nil
+	return b.String()
 }
 
 // ViewInventory renders Tables I and II: the connector and summarizer

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kaskade/internal/gql"
 	"kaskade/internal/graph"
@@ -161,7 +162,12 @@ func (ex *Executor) streamMatchParallel(ctx context.Context, q *gql.MatchQuery, 
 	chunkSize, numChunks := par.Chunks(len(cands), workers, chunkTarget)
 
 	cols := returnCols(q.Return)
+	if ex.Prof != nil {
+		ex.Prof.Workers = workers
+		ex.Prof.Mode = mode
+	}
 	body := func(yield func(Row, error) bool) {
+		matchStart := time.Now()
 		// wctx scopes the workers to this consumption: when the
 		// consumer stops early (Rows.Close, broken range loop), the
 		// deferred cancel reels the pool back in before the stream
@@ -278,11 +284,20 @@ func (ex *Executor) streamMatchParallel(ctx context.Context, q *gql.MatchQuery, 
 				}
 			}
 		}
+		if ex.Prof != nil {
+			// rows counts yield events merged across every partition —
+			// the sequential path's pre-aggregation row count.
+			ex.Prof.add("match", int64(rows), numChunks, time.Since(matchStart))
+		}
 		if agg != nil {
+			finStart := time.Now()
 			out, err := agg.finish()
 			if err != nil {
 				yield(nil, err)
 				return
+			}
+			if ex.Prof != nil {
+				ex.Prof.add("aggregate", int64(len(out)), 0, time.Since(finStart))
 			}
 			for _, row := range out {
 				if !yield(row, nil) {

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"iter"
 	"sort"
+	"time"
 
 	"kaskade/internal/gql"
 	"kaskade/internal/graph"
+	"kaskade/internal/metrics"
 )
 
 // Executor runs queries against a graph. The zero value plus a Graph is
@@ -38,6 +40,19 @@ type Executor struct {
 	G       *graph.Graph
 	MaxRows int
 	Workers int
+
+	// Metrics, when set, records every top-level execution (count,
+	// rows, latency, errors) into the registry; Label names the
+	// execution in the registry's per-query stats (empty = aggregate
+	// counters only). Subqueries of a SELECT are part of their parent
+	// execution and are not observed separately.
+	Metrics *metrics.Registry
+	Label   string
+
+	// Prof, when set, collects per-stage actuals (rows, chunks, wall
+	// time) for this execution — the EXPLAIN ANALYZE hook. A Profile is
+	// single-use: attach a fresh one per execution.
+	Prof *Profile
 
 	// noPartialAgg forces AggModePartial queries onto the buffered
 	// path — the A/B switch the equivalence tests and benchmarks use to
@@ -114,7 +129,7 @@ func (ex *Executor) ExecuteContext(ctx context.Context, q gql.Query) (*Result, e
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cols, body, err := ex.stream(ctx, q)
+	cols, body, err := ex.observedStream(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -141,12 +156,53 @@ func (ex *Executor) Stream(ctx context.Context, q gql.Query) (*Rows, error) {
 	// is blocked deep in traversal (or waiting on parallel partitions)
 	// even when the caller's ctx stays live.
 	ictx, cancel := context.WithCancel(ctx)
-	cols, body, err := ex.stream(ictx, q)
+	cols, body, err := ex.observedStream(ictx, q)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
 	return newRows(cols, body, cancel), nil
+}
+
+// observedStream wraps the execution core with metrics and profile
+// recording. The wrapper fires once per top-level execution, when the
+// row sequence finishes (normally, on error, or when the consumer
+// stops early — the work done up to that point is what gets recorded);
+// subqueries reach the core through stream directly and are not
+// double-counted.
+func (ex *Executor) observedStream(ctx context.Context, q gql.Query) ([]string, iter.Seq2[Row, error], error) {
+	cols, body, err := ex.stream(ctx, q)
+	if err != nil {
+		if ex.Metrics != nil {
+			ex.Metrics.QueryErrors.Inc()
+		}
+		return nil, nil, err
+	}
+	if ex.Metrics == nil && ex.Prof == nil {
+		return cols, body, nil
+	}
+	inner := body
+	body = func(yield func(Row, error) bool) {
+		start := time.Now()
+		var rows int64
+		errored := false
+		inner(func(r Row, e error) bool {
+			if e != nil {
+				errored = true
+			} else {
+				rows++
+			}
+			return yield(r, e)
+		})
+		d := time.Since(start)
+		if ex.Prof != nil {
+			ex.Prof.Rows, ex.Prof.Total = rows, d
+		}
+		if ex.Metrics != nil {
+			ex.Metrics.ObserveQuery(ex.Label, d, rows, errored)
+		}
+	}
+	return cols, body, nil
 }
 
 // stream is the single execution core: it resolves a query to its
@@ -184,7 +240,12 @@ func returnCols(items []gql.ReturnItem) []string {
 // parallel path reproduces.
 func (ex *Executor) streamMatchSeq(ctx context.Context, q *gql.MatchQuery) ([]string, iter.Seq2[Row, error], error) {
 	cols := returnCols(q.Return)
+	if ex.Prof != nil {
+		ex.Prof.Workers = 1
+		ex.Prof.Mode = aggModeOf(q.Return, newTypeEnv(ex.G.Schema(), q.Patterns))
+	}
 	body := func(yield func(Row, error) bool) {
+		matchStart := time.Now()
 		agg := newAggregator(q.Return, nil)
 		m := ex.newMatcher(ctx, q)
 		rows := 0
@@ -215,11 +276,18 @@ func (ex *Executor) streamMatchSeq(ctx context.Context, q *gql.MatchQuery) ([]st
 			}
 			return
 		}
+		if ex.Prof != nil {
+			ex.Prof.add("match", int64(rows), 0, time.Since(matchStart))
+		}
 		if agg != nil {
+			finStart := time.Now()
 			out, err := agg.finish()
 			if err != nil {
 				yield(nil, err)
 				return
+			}
+			if ex.Prof != nil {
+				ex.Prof.add("aggregate", int64(len(out)), 0, time.Since(finStart))
 			}
 			for _, row := range out {
 				if !yield(row, nil) {
@@ -254,12 +322,22 @@ func (ex *Executor) streamSelect(ctx context.Context, q *gql.SelectQuery) ([]str
 }
 
 // evalSelect is the buffered relational tail shared by both execution
-// forms.
+// forms. The subquery reaches the execution core directly (not through
+// ExecuteContext) so a metrics-instrumented executor observes the
+// SELECT as one execution, not two.
 func (ex *Executor) evalSelect(ctx context.Context, q *gql.SelectQuery) (*Result, error) {
-	sub, err := ex.ExecuteContext(ctx, q.From)
+	subCols, subBody, err := ex.stream(ctx, q.From)
 	if err != nil {
 		return nil, err
 	}
+	sub := &Result{Cols: subCols}
+	for row, err := range subBody {
+		if err != nil {
+			return nil, err
+		}
+		sub.Rows = append(sub.Rows, row)
+	}
+	tailStart := time.Now()
 	out := &Result{Cols: returnCols(q.Items)}
 
 	agg := newAggregator(q.Items, q.GroupBy)
@@ -299,13 +377,27 @@ func (ex *Executor) evalSelect(ctx context.Context, q *gql.SelectQuery) (*Result
 			return nil, err
 		}
 	}
+	if ex.Prof != nil {
+		stage := "select: filter/project"
+		if agg != nil {
+			stage = "select: aggregate"
+		}
+		ex.Prof.add(stage, int64(len(out.Rows)), 0, time.Since(tailStart))
+	}
 	if len(q.OrderBy) > 0 {
+		orderStart := time.Now()
 		if err := orderRows(out, q.OrderBy); err != nil {
 			return nil, err
+		}
+		if ex.Prof != nil {
+			ex.Prof.add("select: order by", int64(len(out.Rows)), 0, time.Since(orderStart))
 		}
 	}
 	if q.Limit >= 0 && len(out.Rows) > q.Limit {
 		out.Rows = out.Rows[:q.Limit]
+		if ex.Prof != nil {
+			ex.Prof.add("select: limit", int64(len(out.Rows)), 0, 0)
+		}
 	}
 	return out, nil
 }

@@ -173,8 +173,13 @@ func assignValue(d any, v Value) error {
 		}
 	case *int:
 		if i, ok := v.(int64); ok {
-			*d = int(i)
-			return nil
+			// int is 32 bits on some platforms; a silent truncation
+			// would flip values past 2^31, so range-check instead.
+			if n := int(i); int64(n) == i {
+				*d = n
+				return nil
+			}
+			return fmt.Errorf("value %d overflows int (use *int64)", i)
 		}
 	case *float64:
 		switch v := v.(type) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -363,5 +364,27 @@ func TestCancelSelectSubquery(t *testing.T) {
 	ex := &Executor{G: g, Workers: 2}
 	if _, err := ex.ExecuteContext(ctx, q); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestAssignValueIntRange pins the *int destination semantics: values
+// that fit are assigned, and on platforms where int is 32 bits a value
+// past 2^31 must error instead of silently truncating.
+func TestAssignValueIntRange(t *testing.T) {
+	var n int
+	if err := assignValue(&n, Value(int64(42))); err != nil || n != 42 {
+		t.Fatalf("assignValue(*int, 42) = (%d, %v)", n, err)
+	}
+	big := int64(1) << 40
+	err := assignValue(&n, Value(big))
+	if strconv.IntSize == 64 {
+		if err != nil || n != int(big) {
+			t.Fatalf("64-bit assignValue(*int, 2^40) = (%d, %v)", n, err)
+		}
+	} else if err == nil {
+		t.Fatalf("32-bit assignValue(*int, 2^40) silently truncated to %d", n)
+	}
+	if err := assignValue(&n, Value(int64(-7))); err != nil || n != -7 {
+		t.Fatalf("assignValue(*int, -7) = (%d, %v)", n, err)
 	}
 }

@@ -28,6 +28,8 @@ var keywords = map[string]bool{
 	// view DDL (CREATE [MATERIALIZED] VIEW .. AS, DROP VIEW, SHOW VIEWS)
 	"CREATE": true, "MATERIALIZED": true, "VIEW": true, "DROP": true,
 	"SHOW": true, "VIEWS": true,
+	// plan inspection (EXPLAIN [ANALYZE] <query>)
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 type tok struct {

@@ -11,8 +11,10 @@ import (
 // gql.ErrDDL) and route the statement through System.Exec instead.
 var ErrDDL = errors.New("DDL statement, not a query (execute it with Exec)")
 
-// ddlKeywords are the keywords that can only begin a DDL statement.
-var ddlKeywords = map[string]bool{"CREATE": true, "DROP": true, "SHOW": true}
+// ddlKeywords are the keywords that can only begin a statement, never a
+// query: view DDL plus EXPLAIN (plan inspection routes through Exec
+// like DDL does, so it shares the ErrDDL rejection).
+var ddlKeywords = map[string]bool{"CREATE": true, "DROP": true, "SHOW": true, "EXPLAIN": true}
 
 // Parse parses a query in Kaskade's hybrid language. The top level is
 // either a Cypher-style MATCH block or a SQL-style SELECT over a
@@ -75,6 +77,8 @@ func (p *qparser) parseStatement() (Statement, error) {
 		return p.parseDropView()
 	case t.kind == tKeyword && t.text == "SHOW":
 		return p.parseShowViews()
+	case t.kind == tKeyword && t.text == "EXPLAIN":
+		return p.parseExplain()
 	default:
 		q, err := p.parseQuery()
 		if err != nil {
@@ -122,6 +126,21 @@ func (p *qparser) parseDropView() (Statement, error) {
 		return nil, err
 	}
 	return &DropViewStmt{Name: name}, nil
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <query>.
+func (p *qparser) parseExplain() (Statement, error) {
+	if err := p.expect(tKeyword, "EXPLAIN"); err != nil {
+		return nil, err
+	}
+	st := &ExplainStmt{}
+	st.Analyze = p.accept(tKeyword, "ANALYZE")
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	st.Query = q
+	return st, nil
 }
 
 // parseShowViews parses SHOW VIEWS.

@@ -42,6 +42,16 @@ type DropViewStmt struct {
 	Name string
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] <query>: plan inspection in the
+// statement language. Plain EXPLAIN renders the plan §V-C rewriting
+// would choose without executing anything (and without touching any
+// usage counter); EXPLAIN ANALYZE executes the plan and reports
+// per-stage wall time and actual row counts alongside it.
+type ExplainStmt struct {
+	Analyze bool
+	Query   Query
+}
+
 // ShowViewsStmt is SHOW VIEWS.
 type ShowViewsStmt struct{}
 
@@ -49,6 +59,7 @@ func (*QueryStmt) isStatement()      {}
 func (*CreateViewStmt) isStatement() {}
 func (*DropViewStmt) isStatement()   {}
 func (*ShowViewsStmt) isStatement()  {}
+func (*ExplainStmt) isStatement()    {}
 
 func (s *QueryStmt) String() string { return s.Query.String() }
 
@@ -61,5 +72,13 @@ func (s *CreateViewStmt) String() string {
 }
 
 func (s *DropViewStmt) String() string { return "DROP VIEW " + s.Name }
+
+func (s *ExplainStmt) String() string {
+	kw := "EXPLAIN "
+	if s.Analyze {
+		kw = "EXPLAIN ANALYZE "
+	}
+	return kw + s.Query.String()
+}
 
 func (*ShowViewsStmt) String() string { return "SHOW VIEWS" }

@@ -140,3 +140,38 @@ func TestParseStatementErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseExplainStatement(t *testing.T) {
+	st, err := ParseStatement(`EXPLAIN MATCH (a:Job)-->(b:File) RETURN a;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(*ExplainStmt)
+	if !ok || ex.Analyze {
+		t.Fatalf("parsed %#v, want plain ExplainStmt", st)
+	}
+	st, err = ParseStatement(`EXPLAIN ANALYZE SELECT a FROM (MATCH (a:Job)-->(b:File) RETURN a) LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok = st.(*ExplainStmt)
+	if !ok || !ex.Analyze {
+		t.Fatalf("parsed %#v, want ExplainStmt{Analyze: true}", st)
+	}
+	// String round-trips through the statement parser.
+	back, err := ParseStatement(ex.String())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.(*ExplainStmt).String() != ex.String() {
+		t.Errorf("round trip changed text: %q vs %q", back.(*ExplainStmt).String(), ex.String())
+	}
+	// The query-only entry point rejects EXPLAIN like DDL, so Query*
+	// paths route it to Exec.
+	if _, err := Parse(`EXPLAIN MATCH (a) RETURN a`); !errors.Is(err, ErrDDL) {
+		t.Errorf("Parse(EXPLAIN ...) = %v, want ErrDDL", err)
+	}
+	if _, err := ParseStatement(`EXPLAIN`); err == nil {
+		t.Error("EXPLAIN without a query parsed")
+	}
+}

@@ -1,6 +1,20 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// csrBuilds counts CSR index constructions process-wide — the freeze
+// events the metrics snapshot reports. Freeze memoizes, so this counts
+// distinct builds (base graph loads, views landing in a catalog,
+// post-mutation re-freezes), not Freeze calls; concurrent first-freeze
+// races may build twice and count both, which is honest — both builds
+// paid their O(V+E).
+var csrBuilds atomic.Int64
+
+// CSRBuilds returns the process-wide count of frozen CSR index builds.
+func CSRBuilds() int64 { return csrBuilds.Load() }
 
 // Frozen is an immutable, cache-friendly view of a Graph: adjacency is
 // laid out in flat CSR (compressed sparse row) arrays instead of the
@@ -84,6 +98,7 @@ func (g *Graph) Freeze() *Frozen {
 }
 
 func buildFrozen(g *Graph) *Frozen {
+	csrBuilds.Add(1)
 	nv, ne := len(g.vertices), len(g.edges)
 	f := &Frozen{
 		g:       g,

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 1},
+		{4, 2},
+		{1023, 9},
+		{1024, 10},
+		{time.Hour * 100, histBuckets - 1}, // clamp at the top
+		{-5, 0},                            // negative clamps to zero
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.d); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	// 90 fast observations at ~1µs, 10 slow at ~1ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	// The quantile is a power-of-two upper bound: p50 must sit in the
+	// microsecond regime, p99 in the millisecond regime.
+	if p50 := s.Quantile(0.50); p50 < time.Microsecond || p50 > 4*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1-2µs upper bound", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < time.Millisecond || p99 > 4*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1-2ms upper bound", p99)
+	}
+	wantMean := (90*time.Microsecond + 10*time.Millisecond) / 100
+	if got := s.Mean(); got != wantMean {
+		t.Errorf("mean = %v, want %v", got, wantMean)
+	}
+}
+
+func TestHistSubGivesIntervalQuantiles(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond)
+	before := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Millisecond)
+	}
+	interval := h.Snapshot().Sub(before)
+	if interval.Count != 50 {
+		t.Fatalf("interval count = %d, want 50", interval.Count)
+	}
+	// The early microsecond observation is subtracted out, so even p0
+	// of the interval lives in the millisecond regime.
+	if p0 := interval.Quantile(0); p0 < time.Millisecond {
+		t.Errorf("interval p0 = %v, want >= 1ms", p0)
+	}
+}
+
+func TestObserveQueryAndTopQueries(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveQuery("slow", 100*time.Millisecond, 5, false)
+	r.ObserveQuery("slow", 100*time.Millisecond, 5, false)
+	r.ObserveQuery("fast", time.Millisecond, 1, false)
+	r.ObserveQuery("bad", time.Millisecond, 0, true)
+	r.ObserveQuery("", time.Millisecond, 1, false) // unlabeled: aggregates only
+
+	s := r.Snapshot()
+	if s.Queries != 5 || s.Rows != 12 || s.QueryErrors != 1 {
+		t.Fatalf("snapshot = %+v, want 5 queries / 12 rows / 1 error", s)
+	}
+	if s.Latency.Count != 5 {
+		t.Fatalf("latency count = %d, want 5", s.Latency.Count)
+	}
+
+	top := r.TopQueries(2)
+	if len(top) != 2 || top[0].Query != "slow" {
+		t.Fatalf("top = %+v, want [slow ...]", top)
+	}
+	if top[0].Count != 2 || top[0].Rows != 10 || top[0].Mean() != 100*time.Millisecond {
+		t.Errorf("slow stat = %+v", top[0])
+	}
+	if all := r.TopQueries(-1); len(all) != 3 {
+		t.Errorf("TopQueries(-1) returned %d entries, want 3", len(all))
+	}
+}
+
+func TestTopQueriesCapped(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxQueryStats+50; i++ {
+		r.ObserveQuery(fmt.Sprintf("q%d", i), time.Millisecond, 1, false)
+	}
+	if got := len(r.TopQueries(-1)); got != maxQueryStats {
+		t.Errorf("tracked %d distinct queries, want cap %d", got, maxQueryStats)
+	}
+	// Beyond-cap observations still land in the aggregates.
+	if got := r.Snapshot().Queries; got != int64(maxQueryStats+50) {
+		t.Errorf("aggregate queries = %d, want %d", got, maxQueryStats+50)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	if r := (Snapshot{}).HitRatio(); r != 0 {
+		t.Errorf("empty ratio = %v, want 0", r)
+	}
+	if r := (Snapshot{RewriteHits: 3, RewriteMisses: 1}).HitRatio(); r != 0.75 {
+		t.Errorf("ratio = %v, want 0.75", r)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	ring := NewRing(3)
+	if got := ring.Samples(); len(got) != 0 {
+		t.Fatalf("empty ring returned %d samples", len(got))
+	}
+	for i := 1; i <= 5; i++ {
+		ring.Push(Sample{Snap: Snapshot{Queries: int64(i)}})
+	}
+	if ring.Len() != 3 {
+		t.Fatalf("len = %d, want 3", ring.Len())
+	}
+	got := ring.Samples()
+	for i, want := range []int64{3, 4, 5} { // oldest-first, last capacity pushes
+		if got[i].Snap.Queries != want {
+			t.Errorf("sample %d = %d, want %d", i, got[i].Snap.Queries, want)
+		}
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	ring := NewRing(0) // clamped so rates (pairs of samples) always work
+	ring.Push(Sample{Snap: Snapshot{Queries: 1}})
+	ring.Push(Sample{Snap: Snapshot{Queries: 2}})
+	if ring.Len() != 2 {
+		t.Errorf("len = %d, want 2", ring.Len())
+	}
+}
+
+// TestConcurrentObserveAndSnapshot exercises the lock-free write path
+// against snapshot readers under the race detector.
+func TestConcurrentObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	ring := NewRing(16)
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := fmt.Sprintf("writer-%d", w%3)
+			for i := 0; i < perWriter; i++ {
+				r.ObserveQuery(label, time.Duration(i)*time.Microsecond, 2, i%100 == 0)
+				r.RewriteHits.Inc()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			ring.Push(Sample{Snap: r.Snapshot()})
+			r.TopQueries(3)
+		}
+	}()
+	wg.Wait()
+	s := r.Snapshot()
+	if want := int64(writers * perWriter); s.Queries != want || s.RewriteHits != want {
+		t.Fatalf("queries=%d hits=%d, want %d", s.Queries, s.RewriteHits, want)
+	}
+	if s.Rows != int64(writers*perWriter*2) {
+		t.Fatalf("rows = %d", s.Rows)
+	}
+	if s.Latency.Count != int64(writers*perWriter) {
+		t.Fatalf("latency count = %d", s.Latency.Count)
+	}
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Sample is one timestamped Snapshot — the unit the monitoring ring
+// buffer retains.
+type Sample struct {
+	At   time.Time
+	Snap Snapshot
+}
+
+// Ring is a fixed-capacity ring buffer of Samples: the in-memory
+// history behind `kaskade top`'s time-series panels. Pushing beyond
+// capacity overwrites the oldest sample, so memory is bounded by the
+// configured retention (capacity = retention / sample interval).
+// A Ring is safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Sample
+	start int // index of the oldest sample
+	n     int // samples held
+}
+
+// NewRing returns a ring holding up to capacity samples (minimum 2 —
+// rates need two points).
+func NewRing(capacity int) *Ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Ring{buf: make([]Sample, capacity)}
+}
+
+// Push appends a sample, evicting the oldest when full.
+func (r *Ring) Push(s Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = s
+		r.n++
+		return
+	}
+	r.buf[r.start] = s
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// Len returns the number of samples held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Samples returns the held samples, oldest first, as a copy.
+func (r *Ring) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}

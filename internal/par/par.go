@@ -45,7 +45,9 @@ func DoContext(ctx context.Context, n, workers int, worker func(next func() (int
 		return i, i < n
 	}
 	if workers <= 1 {
+		enterWorker()
 		worker(next)
+		active.Add(-1)
 		return
 	}
 	var wg sync.WaitGroup
@@ -53,11 +55,41 @@ func DoContext(ctx context.Context, n, workers int, worker func(next func() (int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			enterWorker()
+			defer active.Add(-1)
 			worker(next)
 		}()
 	}
 	wg.Wait()
 }
+
+// Worker-pool occupancy, process-wide: every claim loop — pooled
+// goroutine or the inline sequential fallback — counts as one active
+// worker for its duration. The metrics snapshot reads these to report
+// pool occupancy without the pools having to thread a registry through
+// every call site.
+var (
+	active atomic.Int64
+	peak   atomic.Int64
+)
+
+// enterWorker marks one worker active and advances the high-water mark.
+func enterWorker() {
+	a := active.Add(1)
+	for {
+		p := peak.Load()
+		if a <= p || peak.CompareAndSwap(p, a) {
+			return
+		}
+	}
+}
+
+// ActiveWorkers returns the number of currently running pool workers.
+func ActiveWorkers() int64 { return active.Load() }
+
+// PeakWorkers returns the high-water mark of concurrently running pool
+// workers since process start.
+func PeakWorkers() int64 { return peak.Load() }
 
 // DoContextDone is DoContext with a per-task completion hook: onDone(i)
 // fires exactly once for every task index a worker claimed, after the

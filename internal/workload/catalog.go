@@ -11,6 +11,7 @@ import (
 	"kaskade/internal/enum"
 	"kaskade/internal/gql"
 	"kaskade/internal/graph"
+	"kaskade/internal/metrics"
 	"kaskade/internal/par"
 	"kaskade/internal/rewrite"
 	"kaskade/internal/views"
@@ -55,6 +56,10 @@ type Catalog struct {
 	Schema    *graph.Schema
 	Alpha     int
 
+	// metrics, when set (SetMetrics), receives rewrite hit/miss and
+	// materialization counts. Atomic so SetMetrics may race queries.
+	metrics atomic.Pointer[metrics.Registry]
+
 	mu     sync.RWMutex
 	epoch  atomic.Uint64
 	byName map[string]*Materialized
@@ -65,6 +70,11 @@ type Catalog struct {
 	// materialized view has exactly one registry entry.
 	defs map[string]string
 }
+
+// SetMetrics attaches (or, with nil, detaches) a metrics registry: the
+// catalog bumps its RewriteHits/RewriteMisses on every counting Rewrite
+// and Materializations when a view lands.
+func (c *Catalog) SetMetrics(r *metrics.Registry) { c.metrics.Store(r) }
 
 // Epoch returns the catalog's mutation counter. It increments every
 // time a view lands in or is dropped from the catalog, so a plan
@@ -167,6 +177,9 @@ func (c *Catalog) insert(name string, m *Materialized) {
 		c.defs[m.Def.Name] = name
 	}
 	c.epoch.Add(1)
+	if r := c.metrics.Load(); r != nil {
+		r.Materializations.Inc()
+	}
 }
 
 // ErrViewExists is wrapped by CreateView when the view name (or an
@@ -212,6 +225,9 @@ func (c *Catalog) CreateView(def views.ViewDef, workers int) error {
 	c.defs[def.Name] = structural
 	c.order = append(c.order, structural)
 	c.epoch.Add(1)
+	if r := c.metrics.Load(); r != nil {
+		r.Materializations.Inc()
+	}
 	return nil
 }
 
@@ -438,7 +454,27 @@ type Plan struct {
 // paper's prototype. Rewrite holds the catalog's read lock, so it may
 // run concurrently with queries and with other Rewrites, and sees a
 // consistent view set even while Add/AddAll land new views.
+//
+// Rewrite is the execution path's entry point and counts its decision:
+// a plan landing on a view bumps that view's hit counter (and the
+// registry's RewriteHits), a base-graph plan bumps RewriteMisses.
+// Prepared statements rewrite once per catalog epoch, so counters
+// record distinct planning decisions, not executions. Plan inspection
+// (EXPLAIN, System.Explain) must use PlanOnly so SHOW VIEWS counters
+// keep meaning actual usage.
 func (c *Catalog) Rewrite(q gql.Query) (*Plan, error) {
+	return c.rewrite(q, true)
+}
+
+// PlanOnly is Rewrite without the usage accounting: it returns the
+// identical plan but bumps neither the per-view hit counters nor the
+// registry's hit/miss counters — the entry point for EXPLAIN and other
+// inspection surfaces where no query runs.
+func (c *Catalog) PlanOnly(q gql.Query) (*Plan, error) {
+	return c.rewrite(q, false)
+}
+
+func (c *Catalog) rewrite(q gql.Query, count bool) (*Plan, error) {
 	baseCost, err := cost.EvalCost(q, c.BaseProps, c.Schema, c.alpha())
 	if err != nil {
 		return nil, err
@@ -447,6 +483,7 @@ func (c *Catalog) Rewrite(q gql.Query) (*Plan, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if len(c.byName) == 0 {
+		c.countDecision(count, best)
 		return best, nil
 	}
 	en := &enum.Enumerator{Schema: c.Schema}
@@ -478,15 +515,28 @@ func (c *Catalog) Rewrite(q gql.Query) (*Plan, error) {
 			best = plan
 		}
 	}
-	if best.ViewName != "" {
-		// The rewrite landed on a view: bump its usage counter (the
-		// signal SHOW VIEWS and Explain surface, and the input to a
-		// future benefit-based eviction policy). Prepared statements
-		// rewrite once per catalog epoch, so this counts distinct
-		// plannings, not executions.
-		c.byName[best.ViewName].hits.Add(1)
-	}
+	c.countDecision(count, best)
 	return best, nil
+}
+
+// countDecision records one §V-C rewrite decision: a view landing bumps
+// the view's own hit counter (the signal SHOW VIEWS and Explain
+// surface, and the input to benefit-based eviction) and the registry's
+// RewriteHits; a base-graph plan bumps RewriteMisses. PlanOnly passes
+// count=false and records nothing. Called under the read lock.
+func (c *Catalog) countDecision(count bool, best *Plan) {
+	if !count {
+		return
+	}
+	r := c.metrics.Load()
+	if best.ViewName != "" {
+		c.byName[best.ViewName].hits.Add(1)
+		if r != nil {
+			r.RewriteHits.Inc()
+		}
+	} else if r != nil {
+		r.RewriteMisses.Inc()
+	}
 }
 
 func (c *Catalog) planFor(q gql.Query, cand enum.Candidate, m *Materialized) (*Plan, error) {

@@ -7,6 +7,7 @@ import (
 
 	"kaskade/internal/enum"
 	"kaskade/internal/gql"
+	"kaskade/internal/metrics"
 	"kaskade/internal/views"
 )
 
@@ -210,5 +211,66 @@ func TestDDLNameShadowingStructural(t *testing.T) {
 	}
 	if len(c.ListViews()) != 0 {
 		t.Fatalf("ListViews = %+v", c.ListViews())
+	}
+}
+
+// TestPlanOnlyReturnsIdenticalPlanWithoutCounting pins the EXPLAIN
+// contract: PlanOnly chooses exactly what Rewrite would, but neither the
+// per-view hit counters nor the registry's hit/miss counters move.
+func TestPlanOnlyReturnsIdenticalPlanWithoutCounting(t *testing.T) {
+	c := ddlTestCatalog(t)
+	r := metrics.NewRegistry()
+	c.SetMetrics(r)
+	if err := c.CreateView(khopDef(t, "jj"), 1); err != nil {
+		t.Fatal(err)
+	}
+	q := gql.MustParse(blastRadius)
+	for i := 0; i < 3; i++ {
+		plan, err := c.PlanOnly(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.ViewName != "CONN_2HOP_Job_Job" {
+			t.Fatalf("PlanOnly %d did not land on the connector: %+v", i, plan)
+		}
+	}
+	if got := c.ListViews()[0].Hits; got != 0 {
+		t.Errorf("PlanOnly bumped per-view hits: %d", got)
+	}
+	if s := r.Snapshot(); s.RewriteHits != 0 || s.RewriteMisses != 0 {
+		t.Errorf("PlanOnly bumped registry counters: hits=%d misses=%d", s.RewriteHits, s.RewriteMisses)
+	}
+
+	// Same query through the counting entry point: identical plan, and
+	// both counter families move in lockstep.
+	planOnly, err := c.PlanOnly(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counted, err := c.Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counted.ViewName != planOnly.ViewName || counted.Cost != planOnly.Cost {
+		t.Errorf("Rewrite plan %+v differs from PlanOnly plan %+v", counted, planOnly)
+	}
+	if got := c.ListViews()[0].Hits; got != 1 {
+		t.Errorf("hits after counted rewrite = %d, want 1", got)
+	}
+	if s := r.Snapshot(); s.RewriteHits != 1 {
+		t.Errorf("registry hits = %d, want 1", s.RewriteHits)
+	}
+
+	// A base-graph decision is a miss on the counting path and nothing on
+	// the plan-only path.
+	q2 := gql.MustParse(`MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f`)
+	if _, err := c.PlanOnly(q2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Rewrite(q2); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Snapshot(); s.RewriteMisses != 1 {
+		t.Errorf("registry misses = %d, want 1", s.RewriteMisses)
 	}
 }

@@ -139,6 +139,26 @@
 // and the catalog locks its view set, so a System is safe for
 // concurrent use throughout — queries may overlap each other and
 // catalog mutation.
+//
+// # Observability
+//
+// Every System carries an always-on metrics registry: executions bump
+// atomic counters (queries, rows, errors), a lock-free latency
+// histogram, per-query-text cumulative stats, and the §V-C rewrite
+// hit/miss counters. Read it three ways:
+//
+//	snap := sys.MetricsSnapshot()        // point-in-time copy of everything
+//	top := sys.Metrics().TopQueries(5)   // hottest query texts by total time
+//	out, _ := sys.ExplainAnalyze(ctx, q) // plan + per-stage actuals for one run
+//
+// MetricsSnapshot is lock-free with respect to query execution, so a
+// monitoring loop never stalls queries; consecutive snapshots subtract
+// cleanly into interval rates and windowed latency quantiles
+// (Hist.Sub/Quantile), which is how the `kaskade -cmd top` dashboard
+// derives its time series. EXPLAIN and Explain plan without executing
+// and move no counter; EXPLAIN ANALYZE (and ExplainAnalyze) execute for
+// real. SetMetrics(nil) disables recording entirely — CI's bench guard
+// pins the enabled-vs-disabled overhead on the prepared path under 5%.
 package kaskade
 
 import (
@@ -150,6 +170,7 @@ import (
 	"kaskade/internal/exec"
 	"kaskade/internal/gql"
 	"kaskade/internal/graph"
+	"kaskade/internal/metrics"
 	"kaskade/internal/views"
 	"kaskade/internal/workload"
 )
@@ -320,6 +341,40 @@ type (
 	// SubgraphAggregatorSummarizer contracts group subgraphs.
 	SubgraphAggregatorSummarizer = views.SubgraphAggregatorSummarizer
 )
+
+// Observability types re-exported from the metrics core.
+type (
+	// MetricsRegistry is a System's live metric set: atomic counters, a
+	// lock-free latency histogram, and per-query cumulative stats.
+	// System.Metrics returns the active one; SetMetrics(nil) disables
+	// recording.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of every metric, including
+	// the process-wide freeze/worker gauges and per-view hit counters
+	// (System.MetricsSnapshot). Consecutive snapshots subtract into
+	// interval rates and windowed latency quantiles.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsHist is an immutable latency-histogram snapshot with
+	// Sub/Mean/Quantile helpers.
+	MetricsHist = metrics.Hist
+	// QueryStat is one query text's cumulative execution record
+	// (MetricsRegistry.TopQueries).
+	QueryStat = metrics.QueryStat
+	// MetricsRing is a fixed-capacity time-series buffer of timestamped
+	// snapshots — the storage behind the `kaskade top` dashboard.
+	MetricsRing = metrics.Ring
+	// MetricsSample is one timestamped snapshot in a MetricsRing.
+	MetricsSample = metrics.Sample
+)
+
+// NewMetricsRegistry returns an empty registry — pass it to
+// System.SetMetrics to reset counters or re-enable recording after
+// SetMetrics(nil).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewMetricsRing returns a ring buffer holding the most recent capacity
+// samples.
+func NewMetricsRing(capacity int) *MetricsRing { return metrics.NewRing(capacity) }
 
 // Optimizer-facing types.
 type (

@@ -1,0 +1,97 @@
+package kaskade_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"kaskade"
+)
+
+// preparedWorkload builds the BenchmarkPreparedVsAdHoc system: a small
+// lineage graph with adopted views, so per-execution cost is dominated
+// by the match plus whatever instrumentation adds — the surface the
+// overhead guard measures.
+func preparedWorkload(tb testing.TB) (*kaskade.System, *kaskade.PreparedQuery) {
+	tb.Helper()
+	sys := kaskade.New(buildLineage(7, 30, 60))
+	sel, err := sys.SelectViews([]string{blastRadiusQuery}, 1_000_000)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := sys.AdoptSelection(sel); err != nil {
+		tb.Fatal(err)
+	}
+	stmt, err := sys.Prepare(blastRadiusQuery)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys, stmt
+}
+
+// BenchmarkPreparedMetricsOverhead prices the always-on metrics
+// instrumentation on the prepared hot path: identical executions with
+// the registry enabled vs SetMetrics(nil).
+func BenchmarkPreparedMetricsOverhead(b *testing.B) {
+	sys, stmt := preparedWorkload(b)
+	b.Run("metrics=on", func(b *testing.B) {
+		sys.SetMetrics(kaskade.NewMetricsRegistry())
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("metrics=off", func(b *testing.B) {
+		sys.SetMetrics(nil)
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestMetricsOverheadGuard is the CI bench guard: prepared executions
+// with metrics enabled must run within 5% of the disabled path. Gated
+// behind BENCH_GUARD=1 because wall-clock assertions are meaningless on
+// a loaded developer machine.
+func TestMetricsOverheadGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") != "1" {
+		t.Skip("set BENCH_GUARD=1 to run the metrics overhead guard")
+	}
+	sys, stmt := preparedWorkload(t)
+	run := func(reg *kaskade.MetricsRegistry) time.Duration {
+		sys.SetMetrics(reg)
+		// Warm up plans and caches.
+		if _, err := stmt.Exec(); err != nil {
+			t.Fatal(err)
+		}
+		// Min-of-N: the minimum is the run least polluted by scheduling
+		// noise, the standard trick for guard-style comparisons.
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					if _, err := stmt.Exec(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if d := time.Duration(r.NsPerOp()); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	off := run(nil)
+	on := run(kaskade.NewMetricsRegistry())
+	limit := off + off/20 + 20*time.Microsecond // 5% + epsilon for timer jitter
+	t.Logf("prepared exec: metrics on %v, off %v, limit %v", on, off, limit)
+	if on > limit {
+		t.Fatalf("metrics overhead too high: on=%v off=%v (limit %v)", on, off, limit)
+	}
+	fmt.Fprintf(os.Stderr, "metrics overhead: on=%v off=%v (%.1f%%)\n",
+		on, off, 100*float64(on-off)/float64(off))
+}
