@@ -1,0 +1,173 @@
+// Command kaskade-loadgen drives a running kaskaded daemon with
+// concurrent sessions and reports throughput and latency — the
+// benchmark harness for the service boundary. Each session goroutine
+// holds its own session token (so the daemon's per-session
+// prepared-statement cache is exercised the way real clients exercise
+// it) and loops a configurable query mix until the duration elapses;
+// the report gives QPS over successful requests, latency quantiles
+// (p50/p90/p99 from a power-of-two-bucket histogram), and the
+// admission-control outcomes (429s are counted separately from
+// failures — a saturated server refusing work is behaving correctly).
+//
+// Examples:
+//
+//	kaskade-loadgen -addr localhost:7465 -sessions 8 -duration 10s
+//	kaskade-loadgen -query 'MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN COUNT(*) AS n' -sessions 16
+//
+// The exit status is non-zero if any request failed outright (transport
+// error, 5xx, or a mid-stream execution error); 429s do not fail the
+// run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kaskade/internal/metrics"
+)
+
+// defaultMix is the query mix when no -query flags are given — shaped
+// for the prov dataset kaskaded serves by default: a streaming
+// projection, a grouped aggregate, and a 2-hop pattern that rewrites
+// over a connector view if one is materialized.
+var defaultMix = []string{
+	`MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN COUNT(*) AS n`,
+	`SELECT A, COUNT(B) FROM (
+	   MATCH (q_j:Job)-[:WRITES_TO]->(q_f:File) RETURN q_j AS A, q_f AS B
+	 ) GROUP BY A`,
+	`MATCH (x:Job)-[p*2..2]->(y:Job) RETURN COUNT(*) AS n`,
+}
+
+// queryResponse is the slice of the /v1/query body the loadgen needs:
+// row_count present = complete result, error present = mid-stream
+// failure.
+type queryResponse struct {
+	RowCount *int    `json:"row_count"`
+	Error    *string `json:"error"`
+	Kind     string  `json:"kind"`
+}
+
+// tally is the shared run accounting, all atomics.
+type tally struct {
+	ok       atomic.Int64
+	rejected atomic.Int64
+	failed   atomic.Int64
+	rows     atomic.Int64
+}
+
+func main() {
+	var queries []string
+	var (
+		addr     = flag.String("addr", "localhost:7465", "kaskaded address (host:port)")
+		sessions = flag.Int("sessions", 8, "concurrent sessions")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		timeout  = flag.Duration("request-timeout", 30*time.Second, "client-side per-request timeout")
+	)
+	flag.Func("query", "query to include in the mix (repeatable; default: built-in prov mix)", func(q string) error {
+		queries = append(queries, q)
+		return nil
+	})
+	flag.Parse()
+	if len(queries) == 0 {
+		queries = defaultMix
+	}
+	if *sessions < 1 {
+		*sessions = 1
+	}
+
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+	client := &http.Client{
+		Timeout:   *timeout,
+		Transport: &http.Transport{MaxIdleConns: *sessions * 2, MaxIdleConnsPerHost: *sessions * 2},
+	}
+
+	var (
+		t    tally
+		hist metrics.Histogram
+		wg   sync.WaitGroup
+	)
+	fmt.Printf("kaskade-loadgen: %d sessions, %s against %s, %d-query mix\n",
+		*sessions, *duration, base, len(queries))
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			session := "" // minted by the daemon on the first request
+			for j := 0; time.Now().Before(deadline); j++ {
+				q := queries[(worker+j)%len(queries)]
+				session = issue(client, base, session, q, &t, &hist)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	h := hist.Snapshot()
+	ok, rejected, failed := t.ok.Load(), t.rejected.Load(), t.failed.Load()
+	fmt.Printf("requests: %d ok, %d rejected (429), %d failed\n", ok, rejected, failed)
+	fmt.Printf("rows: %d\n", t.rows.Load())
+	fmt.Printf("qps: %.1f\n", float64(ok)/elapsed.Seconds())
+	fmt.Printf("latency: mean=%s p50≤%s p90≤%s p99≤%s\n",
+		h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.90).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// issue sends one query and records its outcome, returning the session
+// token to carry forward (the daemon echoes it on every response).
+func issue(client *http.Client, base, session, query string, t *tally, hist *metrics.Histogram) string {
+	body, _ := json.Marshal(map[string]any{"query": query})
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.failed.Add(1)
+		return session
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if session != "" {
+		req.Header.Set("X-Kaskade-Session", session)
+	}
+	begin := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		t.failed.Add(1)
+		return session
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	hist.Observe(time.Since(begin))
+	if tok := resp.Header.Get("X-Kaskade-Session"); tok != "" {
+		session = tok
+	}
+	switch {
+	case err != nil:
+		t.failed.Add(1)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		t.rejected.Add(1)
+	case resp.StatusCode != http.StatusOK:
+		t.failed.Add(1)
+	default:
+		var qr queryResponse
+		if json.Unmarshal(raw, &qr) != nil || qr.Error != nil || qr.RowCount == nil {
+			t.failed.Add(1) // mid-stream error or torn body: not a complete result
+			break
+		}
+		t.ok.Add(1)
+		t.rows.Add(int64(*qr.RowCount))
+	}
+	return session
+}

@@ -135,8 +135,12 @@ func renderTop(sys *kaskade.System, ring *metrics.Ring, start time.Time, tty boo
 	fmt.Fprintf(&b, "kaskade top — uptime %s, |V|=%d |E|=%d, views=%d, freezes=%d, workers %d (peak %d)\n",
 		time.Since(start).Round(time.Second), g.NumVertices(), g.NumEdges(),
 		len(s.Views), s.FreezeEvents, s.WorkersActive, s.WorkersPeak)
-	fmt.Fprintf(&b, "queries=%d  errors=%d  rows=%d  rewrites: %d hit / %d miss (ratio %.2f)\n\n",
+	fmt.Fprintf(&b, "queries=%d  errors=%d  rows=%d  rewrites: %d hit / %d miss (ratio %.2f)\n",
 		s.Queries, s.QueryErrors, s.Rows, s.RewriteHits, s.RewriteMisses, s.HitRatio())
+	// Service-boundary counters (zero unless this System is also served
+	// by a kaskaded daemon in-process).
+	fmt.Fprintf(&b, "admission: %d admitted / %d rejected / %d timed out  in-flight=%d  sessions=%d  cache: %d hit / %d miss\n\n",
+		s.Admitted, s.Rejected, s.TimedOut, s.InFlight, s.Sessions, s.CacheHits, s.CacheMisses)
 
 	const width = 48
 	qps := seriesOf(samples, func(cur, prev metrics.Sample) float64 {

@@ -1,0 +1,139 @@
+// Command kaskaded is the Kaskade network daemon: it loads (or
+// generates) a graph, stands up a System over it, and serves the
+// HTTP/JSON API in internal/server — per-session prepared-statement
+// caches, admission control with an in-flight limit, a TTL+epoch
+// response cache, and the topology/metrics endpoints — until SIGINT or
+// SIGTERM, then drains in-flight queries under a bounded deadline
+// (stragglers are cancelled via context, never leaked).
+//
+// Examples:
+//
+//	kaskaded -addr :7465 -dataset prov -scale 0.25
+//	kaskaded -load graph.kask -max-inflight 32 -cache-ttl 5s
+//	curl -s localhost:7465/healthz
+//	curl -s localhost:7465/v1/query -d '{"query":"MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN COUNT(*) AS n"}'
+//
+// See the README's "Running as a server" section for the endpoint
+// reference and cmd/kaskade-loadgen for a load generator against a
+// running daemon.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kaskade"
+	"kaskade/internal/datagen"
+	"kaskade/internal/graph"
+	"kaskade/internal/server"
+	"kaskade/internal/views"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:7465", "listen address")
+		dataset = flag.String("dataset", "prov", "dataset to generate: prov|dblp|roadnet|soc")
+		scale   = flag.Float64("scale", 0.25, "dataset scale factor")
+		seed    = flag.Int64("seed", 0, "generator seed override")
+		filter  = flag.Bool("filter", true, "pre-apply the schema-level summarizer on heterogeneous datasets")
+		load    = flag.String("load", "", "load the graph from a file (kaskade -save) instead of generating")
+		workers = flag.Int("workers", -1, "pattern-match and materialization parallelism (-1 = one per CPU)")
+
+		maxInflight = flag.Int("max-inflight", 64, "admission control: max concurrently executing requests (excess get 429)")
+		defTimeout  = flag.Duration("default-timeout", 30*time.Second, "execution deadline when the client asks for none")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "clamp on client-requested deadlines")
+		maxRows     = flag.Int("max-rows", 1_000_000, "per-request row cap (clients may lower, never raise; -1 = unlimited)")
+		cacheTTL    = flag.Duration("cache-ttl", 2*time.Second, "response cache TTL (0 disables caching)")
+		sessionTTL  = flag.Duration("session-ttl", 30*time.Minute, "idle session eviction")
+		topoNodes   = flag.Int("topology-max-nodes", 1000, "max nodes served by /v1/topology")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline before in-flight queries are cancelled")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dataset, *scale, *seed, *filter, *load, *workers, server.Config{
+		MaxInFlight:      *maxInflight,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		MaxRows:          *maxRows,
+		CacheTTL:         *cacheTTL,
+		SessionTTL:       *sessionTTL,
+		TopologyMaxNodes: *topoNodes,
+	}, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "kaskaded:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataset string, scale float64, seed int64, filter bool, load string, workers int, cfg server.Config, drain time.Duration) error {
+	g, err := buildGraph(dataset, scale, seed, filter, load)
+	if err != nil {
+		return err
+	}
+	sys := kaskade.New(g)
+	sys.Parallelism = workers
+
+	srv := server.New(sys, cfg)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("kaskaded: serving %s on http://%s (max in-flight %d, drain %s)",
+		g, l.Addr(), cfg.MaxInFlight, drain)
+
+	// SIGINT/SIGTERM starts the drain; a second signal kills the
+	// process the ordinary way (the handler is released on first fire).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+		log.Printf("kaskaded: draining (deadline %s)", drain)
+	}()
+
+	if err := srv.Serve(ctx, l, drain); err != nil {
+		return err
+	}
+	log.Printf("kaskaded: drained, shut down cleanly")
+	return nil
+}
+
+// buildGraph loads or generates the served graph, mirroring the kaskade
+// CLI's dataset handling (including the schema-level pre-filter on
+// heterogeneous datasets).
+func buildGraph(dataset string, scale float64, seed int64, filter bool, load string) (*graph.Graph, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := graph.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", load, err)
+		}
+		return g, nil
+	}
+	g, err := datagen.Generate(dataset, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	if filter {
+		switch dataset {
+		case datagen.NameProv:
+			g, err = views.VertexInclusionSummarizer{Types: []string{"Job", "File"}}.Materialize(g)
+		case datagen.NameDBLP:
+			g, err = views.VertexInclusionSummarizer{Types: []string{"Author", "Paper"}}.Materialize(g)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

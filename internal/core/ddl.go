@@ -57,7 +57,7 @@ func (s *System) Exec(ctx context.Context, src string, opts ...QueryOption) (*ex
 		return s.execCreateView(st)
 	case *gql.DropViewStmt:
 		if !s.catalog.DropView(st.Name) {
-			return nil, fmt.Errorf("kaskade: view %q does not exist", st.Name)
+			return nil, fmt.Errorf("kaskade: view %q: %w", st.Name, workload.ErrNoSuchView)
 		}
 		return statusResult(fmt.Sprintf("dropped view %s", st.Name)), nil
 	case *gql.ShowViewsStmt:

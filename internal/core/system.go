@@ -117,6 +117,13 @@ func (s *System) Graph() *graph.Graph { return s.graph }
 // Catalog returns the materialized view catalog.
 func (s *System) Catalog() *workload.Catalog { return s.catalog }
 
+// Epoch returns the catalog's mutation counter: it increments on every
+// view created or dropped, so any result computed at epoch E is
+// guaranteed unaffected by catalog changes exactly while Epoch() == E.
+// It is the invalidation signal for caches layered above the System —
+// the kaskaded response cache keys entries by it.
+func (s *System) Epoch() uint64 { return s.catalog.Epoch() }
+
 // Stats returns the maintained graph data properties (§V-A).
 func (s *System) Stats() *cost.GraphProperties { return cost.Collect(s.graph) }
 

@@ -50,6 +50,22 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is an atomic up/down gauge — a level, not a rate (in-flight
+// admitted requests, live server sessions).
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // histBuckets is the histogram resolution: bucket i holds observations
 // d with 2^i ns <= d < 2^(i+1) ns (bucket 0 additionally holds sub-ns
 // zeros), so the range spans 1ns to ~4.6h in power-of-two steps —
@@ -185,6 +201,16 @@ type Registry struct {
 	Materializations Counter   // views landed in the catalog
 	Latency          Histogram // per-execution wall time
 
+	// Service-boundary metrics, bumped by internal/server (the kaskaded
+	// daemon); they stay zero for purely in-process use.
+	Admitted    Counter // requests admitted past the in-flight limiter
+	Rejected    Counter // requests rejected with 429 at admission
+	TimedOut    Counter // admitted executions that hit their deadline
+	CacheHits   Counter // response-cache hits served without executing
+	CacheMisses Counter // cacheable requests that had to execute
+	InFlight    Gauge   // admitted requests currently executing
+	Sessions    Gauge   // live server sessions
+
 	mu      sync.Mutex
 	byQuery map[string]*QueryStat
 }
@@ -266,6 +292,17 @@ type Snapshot struct {
 	Materializations int64
 	Latency          Hist
 
+	// Service-boundary metrics (internal/server): admission-control
+	// outcomes, response-cache effectiveness, and the in-flight/session
+	// levels at snapshot time.
+	Admitted    int64
+	Rejected    int64
+	TimedOut    int64
+	CacheHits   int64
+	CacheMisses int64
+	InFlight    int64
+	Sessions    int64
+
 	// FreezeEvents is the process-wide count of CSR index builds
 	// (graph.CSRBuilds — freezes are memoized per graph, so this counts
 	// distinct index constructions, not Freeze calls).
@@ -289,6 +326,13 @@ func (r *Registry) Snapshot() Snapshot {
 		RewriteMisses:    r.RewriteMisses.Load(),
 		Materializations: r.Materializations.Load(),
 		Latency:          r.Latency.Snapshot(),
+		Admitted:         r.Admitted.Load(),
+		Rejected:         r.Rejected.Load(),
+		TimedOut:         r.TimedOut.Load(),
+		CacheHits:        r.CacheHits.Load(),
+		CacheMisses:      r.CacheMisses.Load(),
+		InFlight:         r.InFlight.Load(),
+		Sessions:         r.Sessions.Load(),
 	}
 }
 

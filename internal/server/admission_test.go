@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionRejectsWhenSaturated saturates the in-flight semaphore
+// with one parked query and checks that every further request is
+// refused with 429 + Retry-After — and that the refusals land in the
+// Rejected counter while the parked request completes normally.
+func TestAdmissionRejectsWhenSaturated(t *testing.T) {
+	srv, ts, sys := newTestServer(t, Config{MaxInFlight: 1})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.testExecDelay = func(ctx context.Context) {
+		once.Do(func() { close(entered) })
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+
+	type outcome struct {
+		status int
+		body   []byte
+	}
+	firstDone := make(chan outcome, 1)
+	go func() {
+		resp, raw := post(t, ts, "/v1/query", "", map[string]any{"query": qCount})
+		firstDone <- outcome{resp.StatusCode, raw}
+	}()
+	<-entered // the slot is held
+
+	const burst = 4
+	for i := 0; i < burst; i++ {
+		resp, raw := post(t, ts, "/v1/query", "", map[string]any{"query": qCount})
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("saturated request %d: status %d, body %s", i, resp.StatusCode, raw)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+		if eb := decodeError(t, raw); eb.Kind != kindSaturated {
+			t.Errorf("429 kind = %q, want %q", eb.Kind, kindSaturated)
+		}
+	}
+
+	close(release)
+	out := <-firstDone
+	if out.status != http.StatusOK {
+		t.Fatalf("parked request: status %d, body %s", out.status, out.body)
+	}
+
+	snap := sys.MetricsSnapshot()
+	if snap.Admitted != 1 || snap.Rejected != burst {
+		t.Errorf("admitted/rejected = %d/%d, want 1/%d", snap.Admitted, snap.Rejected, burst)
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("in-flight = %d after completion, want 0", snap.InFlight)
+	}
+}
+
+// TestPerRequestTimeout maps the request deadline to 504: the hook
+// parks the execution until the context expires, so the query returns
+// context.DeadlineExceeded and the TimedOut counter moves.
+func TestPerRequestTimeout(t *testing.T) {
+	srv, ts, sys := newTestServer(t, Config{})
+	srv.testExecDelay = func(ctx context.Context) { <-ctx.Done() }
+
+	resp, raw := post(t, ts, "/v1/query", "", map[string]any{"query": qCount, "timeout_ms": 20})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, body %s, want 504", resp.StatusCode, raw)
+	}
+	if eb := decodeError(t, raw); eb.Kind != kindTimeout {
+		t.Errorf("kind = %q, want %q", eb.Kind, kindTimeout)
+	}
+	snap := sys.MetricsSnapshot()
+	if snap.TimedOut != 1 {
+		t.Errorf("timed out counter = %d, want 1", snap.TimedOut)
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("in-flight = %d after timeout, want 0", snap.InFlight)
+	}
+}
+
+// TestTimeoutClampedToMax checks a client cannot ask for more than
+// Config.MaxTimeout: the request still times out at the server's
+// ceiling.
+func TestTimeoutClampedToMax(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{MaxTimeout: 30 * time.Millisecond})
+	srv.testExecDelay = func(ctx context.Context) { <-ctx.Done() }
+
+	start := time.Now()
+	resp, _ := post(t, ts, "/v1/query", "", map[string]any{"query": qCount, "timeout_ms": 3_600_000})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("clamped timeout took %s, want ~30ms", took)
+	}
+}
+
+// TestRowCapEnforced checks the per-request row cap: the client may
+// lower the server cap and gets the row_limit taxonomy when the query
+// exceeds it — and may never raise the cap above the server's. The cap
+// counts matched rows, so an aggregate blows it before any output row
+// (a proper 400) while a projection blows it mid-stream (the 200 is on
+// the wire; the body ends with error/kind instead of row_count).
+func TestRowCapEnforced(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, raw := post(t, ts, "/v1/query", "", map[string]any{"query": qCount, "max_rows": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s, want 400", resp.StatusCode, raw)
+	}
+	if eb := decodeError(t, raw); eb.Kind != kindRowLimit {
+		t.Errorf("kind = %q, want %q", eb.Kind, kindRowLimit)
+	}
+
+	// Mid-stream: rows were already streaming when the limit hit, so the
+	// body terminates with the taxonomy members and no row_count.
+	resp, raw = post(t, ts, "/v1/query", "", map[string]any{"query": qRows, "max_rows": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mid-stream limit status = %d, want 200 (already streaming)", resp.StatusCode)
+	}
+	var tail struct {
+		RowCount *int    `json:"row_count"`
+		Error    string  `json:"error"`
+		Kind     errKind `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &tail); err != nil {
+		t.Fatalf("mid-stream body %s: %v", raw, err)
+	}
+	if tail.RowCount != nil || tail.Error == "" || tail.Kind != kindRowLimit {
+		t.Errorf("mid-stream tail = %+v, want no row_count and kind row_limit", tail)
+	}
+
+	// Server cap 1, client asks for a million: the server cap wins.
+	_, ts2, _ := newTestServer(t, Config{MaxRows: 1})
+	resp, raw = post(t, ts2, "/v1/query", "", map[string]any{"query": qCount, "max_rows": 1_000_000})
+	if eb := decodeError(t, raw); resp.StatusCode != http.StatusBadRequest || eb.Kind != kindRowLimit {
+		t.Errorf("raised cap: status %d kind %q, want 400 row_limit", resp.StatusCode, eb.Kind)
+	}
+}

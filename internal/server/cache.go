@@ -1,0 +1,100 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// respCache is the hot-query response cache: fully rendered /v1/query
+// response bodies keyed by (query text, effective row cap), each
+// stamped with the catalog epoch observed *before* the execution that
+// produced it. A lookup must match the current epoch exactly — any
+// CREATE/DROP VIEW moves the epoch and thereby invalidates every older
+// entry at once, so a cached response can never outlive the view set
+// that shaped it — and must be younger than the TTL. Entries are
+// evicted LRU past maxEntries.
+//
+// Only successful, complete, read-only query results are stored (the
+// handler's call sites enforce that); DDL and errors never land here.
+type respCache struct {
+	ttl time.Duration
+	max int
+	now func() time.Time // injectable clock (tests)
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+// cacheEntry is one stored response body.
+type cacheEntry struct {
+	key   string
+	body  []byte
+	epoch uint64
+	at    time.Time
+}
+
+func newRespCache(ttl time.Duration, maxEntries int) *respCache {
+	return &respCache{ttl: ttl, max: maxEntries, now: time.Now, entries: make(map[string]*list.Element), lru: list.New()}
+}
+
+// enabled reports whether caching is on at all (TTL > 0).
+func (c *respCache) enabled() bool { return c != nil && c.ttl > 0 }
+
+// cacheKey builds the lookup key for one query execution shape.
+func cacheKey(query string, maxRows int) string {
+	return strconv.Itoa(maxRows) + "|" + query
+}
+
+// get returns the cached body for key if it is fresh: stored at the
+// current catalog epoch and younger than the TTL. Stale entries are
+// dropped on the spot.
+func (c *respCache) get(key string, epoch uint64) ([]byte, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.epoch != epoch || c.now().Sub(e.at) > c.ttl {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return e.body, true
+}
+
+// put stores a freshly rendered body under key, stamped with the epoch
+// the execution planned at.
+func (c *respCache) put(key string, epoch uint64, body []byte) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = &cacheEntry{key: key, body: body, epoch: epoch, at: c.now()}
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, body: body, epoch: epoch, at: c.now()})
+}
+
+// len reports the live entry count (tests).
+func (c *respCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

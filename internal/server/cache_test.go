@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// cacheAdvance shifts the cache's injectable clock forward; the clock
+// field is guarded by the cache mutex, so this is safe between
+// requests.
+func cacheAdvance(c *respCache, d time.Duration) {
+	c.mu.Lock()
+	c.now = func() time.Time { return time.Now().Add(d) }
+	c.mu.Unlock()
+}
+
+// TestResponseCacheHit checks the hot path: a repeat query is served
+// from the cache byte-identically, flagged with X-Kaskade-Cache, and
+// never reaches the executor (the Queries counter stays flat).
+func TestResponseCacheHit(t *testing.T) {
+	_, ts, sys := newTestServer(t, Config{CacheTTL: time.Minute})
+
+	resp, first := post(t, ts, "/v1/query", "", map[string]any{"query": qRows})
+	if got := resp.Header.Get("X-Kaskade-Cache"); got != "" {
+		t.Errorf("first request cache header = %q, want unset", got)
+	}
+	executed := sys.MetricsSnapshot().Queries
+
+	resp, second := post(t, ts, "/v1/query", "", map[string]any{"query": qRows})
+	if got := resp.Header.Get("X-Kaskade-Cache"); got != "hit" {
+		t.Errorf("repeat request cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("cached body diverged:\n got %s\nwant %s", second, first)
+	}
+	snap := sys.MetricsSnapshot()
+	if snap.Queries != executed {
+		t.Errorf("queries counter moved %d -> %d on a cache hit", executed, snap.Queries)
+	}
+	if snap.CacheHits != 1 || snap.CacheMisses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", snap.CacheHits, snap.CacheMisses)
+	}
+
+	// A different row cap is a different execution shape: its own entry.
+	resp, _ = post(t, ts, "/v1/query", "", map[string]any{"query": qRows, "max_rows": 100})
+	if got := resp.Header.Get("X-Kaskade-Cache"); got != "" {
+		t.Errorf("different max_rows served from cache (header %q)", got)
+	}
+}
+
+// TestResponseCacheEpochInvalidation checks the correctness half: DDL
+// moves the catalog epoch, so a cached pre-view response can never be
+// served after CREATE VIEW changes what the query should return.
+func TestResponseCacheEpochInvalidation(t *testing.T) {
+	srv, ts, sys := newTestServer(t, Config{CacheTTL: time.Minute})
+
+	post(t, ts, "/v1/query", "", map[string]any{"query": q2Hop})
+	resp, _ := post(t, ts, "/v1/query", "", map[string]any{"query": q2Hop})
+	if resp.Header.Get("X-Kaskade-Cache") != "hit" {
+		t.Fatal("priming request did not cache")
+	}
+
+	post(t, ts, "/v1/exec", "", map[string]any{"statement": ddl2Hop})
+
+	resp, raw := post(t, ts, "/v1/query", "", map[string]any{"query": q2Hop})
+	if got := resp.Header.Get("X-Kaskade-Cache"); got != "" {
+		t.Errorf("post-DDL request served stale cache entry (header %q)", got)
+	}
+	if want := wantBody(t, sys, q2Hop); !bytes.Equal(raw, want) {
+		t.Errorf("post-DDL body diverged from in-process execution:\n got %s\nwant %s", raw, want)
+	}
+	if srv.cache.len() == 0 {
+		t.Error("fresh post-DDL result was not re-cached")
+	}
+	// The re-cached entry is fresh at the new epoch.
+	if resp, _ := post(t, ts, "/v1/query", "", map[string]any{"query": q2Hop}); resp.Header.Get("X-Kaskade-Cache") != "hit" {
+		t.Error("re-cached post-DDL entry not served")
+	}
+}
+
+// TestResponseCacheTTL checks age-based expiry via the injected clock.
+func TestResponseCacheTTL(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{CacheTTL: time.Minute})
+	post(t, ts, "/v1/query", "", map[string]any{"query": qCount})
+	if resp, _ := post(t, ts, "/v1/query", "", map[string]any{"query": qCount}); resp.Header.Get("X-Kaskade-Cache") != "hit" {
+		t.Fatal("entry not cached before expiry")
+	}
+	cacheAdvance(srv.cache, 2*time.Minute)
+	if resp, _ := post(t, ts, "/v1/query", "", map[string]any{"query": qCount}); resp.Header.Get("X-Kaskade-Cache") == "hit" {
+		t.Error("expired entry served past the TTL")
+	}
+}
+
+// TestResponseCacheLRU checks the size bound evicts least-recently-used
+// entries first.
+func TestResponseCacheLRU(t *testing.T) {
+	c := newRespCache(time.Minute, 2)
+	c.put("a", 1, []byte("A"))
+	c.put("b", 1, []byte("B"))
+	if _, ok := c.get("a", 1); !ok { // touch a: b is now LRU
+		t.Fatal("entry a missing before eviction")
+	}
+	c.put("c", 1, []byte("C")) // evicts b
+	if _, ok := c.get("b", 1); ok {
+		t.Error("LRU entry b survived past the size bound")
+	}
+	if _, ok := c.get("a", 1); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", c.len())
+	}
+}
+
+// TestResponseCacheDisabled checks the default config serves everything
+// uncached and moves no cache counters.
+func TestResponseCacheDisabled(t *testing.T) {
+	_, ts, sys := newTestServer(t, Config{})
+	post(t, ts, "/v1/query", "", map[string]any{"query": qCount})
+	resp, _ := post(t, ts, "/v1/query", "", map[string]any{"query": qCount})
+	if got := resp.Header.Get("X-Kaskade-Cache"); got != "" {
+		t.Errorf("cache header %q with caching disabled", got)
+	}
+	snap := sys.MetricsSnapshot()
+	if snap.CacheHits != 0 || snap.CacheMisses != 0 {
+		t.Errorf("cache counters moved (%d/%d) with caching disabled", snap.CacheHits, snap.CacheMisses)
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"kaskade/internal/exec"
+	"kaskade/internal/gql"
+	"kaskade/internal/workload"
+)
+
+// errKind is the machine-readable error taxonomy carried in every error
+// response body. Clients branch on kind (and status); the error string
+// is for humans.
+type errKind string
+
+const (
+	kindBadRequest errKind = "bad_request" // malformed request envelope      → 400
+	kindParse      errKind = "parse"       // statement failed to parse       → 400
+	kindDDL        errKind = "ddl"         // DDL sent to the query endpoint  → 400
+	kindRowLimit   errKind = "row_limit"   // execution hit the row cap       → 400
+	kindNotFound   errKind = "not_found"   // unknown view / route            → 404
+	kindConflict   errKind = "conflict"    // view already exists             → 409
+	kindSaturated  errKind = "saturated"   // admission control refused       → 429
+	kindCanceled   errKind = "canceled"    // client gone or server draining  → 499
+	kindInternal   errKind = "internal"    // everything else                 → 500
+	kindTimeout    errKind = "timeout"     // per-request deadline exceeded   → 504
+)
+
+// statusCanceled is the nginx-convention status for "client closed
+// request"; it also marks requests cut short by a drain deadline.
+const statusCanceled = 499
+
+// errorBody is the JSON envelope of every non-2xx response.
+type errorBody struct {
+	Error string  `json:"error"`
+	Kind  errKind `json:"kind"`
+}
+
+// writeError emits one taxonomy-classified error response.
+func writeError(w http.ResponseWriter, status int, kind errKind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg, Kind: kind})
+}
+
+// classifyExec maps an execution-path error (anything returned after a
+// statement parsed) to its status and kind. Typed sentinels are matched
+// with errors.Is, so wrapping never breaks the taxonomy:
+//
+//	context.DeadlineExceeded → 504 timeout (the admission deadline hit)
+//	context.Canceled         → 499 canceled (client gone / drain)
+//	exec.ErrRowLimit         → 400 row_limit (request exceeded the cap)
+//	workload.ErrNoSuchView   → 404 not_found
+//	workload.ErrViewExists   → 409 conflict
+//	anything else            → 500 internal
+func classifyExec(err error) (int, errKind) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, kindTimeout
+	case errors.Is(err, context.Canceled):
+		return statusCanceled, kindCanceled
+	case errors.Is(err, exec.ErrRowLimit):
+		return http.StatusBadRequest, kindRowLimit
+	case errors.Is(err, workload.ErrNoSuchView):
+		return http.StatusNotFound, kindNotFound
+	case errors.Is(err, workload.ErrViewExists):
+		return http.StatusConflict, kindConflict
+	default:
+		return http.StatusInternalServerError, kindInternal
+	}
+}
+
+// classifyParse maps a parse-path error (gql.Parse / gql.ParseStatement
+// rejected the text) for the query endpoint: DDL sent to /v1/query is
+// its own kind so clients learn to use /v1/exec, any other parse
+// failure is kindParse. Both are client errors.
+func classifyParse(err error) (int, errKind) {
+	if errors.Is(err, gql.ErrDDL) {
+		return http.StatusBadRequest, kindDDL
+	}
+	return http.StatusBadRequest, kindParse
+}

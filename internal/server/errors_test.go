@@ -1,0 +1,67 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestErrorTaxonomy is the satellite table: every error class a client
+// can trigger maps to its documented status and machine-readable kind,
+// on both statement endpoints.
+func TestErrorTaxonomy(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+
+	// Seed a view so the duplicate-create case has something to collide
+	// with.
+	if resp, raw := post(t, ts, "/v1/exec", "", map[string]any{"statement": ddl2Hop}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed view: status %d, body %s", resp.StatusCode, raw)
+	}
+
+	cases := []struct {
+		name   string
+		path   string
+		body   any    // JSON-marshalled when raw is nil
+		raw    string // pre-encoded body, possibly malformed
+		status int
+		kind   errKind
+	}{
+		{"query: syntax error", "/v1/query", map[string]any{"query": `MATCH (j:Job RETURN j`}, "", http.StatusBadRequest, kindParse},
+		{"query: DDL refused", "/v1/query", map[string]any{"query": `DROP VIEW jj`}, "", http.StatusBadRequest, kindDDL},
+		{"query: SHOW VIEWS refused", "/v1/query", map[string]any{"query": `SHOW VIEWS`}, "", http.StatusBadRequest, kindDDL},
+		{"query: missing query", "/v1/query", map[string]any{}, "", http.StatusBadRequest, kindBadRequest},
+		{"query: torn JSON", "/v1/query", nil, `{"query": `, http.StatusBadRequest, kindBadRequest},
+		{"query: unknown field", "/v1/query", nil, `{"sql":"MATCH (j:Job) RETURN j"}`, http.StatusBadRequest, kindBadRequest},
+		{"query: row cap exceeded", "/v1/query", map[string]any{"query": qCount, "max_rows": 1}, "", http.StatusBadRequest, kindRowLimit},
+		{"exec: syntax error", "/v1/exec", map[string]any{"statement": `CREATE NONSENSE`}, "", http.StatusBadRequest, kindParse},
+		{"exec: missing statement", "/v1/exec", map[string]any{}, "", http.StatusBadRequest, kindBadRequest},
+		{"exec: duplicate view", "/v1/exec", map[string]any{"statement": ddl2Hop}, "", http.StatusConflict, kindConflict},
+		{"exec: drop unknown view", "/v1/exec", map[string]any{"statement": `DROP VIEW nope`}, "", http.StatusNotFound, kindNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var raw []byte
+			if tc.raw != "" {
+				resp, raw = postRaw(t, ts, tc.path, "", []byte(tc.raw))
+			} else {
+				resp, raw = post(t, ts, tc.path, "", tc.body)
+			}
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, body %s, want %d", resp.StatusCode, raw, tc.status)
+			}
+			eb := decodeError(t, raw)
+			if eb.Kind != tc.kind {
+				t.Errorf("kind = %q, want %q", eb.Kind, tc.kind)
+			}
+			if eb.Error == "" {
+				t.Error("error body carries no message")
+			}
+		})
+	}
+
+	// Unknown routes share the taxonomy.
+	resp, raw := get(t, ts, "/v1/nope")
+	if eb := decodeError(t, raw); resp.StatusCode != http.StatusNotFound || eb.Kind != kindNotFound {
+		t.Errorf("unknown route: status %d kind %q, want 404 not_found", resp.StatusCode, eb.Kind)
+	}
+}

@@ -1,0 +1,518 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"kaskade/internal/core"
+	"kaskade/internal/exec"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+)
+
+// maxRequestBody bounds request envelopes (a query is text; 1 MiB is
+// generous).
+const maxRequestBody = 1 << 20
+
+// cacheMaxBody bounds one cached response body; a result that renders
+// larger streams through uncached.
+const cacheMaxBody = 4 << 20
+
+// flushEvery is the row interval between explicit flushes while
+// streaming /v1/query rows over chunked encoding.
+const flushEvery = 64
+
+// routes mounts the endpoint surface.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
+	s.mux.HandleFunc("GET /v1/views", s.handleViews)
+	s.mux.HandleFunc("GET /v1/topology", s.handleTopology)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, kindNotFound, "no such endpoint: "+r.URL.Path)
+	})
+}
+
+// queryRequest is the POST /v1/query envelope.
+type queryRequest struct {
+	// Query is the statement text (queries only — DDL belongs on
+	// /v1/exec and is refused here with kind "ddl").
+	Query string `json:"query"`
+	// TimeoutMS overrides the server's default execution deadline,
+	// clamped to Config.MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// MaxRows lowers the server's row cap for this request.
+	MaxRows int `json:"max_rows"`
+}
+
+// execRequest is the POST /v1/exec envelope.
+type execRequest struct {
+	// Statement is any statement System.Exec accepts: view DDL (CREATE
+	// [MATERIALIZED] VIEW, DROP VIEW, SHOW VIEWS), EXPLAIN [ANALYZE],
+	// or a plain query.
+	Statement string `json:"statement"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+// decodeJSON reads one request envelope, bounding the body.
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, kindBadRequest, "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// countTimeout bumps the TimedOut counter when a classified failure was
+// the per-request deadline.
+func (s *Server) countTimeout(kind errKind) {
+	if kind != kindTimeout {
+		return
+	}
+	if r := s.metricsRegistry(); r != nil {
+		r.TimedOut.Inc()
+	}
+}
+
+// handleQuery serves POST /v1/query: session-scoped prepared execution
+// with admission control, streaming the result as one JSON object whose
+// rows array grows over chunked encoding:
+//
+//	{"columns":["a","n"],"rows":[["x",1],["y",2]],"row_count":2}
+//
+// An error before the first row is a proper taxonomy status; an error
+// mid-stream (the 200 is already on the wire) terminates the body with
+// "error"/"kind" members instead of "row_count" — a client knows a
+// result is complete iff row_count is present.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, kindBadRequest, "missing query")
+		return
+	}
+	ss, created := s.sessions.resolve(r, time.Now())
+	setSessionHeaders(w, ss, created)
+
+	maxRows := s.maxRowsFor(req.MaxRows)
+	key := cacheKey(req.Query, maxRows)
+	if body, ok := s.cache.get(key, s.sys.Epoch()); ok {
+		if reg := s.metricsRegistry(); reg != nil {
+			reg.CacheHits.Inc()
+		}
+		w.Header().Set("X-Kaskade-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+		return
+	}
+	if s.cache.enabled() {
+		if reg := s.metricsRegistry(); reg != nil {
+			reg.CacheMisses.Inc()
+		}
+	}
+
+	if !s.admit() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, kindSaturated,
+			fmt.Sprintf("server saturated: %d requests in flight", s.cfg.MaxInFlight))
+		return
+	}
+	defer s.release()
+
+	stmt, hit, err := ss.prepare(s.sys, req.Query, s.cfg.SessionMaxPrepared)
+	if err != nil {
+		status, kind := classifyParse(err)
+		writeError(w, status, kind, err.Error())
+		return
+	}
+	w.Header().Set(preparedHeader, map[bool]string{true: "hit", false: "miss"}[hit])
+
+	ctx, cancel := s.execCtx(r, req.TimeoutMS)
+	defer cancel()
+	if s.testExecDelay != nil {
+		s.testExecDelay(ctx)
+	}
+
+	// The epoch is read before planning: if DDL lands mid-execution the
+	// stored stamp is already stale at put time, so the entry can never
+	// serve a result computed over a view set older than its stamp.
+	epoch := s.sys.Epoch()
+	rows, err := stmt.QueryContext(ctx, core.WithMaxRows(maxRows))
+	if err != nil {
+		status, kind := classifyExec(err)
+		s.countTimeout(kind)
+		writeError(w, status, kind, err.Error())
+		return
+	}
+	defer rows.Close()
+
+	// Pull the first row before committing a status code, so errors the
+	// match hits immediately (timeouts included — aggregates yield only
+	// at the end) still get their taxonomy status.
+	first := rows.Next()
+	if !first {
+		if err := rows.Err(); err != nil {
+			status, kind := classifyExec(err)
+			s.countTimeout(kind)
+			writeError(w, status, kind, err.Error())
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+	var tee *bytes.Buffer
+	if s.cache.enabled() {
+		tee = &bytes.Buffer{}
+	}
+	write := func(b []byte) {
+		_, _ = w.Write(b)
+		if tee != nil {
+			if tee.Len()+len(b) > cacheMaxBody {
+				tee = nil // too large to cache; keep streaming
+			} else {
+				tee.Write(b)
+			}
+		}
+	}
+
+	cols, _ := json.Marshal(rows.Columns())
+	write([]byte(`{"columns":`))
+	write(cols)
+	write([]byte(`,"rows":[`))
+	n := 0
+	if first {
+		for {
+			enc, err := json.Marshal(encodeRow(rows.Row()))
+			if err != nil { // unrepresentable value; end the stream with the error
+				write([]byte(`],"error":` + mustJSON(err.Error()) + `,"kind":"internal"}`))
+				return
+			}
+			if n > 0 {
+				write([]byte(","))
+			}
+			write(enc)
+			n++
+			if flusher != nil && n%flushEvery == 0 {
+				flusher.Flush()
+			}
+			if !rows.Next() {
+				break
+			}
+		}
+	}
+	if err := rows.Err(); err != nil {
+		_, kind := classifyExec(err)
+		s.countTimeout(kind)
+		write([]byte(`],"error":` + mustJSON(err.Error()) + `,"kind":"` + string(kind) + `"}`))
+		return
+	}
+	write([]byte(`],"row_count":` + strconv.Itoa(n) + `}`))
+	if tee != nil {
+		s.cache.put(key, epoch, append([]byte(nil), tee.Bytes()...))
+	}
+}
+
+// handleExec serves POST /v1/exec: the System.Exec dispatcher over the
+// wire — view DDL, EXPLAIN, or plain queries — under the same admission
+// control as /v1/query, returning the buffered status or result table.
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req execRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Statement == "" {
+		writeError(w, http.StatusBadRequest, kindBadRequest, "missing statement")
+		return
+	}
+	ss, created := s.sessions.resolve(r, time.Now())
+	setSessionHeaders(w, ss, created)
+
+	// Pre-parse so syntax failures classify as parse errors; Exec
+	// re-parses internally (statement dispatch is not the hot path).
+	if _, err := gql.ParseStatement(req.Statement); err != nil {
+		writeError(w, http.StatusBadRequest, kindParse, err.Error())
+		return
+	}
+
+	if !s.admit() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, kindSaturated,
+			fmt.Sprintf("server saturated: %d requests in flight", s.cfg.MaxInFlight))
+		return
+	}
+	defer s.release()
+
+	ctx, cancel := s.execCtx(r, req.TimeoutMS)
+	defer cancel()
+	if s.testExecDelay != nil {
+		s.testExecDelay(ctx)
+	}
+
+	res, err := s.sys.Exec(ctx, req.Statement)
+	if err != nil {
+		status, kind := classifyExec(err)
+		s.countTimeout(kind)
+		writeError(w, status, kind, err.Error())
+		return
+	}
+	writeJSON(w, resultJSON(res))
+}
+
+// viewJSON is one /v1/views element.
+type viewJSON struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	RewriteHits int64  `json:"rewrite_hits"`
+	DDL         string `json:"ddl,omitempty"`
+}
+
+// handleViews serves GET /v1/views: SHOW VIEWS as JSON, in creation
+// order.
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	infos := s.sys.ListViews()
+	out := struct {
+		Views []viewJSON `json:"views"`
+	}{Views: make([]viewJSON, 0, len(infos))}
+	for _, in := range infos {
+		out.Views = append(out.Views, viewJSON{
+			Name: in.Name, Kind: in.Kind, Vertices: in.Vertices,
+			Edges: in.Edges, RewriteHits: in.Hits, DDL: in.DDL,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// cytoElement is one Cytoscape.js element: the renderer consumes
+// {nodes: [{data: {...}}], edges: [{data: {...}}]} verbatim.
+type cytoElement struct {
+	Data map[string]any `json:"data"`
+}
+
+// topologyJSON is the /v1/topology response: a Cytoscape-ready element
+// set plus the true graph size, so a client can tell a truncated render
+// from a complete one.
+type topologyJSON struct {
+	View       string        `json:"view,omitempty"`
+	Nodes      []cytoElement `json:"nodes"`
+	Edges      []cytoElement `json:"edges"`
+	TotalNodes int           `json:"total_nodes"`
+	TotalEdges int           `json:"total_edges"`
+	Truncated  bool          `json:"truncated"`
+}
+
+// handleTopology serves GET /v1/topology?view=&limit=: the base graph
+// (no view parameter) or a materialized view's graph as Cytoscape
+// elements. Nodes are the first `limit` vertices in ID order (IDs are
+// dense and deterministic), edges those with both endpoints included —
+// a stable prefix subgraph rather than a random sample, so repeated
+// fetches render identically.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	g := s.sys.Graph()
+	name := r.URL.Query().Get("view")
+	if name != "" {
+		m, ok := s.sys.Catalog().Resolve(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, kindNotFound, "no materialized view "+strconv.Quote(name))
+			return
+		}
+		g = m.Graph
+	}
+	limit := s.cfg.TopologyMaxNodes
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, kindBadRequest, "limit must be a positive integer")
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+
+	f := g.Freeze()
+	nv, ne := f.NumVertices(), f.NumEdges()
+	cut := nv
+	if cut > limit {
+		cut = limit
+	}
+	out := topologyJSON{View: name, TotalNodes: nv, TotalEdges: ne, Truncated: cut < nv,
+		Nodes: make([]cytoElement, 0, cut), Edges: []cytoElement{}}
+	for v := 0; v < cut; v++ {
+		vt := f.VertexTypeOf(graph.VertexID(v))
+		out.Nodes = append(out.Nodes, cytoElement{Data: map[string]any{
+			"id": "v" + strconv.Itoa(v), "label": vt, "type": vt,
+		}})
+	}
+	for e := 0; e < ne; e++ {
+		from, to := int(f.From(graph.EdgeID(e))), int(f.To(graph.EdgeID(e)))
+		if from >= cut || to >= cut {
+			continue
+		}
+		out.Edges = append(out.Edges, cytoElement{Data: map[string]any{
+			"id":     "e" + strconv.Itoa(e),
+			"source": "v" + strconv.Itoa(from),
+			"target": "v" + strconv.Itoa(to),
+			"label":  f.EdgeTypeOf(graph.EdgeID(e)),
+		}})
+	}
+	writeJSON(w, out)
+}
+
+// latencyJSON summarizes the latency histogram in microseconds (bucket
+// upper-bound quantiles, like the top dashboard).
+type latencyJSON struct {
+	Count  int64 `json:"count"`
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P90US  int64 `json:"p90_us"`
+	P99US  int64 `json:"p99_us"`
+}
+
+// admissionJSON is the service-boundary slice of /v1/metrics.
+type admissionJSON struct {
+	Admitted    int64 `json:"admitted"`
+	Rejected    int64 `json:"rejected"`
+	TimedOut    int64 `json:"timed_out"`
+	InFlight    int64 `json:"in_flight"`
+	Sessions    int64 `json:"sessions"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// metricsJSON is the /v1/metrics response: System.MetricsSnapshot
+// rendered for wire consumption.
+type metricsJSON struct {
+	Queries          int64          `json:"queries"`
+	QueryErrors      int64          `json:"query_errors"`
+	Rows             int64          `json:"rows"`
+	RewriteHits      int64          `json:"rewrite_hits"`
+	RewriteMisses    int64          `json:"rewrite_misses"`
+	HitRatio         float64        `json:"hit_ratio"`
+	Materializations int64          `json:"materializations"`
+	Latency          latencyJSON    `json:"latency"`
+	Admission        admissionJSON  `json:"admission"`
+	FreezeEvents     int64          `json:"freeze_events"`
+	WorkersActive    int64          `json:"workers_active"`
+	WorkersPeak      int64          `json:"workers_peak"`
+	Views            []viewHitsJSON `json:"views"`
+}
+
+// viewHitsJSON is one per-view usage entry in /v1/metrics.
+type viewHitsJSON struct {
+	Name        string `json:"name"`
+	RewriteHits int64  `json:"rewrite_hits"`
+}
+
+// handleMetrics serves GET /v1/metrics: a point-in-time snapshot of the
+// served System's registry, admission-control outcomes included.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.sys.MetricsSnapshot()
+	us := func(d time.Duration) int64 { return d.Microseconds() }
+	out := metricsJSON{
+		Queries: snap.Queries, QueryErrors: snap.QueryErrors, Rows: snap.Rows,
+		RewriteHits: snap.RewriteHits, RewriteMisses: snap.RewriteMisses,
+		HitRatio: snap.HitRatio(), Materializations: snap.Materializations,
+		Latency: latencyJSON{
+			Count:  snap.Latency.Count,
+			MeanUS: us(snap.Latency.Mean()),
+			P50US:  us(snap.Latency.Quantile(0.50)),
+			P90US:  us(snap.Latency.Quantile(0.90)),
+			P99US:  us(snap.Latency.Quantile(0.99)),
+		},
+		Admission: admissionJSON{
+			Admitted: snap.Admitted, Rejected: snap.Rejected, TimedOut: snap.TimedOut,
+			InFlight: snap.InFlight, Sessions: snap.Sessions,
+			CacheHits: snap.CacheHits, CacheMisses: snap.CacheMisses,
+		},
+		FreezeEvents:  snap.FreezeEvents,
+		WorkersActive: snap.WorkersActive,
+		WorkersPeak:   snap.WorkersPeak,
+		Views:         make([]viewHitsJSON, 0, len(snap.Views)),
+	}
+	for _, v := range snap.Views {
+		out.Views = append(out.Views, viewHitsJSON{Name: v.Name, RewriteHits: v.Hits})
+	}
+	writeJSON(w, out)
+}
+
+// handleHealthz serves GET /healthz: ok while accepting work, 503 once
+// draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.baseCtx.Err() != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"status":"draining"}`))
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// writeJSON emits one buffered 200 response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// resultJSON renders a buffered exec.Result as the standard result
+// envelope (what a fully buffered /v1/query body would hold).
+func resultJSON(res *exec.Result) any {
+	rows := make([][]any, len(res.Rows))
+	for i, row := range res.Rows {
+		rows[i] = encodeRow(row)
+	}
+	return struct {
+		Columns  []string `json:"columns"`
+		Rows     [][]any  `json:"rows"`
+		RowCount int      `json:"row_count"`
+	}{Columns: res.Cols, Rows: rows, RowCount: len(rows)}
+}
+
+// encodeRow maps one result row to JSON-encodable values.
+func encodeRow(row exec.Row) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+// encodeValue maps one exec.Value to its JSON form: scalars pass
+// through (non-finite floats fall back to their display string — JSON
+// has no NaN/Inf), graph references (vertices, edges, paths) render as
+// their display form.
+func encodeValue(v exec.Value) any {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case int64, string, bool:
+		return x
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return exec.FormatValue(x)
+		}
+		return x
+	default:
+		return exec.FormatValue(v)
+	}
+}
+
+// mustJSON marshals a string for inline body construction.
+func mustJSON(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"kaskade/internal/core"
+	"kaskade/internal/datagen"
+	"kaskade/internal/views"
+)
+
+// Test queries over the provenance-flavored test graph. q2Hop projects
+// vertices (not an aggregate) because connector rewriting applies to
+// projected paths — it is the query the jj view accelerates, so the
+// epoch-bump tests can observe plans flipping between base and view.
+const (
+	qCount  = `MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN COUNT(*) AS n`
+	qRows   = `MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f`
+	q2Hop   = `MATCH (x:Job)-[p*2..2]->(y:Job) RETURN x, y`
+	ddl2Hop = `CREATE MATERIALIZED VIEW jj AS MATCH (x:Job)-[p*2..2]->(y:Job) RETURN x, y`
+)
+
+// newTestSystem builds a small generated provenance graph (Job/File
+// vertices, WRITES_TO/IS_READ_BY edges) — large enough that the cost
+// model actually prefers the jj connector view for q2Hop, so rewrite
+// behavior is observable.
+func newTestSystem(t *testing.T) *core.System {
+	t.Helper()
+	cfg := datagen.DefaultProvConfig()
+	cfg.Jobs, cfg.Files, cfg.TasksPerJob, cfg.Machines, cfg.Users = 120, 250, 1, 5, 5
+	raw, err := datagen.Prov(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := views.VertexInclusionSummarizer{Types: []string{"Job", "File"}}.Materialize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.New(filtered)
+	sys.Parallelism = 2
+	return sys
+}
+
+// newTestServer stands up a Server over a fresh test System behind an
+// httptest server; both are torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *core.System) {
+	t.Helper()
+	sys := newTestSystem(t)
+	srv := New(sys, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts, sys
+}
+
+// post sends one JSON request, returning the response and its body.
+func post(t *testing.T, ts *httptest.Server, path, session string, payload any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatalf("marshal payload: %v", err)
+	}
+	return postRaw(t, ts, path, session, body)
+}
+
+// postRaw is post with a pre-encoded (possibly malformed) body.
+func postRaw(t *testing.T, ts *httptest.Server, path, session string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("build request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if session != "" {
+		req.Header.Set(sessionHeader, session)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, raw
+}
+
+// get sends one GET, returning the response and its body.
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, raw
+}
+
+// wantBody renders the body /v1/query must stream for one query —
+// computed through the in-process API, so every comparison against it
+// pins the served result byte-identical to ad-hoc execution.
+func wantBody(t *testing.T, sys *core.System, query string) []byte {
+	t.Helper()
+	res, err := sys.Query(query)
+	if err != nil {
+		t.Fatalf("in-process %q: %v", query, err)
+	}
+	b, err := json.Marshal(resultJSON(res))
+	if err != nil {
+		t.Fatalf("marshal expected: %v", err)
+	}
+	return b
+}
+
+// decodeError unpacks a taxonomy error body.
+func decodeError(t *testing.T, raw []byte) errorBody {
+	t.Helper()
+	var eb errorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatalf("error body %q: %v", raw, err)
+	}
+	return eb
+}

@@ -1,0 +1,304 @@
+// Package server is the Kaskade service boundary: an HTTP/JSON daemon
+// (cmd/kaskaded) that serves one shared System — and its frozen base
+// graph — to many concurrent clients.
+//
+// The three load-bearing pieces, in request order:
+//
+//   - Sessions (session.go). Every request carries a session token
+//     (X-Kaskade-Session header or kaskade_session cookie; the server
+//     mints one when absent). A session holds a server-side
+//     prepared-statement cache keyed by query text, so a client's
+//     repeat queries skip parse and §V-C rewriting entirely — and,
+//     because the cache stores core.PreparedQuery values, cached plans
+//     transparently re-rewrite when any session's DDL bumps the catalog
+//     epoch. Idle sessions are swept after Config.SessionTTL.
+//
+//   - Admission control (this file). A server-wide semaphore bounds
+//     in-flight executions: past Config.MaxInFlight a request is
+//     refused immediately with 429 and a Retry-After header instead of
+//     queueing without bound. Admitted requests run under a per-request
+//     deadline (client-requested, clamped to Config.MaxTimeout) mapped
+//     to context cancellation, and under a row cap mapped to
+//     WithMaxRows. Outcomes land in the metrics registry: Admitted,
+//     Rejected, TimedOut counters and the InFlight gauge.
+//
+//   - Response cache (cache.go). Successful read-only query results are
+//     kept for Config.CacheTTL, keyed by (query text, row cap) and
+//     stamped with the catalog epoch at execution; a hit serves the
+//     stored bytes without touching the executor, and any CREATE/DROP
+//     VIEW invalidates every older entry by moving the epoch.
+//
+// Endpoints (all JSON): POST /v1/query (streaming rows over chunked
+// encoding), POST /v1/exec (DDL and queries through System.Exec), GET
+// /v1/views, GET /v1/topology (Cytoscape-ready {nodes[],edges[]}), GET
+// /v1/metrics, GET /healthz. Error responses carry a machine-readable
+// taxonomy (errors.go): client errors are 4xx (parse 400, DDL on the
+// query endpoint 400, unknown view 404, duplicate view 409, saturation
+// 429), timeouts are 504, and everything else is 500.
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"kaskade/internal/core"
+	"kaskade/internal/metrics"
+)
+
+// Config tunes one Server. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// MaxInFlight bounds concurrently executing admitted requests
+	// (queries and DDL); excess requests get 429 + Retry-After.
+	// Default 64.
+	MaxInFlight int
+	// DefaultTimeout is the per-request execution deadline when the
+	// client does not ask for one. Default 30s; negative = none.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines (timeout_ms).
+	// Default 5m.
+	MaxTimeout time.Duration
+	// MaxRows caps rows per request (mapped to WithMaxRows); a client
+	// may ask for less but not more. Default 1_000_000; negative =
+	// unlimited.
+	MaxRows int
+	// CacheTTL bounds response-cache entry age. Default 0 = caching
+	// disabled.
+	CacheTTL time.Duration
+	// CacheMaxEntries bounds the response cache size. Default 256.
+	CacheMaxEntries int
+	// SessionTTL evicts sessions idle longer than this. Default 30m.
+	SessionTTL time.Duration
+	// SessionMaxPrepared bounds one session's prepared-statement cache.
+	// Default 128.
+	SessionMaxPrepared int
+	// TopologyMaxNodes is the default (and maximum) node count served
+	// by /v1/topology. Default 1000.
+	TopologyMaxNodes int
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxRows == 0 {
+		c.MaxRows = 1_000_000
+	}
+	if c.CacheMaxEntries <= 0 {
+		c.CacheMaxEntries = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	if c.SessionMaxPrepared <= 0 {
+		c.SessionMaxPrepared = 128
+	}
+	if c.TopologyMaxNodes <= 0 {
+		c.TopologyMaxNodes = 1000
+	}
+	return c
+}
+
+// Server serves one System over HTTP. Create with New, expose with
+// Handler (any http.Server or test harness) or run with Serve (listener
+// plus graceful drain). A Server is safe for concurrent use by its
+// nature; Close is idempotent.
+type Server struct {
+	sys      *core.System
+	cfg      Config
+	sem      chan struct{} // admission semaphore, cap MaxInFlight
+	sessions *sessionTable
+	cache    *respCache
+	mux      *http.ServeMux
+
+	// baseCtx parents every admitted request's execution context;
+	// cancelBase is the drain hammer — it aborts every in-flight query
+	// at once (bounded-drain shutdown, Close).
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	closeOnce sync.Once
+	janitorWG sync.WaitGroup
+
+	// testExecDelay, when set (tests only), runs after admission and
+	// deadline setup, before execution — the hook that lets tests hold
+	// the semaphore or park a "slow query" on ctx.Done.
+	testExecDelay func(ctx context.Context)
+}
+
+// New builds a Server over sys with cfg's knobs (zero fields take
+// defaults). The caller keeps ownership of sys — the daemon is a face
+// over the same System the library exposes, so in-process code and
+// served clients observe one catalog and one metrics registry.
+func New(sys *core.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		sys:        sys,
+		cfg:        cfg,
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		sessions:   newSessionTable(cfg.SessionTTL, cfg.SessionMaxPrepared, sys.Metrics),
+		cache:      newRespCache(cfg.CacheTTL, cfg.CacheMaxEntries),
+		mux:        http.NewServeMux(),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+	}
+	s.routes()
+	s.janitorWG.Add(1)
+	go s.janitor()
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (the /v1 API plus
+// /healthz) for mounting under any http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// System returns the served System.
+func (s *Server) System() *core.System { return s.sys }
+
+// Close releases the Server: the session janitor stops and every
+// in-flight request's execution context is cancelled. It does not stop
+// an http.Server serving the handler — Serve composes both.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.cancelBase()
+		s.janitorWG.Wait()
+	})
+}
+
+// CancelInflight aborts every currently executing request by cancelling
+// the shared base context. It is the bounded-drain escalation: Serve
+// calls it when in-flight requests outlive the drain deadline.
+func (s *Server) CancelInflight() { s.cancelBase() }
+
+// Serve runs the daemon on l until ctx is cancelled (kaskaded wires
+// SIGINT/SIGTERM here), then drains gracefully: the listener closes,
+// in-flight requests get up to drain to finish, and stragglers are
+// cancelled via context — a slow query is aborted, never leaked. It
+// returns nil on a clean (possibly cancelled-straggler) drain.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration) error {
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	defer s.Close()
+	if drain < 0 {
+		drain = 0
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err == nil {
+		return nil
+	}
+	// Drain deadline passed with requests still running: cancel their
+	// execution contexts and give the handlers a moment to unwind and
+	// write their "canceled" responses before closing connections.
+	s.CancelInflight()
+	gctx, gcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer gcancel()
+	if err := hs.Shutdown(gctx); err != nil {
+		return hs.Close()
+	}
+	return nil
+}
+
+// metricsRegistry returns the System's registry (nil when metrics are
+// disabled — every call site tolerates that).
+func (s *Server) metricsRegistry() *metrics.Registry { return s.sys.Metrics() }
+
+// admit reserves an execution slot without blocking; false means the
+// server is saturated and the caller must answer 429. Every admit(true)
+// must be paired with release().
+func (s *Server) admit() bool {
+	select {
+	case s.sem <- struct{}{}:
+		if r := s.metricsRegistry(); r != nil {
+			r.Admitted.Inc()
+			r.InFlight.Inc()
+		}
+		return true
+	default:
+		if r := s.metricsRegistry(); r != nil {
+			r.Rejected.Inc()
+		}
+		return false
+	}
+}
+
+// release returns an admission slot.
+func (s *Server) release() {
+	<-s.sem
+	if r := s.metricsRegistry(); r != nil {
+		r.InFlight.Dec()
+	}
+}
+
+// execCtx derives one admitted request's execution context: a child of
+// the request context (client disconnect cancels) that is also
+// cancelled by the server's base context (drain/Close cancels) and by
+// the effective deadline. timeoutMS is the client's request; 0 takes
+// the server default.
+func (s *Server) execCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	fin := func() { stop(); cancel() }
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	if d <= 0 {
+		return ctx, fin
+	}
+	tctx, tcancel := context.WithTimeout(ctx, d)
+	return tctx, func() { tcancel(); fin() }
+}
+
+// maxRowsFor resolves the effective row cap: the client may lower the
+// server cap, never raise it. Negative Config.MaxRows means unlimited.
+func (s *Server) maxRowsFor(requested int) int {
+	limit := s.cfg.MaxRows
+	if limit < 0 {
+		limit = 0
+	}
+	if requested > 0 && (limit == 0 || requested < limit) {
+		return requested
+	}
+	return limit
+}
+
+// janitor sweeps idle sessions until Close.
+func (s *Server) janitor() {
+	defer s.janitorWG.Done()
+	period := s.cfg.SessionTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case now := <-t.C:
+			s.sessions.sweep(now)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestQueryMatchesInProcess pins the service boundary to the library:
+// every /v1/query response body is byte-identical to the JSON rendering
+// of the same query executed in-process.
+func TestQueryMatchesInProcess(t *testing.T) {
+	_, ts, sys := newTestServer(t, Config{})
+	for _, q := range []string{qCount, qRows, q2Hop} {
+		resp, raw := post(t, ts, "/v1/query", "", map[string]any{"query": q})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%q: status %d, body %s", q, resp.StatusCode, raw)
+		}
+		if want := wantBody(t, sys, q); !bytes.Equal(raw, want) {
+			t.Errorf("%q:\n got %s\nwant %s", q, raw, want)
+		}
+	}
+}
+
+// TestConcurrentSessionsCorrectness is the acceptance scenario: many
+// concurrent sessions hammer the daemon with a query mix and every
+// response must match in-process execution byte for byte; nothing may
+// be rejected below the in-flight limit, and the session gauge must
+// land exactly on the session count.
+func TestConcurrentSessionsCorrectness(t *testing.T) {
+	const sessions, iters = 10, 25
+	srv, ts, sys := newTestServer(t, Config{MaxInFlight: sessions * 2})
+	mix := []string{qCount, qRows, q2Hop}
+	want := make(map[string][]byte, len(mix))
+	for _, q := range mix {
+		want[q] = wantBody(t, sys, q)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, sessions*iters)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			session := ""
+			for j := 0; j < iters; j++ {
+				q := mix[(worker+j)%len(mix)]
+				resp, raw := post(t, ts, "/v1/query", session, map[string]any{"query": q})
+				session = resp.Header.Get(sessionHeader)
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("worker %d: status %d, body %s", worker, resp.StatusCode, raw)
+					return
+				}
+				if !bytes.Equal(raw, want[q]) {
+					errc <- fmt.Errorf("worker %d: %q diverged from in-process result", worker, q)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	snap := sys.MetricsSnapshot()
+	if wantAdmitted := int64(sessions * iters); snap.Admitted != wantAdmitted {
+		t.Errorf("admitted = %d, want %d", snap.Admitted, wantAdmitted)
+	}
+	if snap.Rejected != 0 {
+		t.Errorf("rejected = %d, want 0 below the in-flight limit", snap.Rejected)
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("in-flight = %d after drain, want 0", snap.InFlight)
+	}
+	if snap.Sessions != sessions {
+		t.Errorf("sessions gauge = %d, want %d", snap.Sessions, sessions)
+	}
+	if srv.sessions.len() != sessions {
+		t.Errorf("session table holds %d, want %d", srv.sessions.len(), sessions)
+	}
+}
+
+// TestViewsEndpoint drives the view lifecycle over the wire and reads
+// it back through /v1/views.
+func TestViewsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, raw := post(t, ts, "/v1/exec", "", map[string]any{"statement": ddl2Hop})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create view: status %d, body %s", resp.StatusCode, raw)
+	}
+	resp, raw = get(t, ts, "/v1/views")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("views: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Views []viewJSON `json:"views"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("views body: %v", err)
+	}
+	if len(out.Views) != 1 || out.Views[0].Name != "jj" {
+		t.Fatalf("views = %+v, want one view jj", out.Views)
+	}
+	if out.Views[0].DDL == "" || out.Views[0].Vertices == 0 {
+		t.Errorf("view jj missing DDL or size: %+v", out.Views[0])
+	}
+}
+
+// TestTopologyEndpoint checks the Cytoscape shape, the prefix
+// truncation contract, and the view/not-found paths.
+func TestTopologyEndpoint(t *testing.T) {
+	_, ts, sys := newTestServer(t, Config{})
+
+	resp, raw := get(t, ts, "/v1/topology")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topology: status %d", resp.StatusCode)
+	}
+	var topo topologyJSON
+	if err := json.Unmarshal(raw, &topo); err != nil {
+		t.Fatalf("topology body: %v", err)
+	}
+	g := sys.Graph()
+	if topo.TotalNodes != g.NumVertices() || topo.TotalEdges != g.NumEdges() || topo.Truncated {
+		t.Errorf("full topology = %d/%d truncated=%v, want %d/%d untruncated",
+			topo.TotalNodes, topo.TotalEdges, topo.Truncated, g.NumVertices(), g.NumEdges())
+	}
+	if len(topo.Nodes) != g.NumVertices() || len(topo.Edges) != g.NumEdges() {
+		t.Errorf("elements = %d nodes %d edges, want %d/%d", len(topo.Nodes), len(topo.Edges), g.NumVertices(), g.NumEdges())
+	}
+	ids := make(map[string]bool, len(topo.Nodes))
+	for _, n := range topo.Nodes {
+		id, _ := n.Data["id"].(string)
+		if id == "" || n.Data["label"] == "" {
+			t.Fatalf("node element missing id/label: %+v", n)
+		}
+		ids[id] = true
+	}
+	for _, e := range topo.Edges {
+		src, _ := e.Data["source"].(string)
+		dst, _ := e.Data["target"].(string)
+		if !ids[src] || !ids[dst] {
+			t.Fatalf("edge %v references node outside the element set", e.Data)
+		}
+	}
+
+	resp, raw = get(t, ts, "/v1/topology?limit=5")
+	var small topologyJSON
+	if err := json.Unmarshal(raw, &small); err != nil {
+		t.Fatalf("limited topology: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || len(small.Nodes) != 5 || !small.Truncated {
+		t.Errorf("limit=5: status %d, %d nodes, truncated=%v; want 200, 5, true",
+			resp.StatusCode, len(small.Nodes), small.Truncated)
+	}
+	for _, e := range small.Edges {
+		if !within(e.Data["source"].(string), 5) || !within(e.Data["target"].(string), 5) {
+			t.Fatalf("truncated edge %v escapes the node prefix", e.Data)
+		}
+	}
+
+	// A view's topology serves the view graph, not the base graph.
+	if _, raw := post(t, ts, "/v1/exec", "", map[string]any{"statement": ddl2Hop}); !bytes.Contains(raw, []byte("materialized view jj")) {
+		t.Fatalf("create view failed: %s", raw)
+	}
+	m, ok := sys.Catalog().Resolve("jj")
+	if !ok {
+		t.Fatal("view jj not in catalog")
+	}
+	resp, raw = get(t, ts, "/v1/topology?view=jj")
+	var vt topologyJSON
+	if err := json.Unmarshal(raw, &vt); err != nil {
+		t.Fatalf("view topology: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || vt.TotalNodes != m.Graph.NumVertices() || vt.TotalEdges != m.Graph.NumEdges() {
+		t.Errorf("view topology = %d/%d (status %d), want %d/%d",
+			vt.TotalNodes, vt.TotalEdges, resp.StatusCode, m.Graph.NumVertices(), m.Graph.NumEdges())
+	}
+
+	resp, raw = get(t, ts, "/v1/topology?view=nope")
+	if eb := decodeError(t, raw); resp.StatusCode != http.StatusNotFound || eb.Kind != kindNotFound {
+		t.Errorf("unknown view: status %d kind %s, want 404 not_found", resp.StatusCode, eb.Kind)
+	}
+	resp, raw = get(t, ts, "/v1/topology?limit=bogus")
+	if eb := decodeError(t, raw); resp.StatusCode != http.StatusBadRequest || eb.Kind != kindBadRequest {
+		t.Errorf("bad limit: status %d kind %s, want 400 bad_request", resp.StatusCode, eb.Kind)
+	}
+}
+
+// within reports whether a "v<i>" element id is inside the first n
+// vertices.
+func within(id string, n int) bool {
+	var i int
+	if _, err := fmt.Sscanf(id, "v%d", &i); err != nil {
+		return false
+	}
+	return i < n
+}
+
+// TestMetricsEndpoint checks /v1/metrics carries both the executor
+// counters and the admission block.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	post(t, ts, "/v1/query", "", map[string]any{"query": qCount})
+	resp, raw := get(t, ts, "/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	var m metricsJSON
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics body: %v", err)
+	}
+	if m.Queries < 1 || m.Admission.Admitted < 1 || m.Admission.Sessions < 1 {
+		t.Errorf("metrics = queries %d, admitted %d, sessions %d; want all ≥ 1",
+			m.Queries, m.Admission.Admitted, m.Admission.Sessions)
+	}
+	if m.Latency.Count < 1 {
+		t.Errorf("latency count = %d, want ≥ 1", m.Latency.Count)
+	}
+}
+
+// TestHealthz checks the ok/draining flip.
+func TestHealthz(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{})
+	resp, raw := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(raw, []byte(`"ok"`)) {
+		t.Fatalf("healthz: status %d body %s", resp.StatusCode, raw)
+	}
+	srv.Close()
+	resp, raw = get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(raw, []byte("draining")) {
+		t.Errorf("healthz after Close: status %d body %s, want 503 draining", resp.StatusCode, raw)
+	}
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync"
+	"time"
+
+	"kaskade/internal/core"
+	"kaskade/internal/metrics"
+)
+
+// sessionHeader and sessionCookie are the two ways a client carries its
+// session token; the header wins when both are present. Every response
+// echoes the token in the header, and a freshly minted session is also
+// offered as a cookie so browsers keep it without client code.
+const (
+	sessionHeader = "X-Kaskade-Session"
+	sessionCookie = "kaskade_session"
+)
+
+// preparedHeader reports whether the session's prepared-statement cache
+// served this query ("hit") or the statement was prepared fresh
+// ("miss") — observable cache behavior for clients and tests.
+const preparedHeader = "X-Kaskade-Prepared"
+
+// session is one client's server-side state: a prepared-statement
+// cache keyed by query text. Cached core.PreparedQuery values carry
+// their own epoch tracking, so a plan cached here transparently
+// re-rewrites after any CREATE/DROP VIEW — including DDL executed
+// through a different session.
+type session struct {
+	id string
+
+	mu       sync.Mutex
+	prepared map[string]*core.PreparedQuery
+	order    []string // insertion order, for FIFO eviction at the cap
+	lastUsed time.Time
+}
+
+// prepare returns the session's cached prepared statement for src,
+// preparing and caching it on first use. hit reports whether the cache
+// already held it. Parse errors are returned unprepared and uncached.
+func (ss *session) prepare(sys *core.System, src string, maxPrepared int) (stmt *core.PreparedQuery, hit bool, err error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if stmt = ss.prepared[src]; stmt != nil {
+		return stmt, true, nil
+	}
+	stmt, err = sys.Prepare(src)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(ss.order) >= maxPrepared {
+		oldest := ss.order[0]
+		ss.order = ss.order[1:]
+		delete(ss.prepared, oldest)
+	}
+	ss.prepared[src] = stmt
+	ss.order = append(ss.order, src)
+	return stmt, false, nil
+}
+
+// touch records activity (guards idle eviction).
+func (ss *session) touch(now time.Time) {
+	ss.mu.Lock()
+	ss.lastUsed = now
+	ss.mu.Unlock()
+}
+
+// idleSince reports the last activity time.
+func (ss *session) idleSince() time.Time {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.lastUsed
+}
+
+// sessionTable is the server's live-session registry. metricsFn
+// resolves the registry lazily (SetMetrics may swap it), keeping the
+// Sessions gauge in step with creations and sweeps.
+type sessionTable struct {
+	ttl         time.Duration
+	maxPrepared int
+	metricsFn   func() *metrics.Registry
+
+	mu   sync.Mutex
+	byID map[string]*session
+}
+
+func newSessionTable(ttl time.Duration, maxPrepared int, metricsFn func() *metrics.Registry) *sessionTable {
+	return &sessionTable{ttl: ttl, maxPrepared: maxPrepared, metricsFn: metricsFn, byID: make(map[string]*session)}
+}
+
+// resolve returns the request's session, minting a new one when the
+// token is absent or unknown (an expired token gets a fresh session —
+// and a fresh token — rather than resurrecting the old id). created
+// tells the caller to hand the token back to the client.
+func (t *sessionTable) resolve(r *http.Request, now time.Time) (ss *session, created bool) {
+	token := r.Header.Get(sessionHeader)
+	if token == "" {
+		if c, err := r.Cookie(sessionCookie); err == nil {
+			token = c.Value
+		}
+	}
+	t.mu.Lock()
+	if token != "" {
+		if ss = t.byID[token]; ss != nil {
+			t.mu.Unlock()
+			ss.touch(now)
+			return ss, false
+		}
+	}
+	ss = &session{id: newSessionID(), prepared: make(map[string]*core.PreparedQuery), lastUsed: now}
+	t.byID[ss.id] = ss
+	t.mu.Unlock()
+	if r := t.metricsFn(); r != nil {
+		r.Sessions.Inc()
+	}
+	return ss, true
+}
+
+// sweep evicts sessions idle past the TTL, keeping the Sessions gauge
+// in step.
+func (t *sessionTable) sweep(now time.Time) {
+	cutoff := now.Add(-t.ttl)
+	var evicted int64
+	t.mu.Lock()
+	for id, ss := range t.byID {
+		if ss.idleSince().Before(cutoff) {
+			delete(t.byID, id)
+			evicted++
+		}
+	}
+	t.mu.Unlock()
+	if evicted > 0 {
+		if r := t.metricsFn(); r != nil {
+			r.Sessions.Add(-evicted)
+		}
+	}
+}
+
+// len reports the live session count (tests).
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byID)
+}
+
+// newSessionID mints a 128-bit random token.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: session id entropy unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// setSessionHeaders stamps the response with the session token; a newly
+// minted session is additionally offered as a cookie.
+func setSessionHeaders(w http.ResponseWriter, ss *session, created bool) {
+	w.Header().Set(sessionHeader, ss.id)
+	if created {
+		http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: ss.id, Path: "/", HttpOnly: true, SameSite: http.SameSiteLaxMode})
+	}
+}

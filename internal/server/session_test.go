@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestSessionPreparedCache checks the observable prepared-statement
+// cache behavior: a session's repeat query is a cache hit, a different
+// session starts cold, and tokens round-trip through the header.
+func TestSessionPreparedCache(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+
+	resp, _ := post(t, ts, "/v1/query", "", map[string]any{"query": qCount})
+	token := resp.Header.Get(sessionHeader)
+	if token == "" {
+		t.Fatal("no session token minted")
+	}
+	if got := resp.Header.Get(preparedHeader); got != "miss" {
+		t.Errorf("first execution prepared = %q, want miss", got)
+	}
+
+	resp, _ = post(t, ts, "/v1/query", token, map[string]any{"query": qCount})
+	if got := resp.Header.Get(sessionHeader); got != token {
+		t.Errorf("session token changed across requests: %q -> %q", token, got)
+	}
+	if got := resp.Header.Get(preparedHeader); got != "hit" {
+		t.Errorf("repeat execution prepared = %q, want hit", got)
+	}
+
+	resp, _ = post(t, ts, "/v1/query", "", map[string]any{"query": qCount})
+	if got := resp.Header.Get(preparedHeader); got != "miss" {
+		t.Errorf("fresh session prepared = %q, want miss (caches are per-session)", got)
+	}
+}
+
+// TestCrossSessionEpochBump is the satellite correctness test: DDL
+// through one session must make every other session's cached plans
+// re-rewrite, pinned byte-identical to ad-hoc in-process execution at
+// each step — base plan before the view, rewritten plan after CREATE,
+// base plan again after DROP.
+func TestCrossSessionEpochBump(t *testing.T) {
+	_, ts, sys := newTestServer(t, Config{})
+
+	// Session B caches a plan for the 2-hop query over the base graph.
+	resp, raw := post(t, ts, "/v1/query", "", map[string]any{"query": q2Hop})
+	tokenB := resp.Header.Get(sessionHeader)
+	if want := wantBody(t, sys, q2Hop); !bytes.Equal(raw, want) {
+		t.Fatalf("pre-view result diverged:\n got %s\nwant %s", raw, want)
+	}
+
+	// Session A creates the connector view: catalog epoch bumps.
+	resp, raw = post(t, ts, "/v1/exec", "", map[string]any{"statement": ddl2Hop})
+	tokenA := resp.Header.Get(sessionHeader)
+	if resp.StatusCode != http.StatusOK || tokenA == tokenB {
+		t.Fatalf("create view: status %d (tokens A=%q B=%q): %s", resp.StatusCode, tokenA, tokenB, raw)
+	}
+
+	// Sanity: the in-process planner now rewrites this query.
+	if plan, err := sys.Explain(q2Hop); err != nil || !bytes.Contains([]byte(plan), []byte("rewritten over materialized view")) {
+		t.Fatalf("explain after create: %v\n%s", err, plan)
+	}
+
+	// Session B's next execution re-uses its cached prepared statement
+	// (hit) but must transparently re-plan over the view — and stay
+	// byte-identical to ad-hoc execution, which rewrites every time.
+	resp, raw = post(t, ts, "/v1/query", tokenB, map[string]any{"query": q2Hop})
+	if got := resp.Header.Get(preparedHeader); got != "hit" {
+		t.Errorf("post-create prepared = %q, want hit (same cached statement)", got)
+	}
+	if want := wantBody(t, sys, q2Hop); !bytes.Equal(raw, want) {
+		t.Fatalf("post-create result diverged:\n got %s\nwant %s", raw, want)
+	}
+	m, ok := sys.Catalog().Resolve("jj")
+	if !ok {
+		t.Fatal("view jj missing")
+	}
+	if m.RewriteHits() == 0 {
+		t.Error("view jj has no rewrite hits after session B's re-plan")
+	}
+
+	// DROP through session B: session B's own cached plan re-plans away
+	// from the dropped view on the next execution.
+	if resp, raw := post(t, ts, "/v1/exec", tokenB, map[string]any{"statement": `DROP VIEW jj`}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drop view: status %d: %s", resp.StatusCode, raw)
+	}
+	resp, raw = post(t, ts, "/v1/query", tokenB, map[string]any{"query": q2Hop})
+	if got := resp.Header.Get(preparedHeader); got != "hit" {
+		t.Errorf("post-drop prepared = %q, want hit", got)
+	}
+	if want := wantBody(t, sys, q2Hop); !bytes.Equal(raw, want) {
+		t.Fatalf("post-drop result diverged:\n got %s\nwant %s", raw, want)
+	}
+}
+
+// TestSessionExpiry checks idle sweep: the table empties, the gauge
+// drops, and an expired token gets a fresh session rather than a
+// resurrected one.
+func TestSessionExpiry(t *testing.T) {
+	srv, ts, sys := newTestServer(t, Config{SessionTTL: 10 * time.Millisecond})
+
+	resp, _ := post(t, ts, "/v1/query", "", map[string]any{"query": qCount})
+	token := resp.Header.Get(sessionHeader)
+	if srv.sessions.len() != 1 || sys.MetricsSnapshot().Sessions != 1 {
+		t.Fatalf("after first request: table %d gauge %d, want 1/1", srv.sessions.len(), sys.MetricsSnapshot().Sessions)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	srv.sessions.sweep(time.Now())
+	if srv.sessions.len() != 0 || sys.MetricsSnapshot().Sessions != 0 {
+		t.Fatalf("after sweep: table %d gauge %d, want 0/0", srv.sessions.len(), sys.MetricsSnapshot().Sessions)
+	}
+
+	resp, _ = post(t, ts, "/v1/query", token, map[string]any{"query": qCount})
+	if got := resp.Header.Get(sessionHeader); got == token || got == "" {
+		t.Errorf("expired token returned %q, want a fresh session id", got)
+	}
+	if got := resp.Header.Get(preparedHeader); got != "miss" {
+		t.Errorf("expired session prepared = %q, want miss (cache gone with the session)", got)
+	}
+}
+
+// TestSessionPreparedCap checks the per-session FIFO eviction at the
+// prepared-statement cap.
+func TestSessionPreparedCap(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{SessionMaxPrepared: 2})
+	mk := func(alias string) string {
+		return `MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN COUNT(*) AS ` + alias
+	}
+	resp, _ := post(t, ts, "/v1/query", "", map[string]any{"query": mk("a")})
+	token := resp.Header.Get(sessionHeader)
+	post(t, ts, "/v1/query", token, map[string]any{"query": mk("b")})
+	post(t, ts, "/v1/query", token, map[string]any{"query": mk("c")}) // evicts a
+
+	resp, _ = post(t, ts, "/v1/query", token, map[string]any{"query": mk("a")})
+	if got := resp.Header.Get(preparedHeader); got != "miss" {
+		t.Errorf("evicted statement prepared = %q, want miss", got)
+	}
+	resp, _ = post(t, ts, "/v1/query", token, map[string]any{"query": mk("c")})
+	if got := resp.Header.Get(preparedHeader); got != "hit" {
+		t.Errorf("retained statement prepared = %q, want hit", got)
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// serveHarness runs srv.Serve on an ephemeral listener and returns the
+// base URL, the Serve result channel, and the cancel that triggers the
+// drain.
+func serveHarness(t *testing.T, srv *Server, drain time.Duration) (string, chan error, context.CancelFunc) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, l, drain) }()
+	t.Cleanup(cancel)
+	return "http://" + l.Addr().String(), served, cancel
+}
+
+// postQuery issues one /v1/query against a raw base URL (the Serve
+// harness has no httptest server).
+func postQuery(base, query string) (int, []byte, error) {
+	body, _ := json.Marshal(map[string]any{"query": query})
+	resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+// TestDrainCancelsSlowQuery is the shutdown satellite: a query slower
+// than the drain deadline is cancelled via context — the client gets a
+// 499 "canceled" response and Serve returns promptly instead of leaking
+// the straggler.
+func TestDrainCancelsSlowQuery(t *testing.T) {
+	sys := newTestSystem(t)
+	srv := New(sys, Config{DefaultTimeout: -1}) // no per-request deadline: only the drain can stop it
+	entered := make(chan struct{})
+	srv.testExecDelay = func(ctx context.Context) {
+		close(entered)
+		<-ctx.Done() // the slow query: parked until cancelled
+	}
+	base, served, cancel := serveHarness(t, srv, 100*time.Millisecond)
+
+	type outcome struct {
+		status int
+		body   []byte
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		status, raw, err := postQuery(base, qCount)
+		done <- outcome{status, raw, err}
+	}()
+	<-entered // the slow query is executing
+	cancel()  // SIGTERM equivalent: drain begins
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("slow query transport error: %v", out.err)
+		}
+		if out.status != statusCanceled {
+			t.Errorf("slow query status = %d, body %s, want %d", out.status, out.body, statusCanceled)
+		}
+		if eb := decodeError(t, out.body); eb.Kind != kindCanceled {
+			t.Errorf("slow query kind = %q, want %q", eb.Kind, kindCanceled)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow query leaked past the drain deadline")
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("Serve = %v, want nil after cancelled-straggler drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+}
+
+// TestDrainLetsFastQueriesFinish is the other half of the contract: a
+// query that finishes inside the drain window completes normally with a
+// full 200 result.
+func TestDrainLetsFastQueriesFinish(t *testing.T) {
+	sys := newTestSystem(t)
+	srv := New(sys, Config{})
+	entered := make(chan struct{})
+	srv.testExecDelay = func(ctx context.Context) {
+		close(entered)
+		time.Sleep(50 * time.Millisecond) // slower than the shutdown, faster than the drain
+	}
+	base, served, cancel := serveHarness(t, srv, 10*time.Second)
+
+	type outcome struct {
+		status int
+		body   []byte
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		status, raw, err := postQuery(base, qCount)
+		done <- outcome{status, raw, err}
+	}()
+	<-entered
+	cancel()
+
+	out := <-done
+	if out.err != nil || out.status != http.StatusOK {
+		t.Fatalf("in-flight query during drain: status %d err %v body %s, want 200", out.status, out.err, out.body)
+	}
+	if want := wantBody(t, sys, qCount); !bytes.Equal(out.body, want) {
+		t.Errorf("drained query body diverged:\n got %s\nwant %s", out.body, want)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("Serve = %v, want nil on clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after clean drain")
+	}
+}

@@ -187,6 +187,11 @@ func (c *Catalog) insert(name string, m *Materialized) {
 // first.
 var ErrViewExists = fmt.Errorf("view already exists")
 
+// ErrNoSuchView is wrapped by operations that name a view the catalog
+// does not hold (DROP VIEW on an unknown name). Typed so service
+// surfaces can map it (the kaskaded daemon returns 404 for it).
+var ErrNoSuchView = fmt.Errorf("view does not exist")
+
 // CreateView materializes a declaratively defined, named view into the
 // catalog — the CREATE VIEW execution path. Unlike the idempotent Add,
 // a name collision (with another registry name or with an identically
@@ -426,6 +431,23 @@ func (c *Catalog) Get(name string) (*Materialized, bool) {
 	defer c.mu.RUnlock()
 	m, ok := c.byName[name]
 	return m, ok
+}
+
+// Resolve returns a materialized view by registry (DDL) name or
+// structural name — the same resolution DropView applies, with an exact
+// structural match winning over a registry alias. Surfaces that accept
+// user-supplied view names (the daemon's /v1/topology) go through here.
+func (c *Catalog) Resolve(name string) (*Materialized, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if m, ok := c.byName[name]; ok {
+		return m, true
+	}
+	if s, ok := c.defs[name]; ok {
+		m, ok := c.byName[s]
+		return m, ok
+	}
+	return nil, false
 }
 
 // TotalEdges returns the storage the catalog consumes, in edges.
