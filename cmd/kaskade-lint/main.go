@@ -1,0 +1,31 @@
+// Command kaskade-lint runs the repo's invariant analyzers
+// (internal/lint): determinism of map iteration in result paths,
+// context propagation through blocking code, atomic-access discipline,
+// lock-hold hygiene, and the server's error taxonomy.
+//
+// Run it directly (it re-executes itself under `go vet`):
+//
+//	go run ./cmd/kaskade-lint ./...
+//
+// or as a vet tool:
+//
+//	go build -o kaskade-lint ./cmd/kaskade-lint
+//	go vet -vettool=$PWD/kaskade-lint ./...
+//
+// Suppress a finding with a justified comment on (or above) its line:
+//
+//	//kaskade:allow <analyzer> <reason>
+//
+// and audit all suppressions with `kaskade-lint -report`.
+package main
+
+import (
+	"os"
+
+	"kaskade/internal/lint"
+	"kaskade/internal/lint/vettool"
+)
+
+func main() {
+	os.Exit(vettool.Main(lint.All()))
+}

@@ -21,15 +21,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"kaskade/internal/metrics"
@@ -84,6 +87,11 @@ func main() {
 		*sessions = 1
 	}
 
+	// SIGINT/SIGTERM ends the run early but still prints the report —
+	// in-flight requests are cancelled through the request contexts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	base := "http://" + strings.TrimPrefix(*addr, "http://")
 	client := &http.Client{
 		Timeout:   *timeout,
@@ -104,9 +112,9 @@ func main() {
 		go func(worker int) {
 			defer wg.Done()
 			session := "" // minted by the daemon on the first request
-			for j := 0; time.Now().Before(deadline); j++ {
+			for j := 0; time.Now().Before(deadline) && ctx.Err() == nil; j++ {
 				q := queries[(worker+j)%len(queries)]
-				session = issue(client, base, session, q, &t, &hist)
+				session = issue(ctx, client, base, session, q, &t, &hist)
 			}
 		}(i)
 	}
@@ -130,9 +138,9 @@ func main() {
 
 // issue sends one query and records its outcome, returning the session
 // token to carry forward (the daemon echoes it on every response).
-func issue(client *http.Client, base, session, query string, t *tally, hist *metrics.Histogram) string {
+func issue(ctx context.Context, client *http.Client, base, session, query string, t *tally, hist *metrics.Histogram) string {
 	body, _ := json.Marshal(map[string]any{"query": query})
-	req, err := http.NewRequest(http.MethodPost, base+"/v1/query", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/query", bytes.NewReader(body))
 	if err != nil {
 		t.failed.Add(1)
 		return session
@@ -144,7 +152,9 @@ func issue(client *http.Client, base, session, query string, t *tally, hist *met
 	begin := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		t.failed.Add(1)
+		if ctx.Err() == nil {
+			t.failed.Add(1) // a request we cancelled ourselves is not a failure
+		}
 		return session
 	}
 	defer resp.Body.Close()

@@ -57,7 +57,12 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataset, *scale, *seed, *filter, *load, *workers, server.Config{
+	// SIGINT/SIGTERM starts the drain; a second signal kills the
+	// process the ordinary way (the handler is released on first fire).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, stop, *addr, *dataset, *scale, *seed, *filter, *load, *workers, server.Config{
 		MaxInFlight:      *maxInflight,
 		DefaultTimeout:   *defTimeout,
 		MaxTimeout:       *maxTimeout,
@@ -71,10 +76,13 @@ func main() {
 	}
 }
 
-func run(addr, dataset string, scale float64, seed int64, filter bool, load string, workers int, cfg server.Config, drain time.Duration) error {
+func run(ctx context.Context, stop context.CancelFunc, addr, dataset string, scale float64, seed int64, filter bool, load string, workers int, cfg server.Config, drain time.Duration) error {
 	g, err := buildGraph(dataset, scale, seed, filter, load)
 	if err != nil {
 		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err // signaled during the (possibly long) graph build
 	}
 	sys := kaskade.New(g)
 	sys.Parallelism = workers
@@ -87,10 +95,6 @@ func run(addr, dataset string, scale float64, seed int64, filter bool, load stri
 	log.Printf("kaskaded: serving %s on http://%s (max in-flight %d, drain %s)",
 		g, l.Addr(), cfg.MaxInFlight, drain)
 
-	// SIGINT/SIGTERM starts the drain; a second signal kills the
-	// process the ordinary way (the handler is released on first fire).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	go func() {
 		<-ctx.Done()
 		stop()

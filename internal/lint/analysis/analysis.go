@@ -1,0 +1,177 @@
+// Package analysis is Kaskade's in-tree analyzer framework: a
+// deliberately small, stdlib-only mirror of the
+// golang.org/x/tools/go/analysis API surface that kaskade-lint's
+// analyzers program against. The container builds offline against a
+// vendored-free module, so the framework lives here instead of pulling
+// x/tools; the shapes (Analyzer, Pass, Diagnostic) match the upstream
+// ones closely enough that an analyzer written for this package ports
+// to the real framework by changing one import.
+//
+// Beyond the x/tools shapes, the framework owns the repo's suppression
+// protocol: a diagnostic whose line (or the line above it) carries a
+//
+//	//kaskade:allow <analyzer> <reason>
+//
+// comment is dropped — but only when a non-empty reason is present; a
+// reasonless allow is itself reported, so suppressions stay auditable
+// (cmd/kaskade-lint -report inventories them).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker: a name (used in
+// diagnostics, flags, and //kaskade:allow directives), human
+// documentation, and the Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer; it must be a valid Go identifier
+	// (it becomes a command-line flag and a suppression key).
+	Name string
+	// Doc is the analyzer's documentation: first line a one-sentence
+	// summary, the rest detail.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package: the syntax, the type
+// information, and the report sink. Analyzers must not mutate any of
+// it.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report reports one diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Diagnostic is one finding: a position and a message. Category is the
+// analyzer name, filled by the driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Category string
+}
+
+// Position resolves the diagnostic's position against fset.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// AllowDirective is one parsed //kaskade:allow comment.
+type AllowDirective struct {
+	Pos      token.Position // position of the comment
+	Analyzer string         // suppressed analyzer name
+	Reason   string         // justification ("" = invalid directive)
+}
+
+// allowPrefix introduces a suppression comment.
+const allowPrefix = "//kaskade:allow"
+
+// ParseAllows extracts every //kaskade:allow directive from the files.
+// Directives are returned in file/line order.
+func ParseAllows(fset *token.FileSet, files []*ast.File) []AllowDirective {
+	var out []AllowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				out = append(out, AllowDirective{
+					Pos:      fset.Position(c.Pos()),
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// Run applies every analyzer to the package and returns the surviving
+// diagnostics in file/line order: suppressed findings (a matching
+// //kaskade:allow with a reason on the finding's line or the line
+// above) are dropped, and a matching allow with no reason turns into
+// its own diagnostic so it cannot silently disable a check.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	type allowKey struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allows := make(map[allowKey]AllowDirective)
+	for _, a := range ParseAllows(fset, files) {
+		allows[allowKey{a.Pos.Filename, a.Pos.Line, a.Analyzer}] = a
+	}
+
+	var out []Diagnostic
+	for _, an := range analyzers {
+		pass := &Pass{
+			Analyzer:  an,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.report = func(d Diagnostic) {
+			d.Category = an.Name
+			posn := fset.Position(d.Pos)
+			// An allow covers its own line and the next one, so both
+			// trailing comments and a directive line above work.
+			for _, line := range []int{posn.Line, posn.Line - 1} {
+				if a, ok := allows[allowKey{posn.Filename, line, an.Name}]; ok {
+					if a.Reason == "" {
+						out = append(out, Diagnostic{
+							Pos:      d.Pos,
+							Category: an.Name,
+							Message: fmt.Sprintf("suppression without reason: write %s %s <why this is safe>",
+								allowPrefix, an.Name),
+						})
+					}
+					return
+				}
+			}
+			out = append(out, d)
+		}
+		if err := an.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", an.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out, nil
+}

@@ -1,0 +1,167 @@
+// Package analysistest runs an analyzer over a testdata corpus and
+// checks its diagnostics against // want annotations — the in-tree
+// equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// A corpus package lives at <testdata>/src/<pkg>/ and its files carry
+// expectations in trailing comments:
+//
+//	rows = append(rows, k) // want `order is nondeterministic`
+//
+// Each `...`- or "..."-quoted fragment is a regular expression that
+// must match a diagnostic reported on that line; every diagnostic must
+// match exactly one annotation and vice versa, so the corpus pins the
+// analyzer's exact output (no extra findings, no missed ones).
+//
+// Corpus packages may import only the standard library: imports are
+// type-checked from source (importer "source"), which works offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kaskade/internal/lint/analysis"
+	"kaskade/internal/lint/loader"
+)
+
+// want is one expectation: a regexp that must match a diagnostic at
+// file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+// Run applies a to each corpus package under testdata/src and reports
+// any mismatch between diagnostics and // want annotations as test
+// errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPkg(t, testdata, a, pkg)
+	}
+}
+
+func runPkg(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	fset := token.NewFileSet()
+	files, err := loader.ParseDir(fset, dir)
+	if err != nil {
+		t.Errorf("%s: %v", pkg, err)
+		return
+	}
+	typesPkg, info, err := loader.Check(fset, pkg, files, importer.ForCompiler(fset, "source", nil), "")
+	if err != nil {
+		t.Errorf("%s: corpus must type-check cleanly: %v", pkg, err)
+		return
+	}
+	diags, err := analysis.Run(fset, files, typesPkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("%s: %v", pkg, err)
+		return
+	}
+
+	wants, err := parseWants(fset, files)
+	if err != nil {
+		t.Errorf("%s: %v", pkg, err)
+		return
+	}
+
+	for _, d := range diags {
+		posn := d.Position(fset)
+		if w := match(wants, posn.Filename, posn.Line, d.Message); w == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s [%s]", posn.Filename, posn.Line, d.Message, d.Category)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// match finds the first unused want at file:line whose regexp matches
+// msg, marks it used, and returns it.
+func match(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if !w.used && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.used = true
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWants extracts // want annotations from every comment in the
+// corpus files.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				patterns, err := parsePatterns(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", posn.Filename, posn.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", posn.Filename, posn.Line, err)
+					}
+					out = append(out, &want{file: posn.Filename, line: posn.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns splits a want payload into its quoted regexp
+// fragments: backquoted strings are taken verbatim, double-quoted ones
+// are unquoted with Go escape rules.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated ` in want comment")
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			prefix, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted pattern in want comment: %v", err)
+			}
+			unq, err := strconv.Unquote(prefix)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unq)
+			s = s[len(prefix):]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted with ` or \" (at %q)", s)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package atomicfield flags mixed atomic and plain access: once any
+// code in the package touches a variable or struct field through
+// sync/atomic (atomic.AddInt64(&x.n, 1), atomic.LoadUint32(&flag), …),
+// every other access to it must also be atomic — a plain read races
+// with the atomic writer even when it "only" reads, and the race
+// detector finds it only if both paths fire in one test run.
+//
+// This protects internal/metrics' lock-free counters. The typed
+// wrappers (atomic.Int64 et al.) are immune by construction and are
+// the preferred fix; this analyzer covers the function-style API.
+//
+// Accesses inside composite literals (initial construction, before the
+// value is shared) are not counted as plain uses.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kaskade/internal/lint/analysis"
+	"kaskade/internal/lint/lintutil"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags non-atomic access to variables and fields that are accessed with sync/atomic elsewhere in the package",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: every object reached through &obj as the pointer argument
+	// of a sync/atomic call, and the exact identifiers making up those
+	// atomic accesses (so pass 2 can skip them).
+	atomicObjs := make(map[types.Object]bool)
+	atomicIdents := make(map[*ast.Ident]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			obj, id := resolveTarget(pass.TypesInfo, addr.X)
+			if obj != nil {
+				atomicObjs[obj] = true
+				atomicIdents[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other use of those objects is a plain (racy) access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				// Field names in composite literals are initialization,
+				// not shared-state access.
+				for _, elt := range x.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							atomicIdents[id] = true
+						}
+					}
+				}
+			case *ast.Ident:
+				if atomicIdents[x] {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[x]
+				if obj != nil && atomicObjs[obj] {
+					pass.Reportf(x.Pos(), "non-atomic access to %s, which is accessed with sync/atomic elsewhere in this package", x.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// resolveTarget maps the operand of &... to the variable or field
+// object being addressed, plus the identifier naming it.
+func resolveTarget(info *types.Info, e ast.Expr) (types.Object, *ast.Ident) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x), x
+	case *ast.SelectorExpr:
+		return info.ObjectOf(x.Sel), x.Sel
+	case *ast.IndexExpr:
+		// &arr[i] — track the array/slice variable itself.
+		return resolveTarget(info, x.X)
+	}
+	return nil, nil
+}

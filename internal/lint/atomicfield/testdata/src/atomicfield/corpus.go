@@ -1,0 +1,41 @@
+// Package atomicfield exercises the mixed atomic/plain access rule.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func (c *counters) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) Read() int64 {
+	return c.hits // want `non-atomic access to hits`
+}
+
+func (c *counters) ReadAtomic() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// total is never touched atomically: plain access is fine.
+func (c *counters) Total() int64 {
+	return c.total
+}
+
+// Composite-literal initialization happens before the value is shared.
+func newCounters() *counters {
+	return &counters{hits: 0, total: 0}
+}
+
+var _ = newCounters
+
+var ready int64
+
+func SetReady() { atomic.StoreInt64(&ready, 1) }
+
+func IsReady() bool {
+	return ready == 1 // want `non-atomic access to ready`
+}

@@ -1,0 +1,145 @@
+// Package ctxflow enforces Kaskade's context-propagation discipline:
+//
+//   - context.TODO() never ships in non-test code.
+//   - context.Background() is not called where a context.Context is
+//     already in scope (an enclosing function takes one) — except the
+//     nil-normalization idiom `if ctx == nil { ctx = context.Background() }`,
+//     i.e. assigning to the context parameter itself.
+//   - In package main, context.Background() belongs in func main (the
+//     signal.NotifyContext root); helpers must take the context from
+//     their caller.
+//   - http.NewRequest is always wrong in non-test code — use
+//     http.NewRequestWithContext.
+//   - In the gated packages (internal/exec, internal/algo,
+//     internal/server, internal/core), exported functions that can
+//     block — channel operations, select without default, Wait calls,
+//     time.Sleep — must accept a context.Context. Lifecycle methods
+//     (Close, Shutdown, Stop, Wait) are exempt: their contract is to
+//     block until done.
+//
+// Context-free convenience wrappers (`Run(q)` calling
+// `RunContext(context.Background(), q)`) are fine: the wrapper has no
+// ctx parameter in scope and does not itself block.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+
+	"kaskade/internal/lint/analysis"
+	"kaskade/internal/lint/lintutil"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background/TODO misuse and blocking exported functions without a context parameter",
+	Run:  run,
+}
+
+// BlockingGates are the package-path fragments where the
+// blocking-exported-function rule applies. Overridable for tests; the
+// corpus package name is included so the analysistest corpus exercises
+// the rule.
+var BlockingGates = []string{
+	"internal/exec", "internal/algo", "internal/server", "internal/core",
+	"ctxflow_gated",
+}
+
+// lifecycleExempt are exported method names whose contract is to block
+// without a context (drain-and-stop shapes).
+var lifecycleExempt = map[string]bool{
+	"Close": true, "Shutdown": true, "Stop": true, "Wait": true,
+}
+
+func run(pass *analysis.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	gated := lintutil.Gated(pass.Pkg.Path(), BlockingGates)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkBackground(pass, fd, isMain)
+				if gated && !isMain {
+					checkBlockingExported(pass, fd)
+				}
+			}
+			// http.NewRequest and context.TODO are wrong anywhere,
+			// including package-level var initializers.
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if lintutil.PkgFunc(pass.TypesInfo, call, "context", "TODO") {
+					pass.Reportf(call.Pos(), "context.TODO in non-test code: plumb a real context here")
+				}
+				if lintutil.PkgFunc(pass.TypesInfo, call, "net/http", "NewRequest") {
+					pass.Reportf(call.Pos(), "http.NewRequest ignores cancellation: use http.NewRequestWithContext")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkBackground walks one top-level function, tracking the innermost
+// context parameter in scope (from the FuncDecl or enclosing FuncLits),
+// and flags context.Background() calls that should use it instead.
+func checkBackground(pass *analysis.Pass, fd *ast.FuncDecl, isMain bool) {
+	var walk func(n ast.Node, ctxInScope bool)
+	walk = func(n ast.Node, ctxInScope bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch x := c.(type) {
+			case *ast.FuncLit:
+				walk(x.Body, ctxInScope || lintutil.HasContextParam(x.Type, pass.TypesInfo))
+				return false
+			case *ast.AssignStmt:
+				// Nil-normalization: `ctx = context.Background()` where
+				// ctx is itself a context variable already in scope.
+				if ctxInScope && len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+					if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok &&
+						lintutil.PkgFunc(pass.TypesInfo, call, "context", "Background") {
+						if t := pass.TypesInfo.TypeOf(x.Lhs[0]); t != nil && lintutil.IsContextType(t) && x.Tok == token.ASSIGN {
+							return false
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if !lintutil.PkgFunc(pass.TypesInfo, call(x), "context", "Background") {
+					return true
+				}
+				switch {
+				case ctxInScope:
+					pass.Reportf(x.Pos(), "context.Background() with a context.Context in scope: propagate it (or context.WithoutCancel(ctx) for work that outlives it)")
+				case isMain && fd.Name.Name != "main":
+					pass.Reportf(x.Pos(), "context.Background() in helper %s: take the signal-aware context from main", fd.Name.Name)
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, lintutil.HasContextParam(fd.Type, pass.TypesInfo))
+}
+
+func call(c *ast.CallExpr) *ast.CallExpr { return c }
+
+// checkBlockingExported flags exported functions in gated packages that
+// block without accepting a context.
+func checkBlockingExported(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || lifecycleExempt[fd.Name.Name] {
+		return
+	}
+	if lintutil.HasContextParam(fd.Type, pass.TypesInfo) {
+		return
+	}
+	reported := false
+	lintutil.FindBlocking(fd.Body, pass.TypesInfo, func(op lintutil.BlockingOp) {
+		if reported {
+			return
+		}
+		reported = true
+		pass.Reportf(fd.Pos(), "exported %s blocks (%s) but takes no context.Context", fd.Name.Name, op.What)
+	})
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"kaskade/internal/lint/analysistest"
+	"kaskade/internal/lint/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "ctxflow", "ctxflow_gated", "ctxflow_main")
+}

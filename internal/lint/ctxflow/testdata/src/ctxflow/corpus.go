@@ -1,0 +1,52 @@
+// Package ctxflow exercises the context-misuse rules that apply in any
+// library package: Background-with-context-in-scope, TODO, and
+// http.NewRequest.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Background while a context is in scope: the drain-context shape.
+func Drain(ctx context.Context, d time.Duration) {
+	dctx, cancel := context.WithTimeout(context.Background(), d) // want `with a context.Context in scope`
+	defer cancel()
+	_ = dctx
+}
+
+// Nil-normalization assigns to a context variable: sanctioned.
+func Normalize(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// Context-free convenience wrapper: no context in scope, so Background
+// is the correct root.
+func Run() context.Context {
+	return RunContext(context.Background())
+}
+
+func RunContext(ctx context.Context) context.Context { return ctx }
+
+// TODO never ships.
+func Todo() context.Context {
+	return context.TODO() // want `context.TODO in non-test code`
+}
+
+// NewRequest ignores cancellation.
+func Fetch() {
+	req, err := http.NewRequest("GET", "http://localhost/", nil) // want `use http.NewRequestWithContext`
+	_, _ = req, err
+}
+
+// A closure's own context parameter puts a context in scope.
+func Closure() {
+	f := func(ctx context.Context) {
+		_ = context.Background() // want `with a context.Context in scope`
+	}
+	f(context.TODO()) // want `context.TODO in non-test code`
+}

@@ -1,0 +1,57 @@
+// Package ctxflow_gated exercises the blocking-exported-function rule,
+// which applies only in the gated engine packages.
+package ctxflow_gated
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type Pool struct {
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+// A blocking send with no way to cancel.
+func (p *Pool) Submit(job int) { // want `exported Submit blocks`
+	p.jobs <- job
+}
+
+// The same operation made cancelable.
+func (p *Pool) SubmitContext(ctx context.Context, job int) {
+	select {
+	case p.jobs <- job:
+	case <-ctx.Done():
+	}
+}
+
+// Lifecycle methods block by contract.
+func (p *Pool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// Non-blocking probe (select with default): the nudge idiom.
+func (p *Pool) Nudge() {
+	select {
+	case p.jobs <- 0:
+	default:
+	}
+}
+
+func Flush(wg *sync.WaitGroup) { // want `exported Flush blocks`
+	wg.Wait()
+}
+
+func Backoff() { // want `exported Backoff blocks`
+	time.Sleep(time.Millisecond)
+}
+
+// Unexported helpers may block; their exported callers own the
+// context.
+func drainOne(ch chan int) int {
+	return <-ch
+}
+
+var _ = drainOne

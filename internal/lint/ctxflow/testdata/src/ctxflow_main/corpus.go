@@ -1,0 +1,22 @@
+// The main-package rule: func main owns the root context (ideally via
+// signal.NotifyContext); helpers take it as a parameter.
+package main
+
+import (
+	"context"
+	"fmt"
+)
+
+func main() {
+	ctx := context.Background() // the root belongs here
+	fmt.Println(run(ctx))
+}
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+func helper() error {
+	ctx := context.Background() // want `in helper helper`
+	return ctx.Err()
+}
+
+var _ = helper

@@ -1,0 +1,95 @@
+// Package errtaxonomy keeps internal/server's error responses on the
+// typed error-kind taxonomy (PR 7): every error leaving the HTTP
+// boundary goes through writeError, which maps an errKind to a status
+// code and a machine-readable JSON body. Calling http.Error or writing
+// an error-range status code directly bypasses the taxonomy, producing
+// a text/plain body clients can't classify.
+//
+// Flagged in gated packages:
+//
+//   - any call to net/http.Error
+//   - w.WriteHeader(code) outside the designated writer when code is a
+//     constant >= 400, or is not constant (a computed status must come
+//     from the taxonomy's mapping, not ad-hoc arithmetic)
+//
+// Success and redirect statuses (constants < 400) are fine anywhere.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"kaskade/internal/lint/analysis"
+	"kaskade/internal/lint/lintutil"
+)
+
+// Analyzer is the errtaxonomy analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "flags http.Error and raw error-status writes that bypass the server's typed error taxonomy",
+	Run:  run,
+}
+
+// Gates are the package-path fragments where the taxonomy applies,
+// plus the corpus package.
+var Gates = []string{"internal/server", "errtaxonomy_gated"}
+
+// designatedWriters may call WriteHeader with error statuses: they ARE
+// the taxonomy.
+var designatedWriters = map[string]bool{"writeError": true}
+
+func run(pass *analysis.Pass) error {
+	if !lintutil.Gated(pass.Pkg.Path(), Gates) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || designatedWriters[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if lintutil.PkgFunc(pass.TypesInfo, call, "net/http", "Error") {
+					pass.Reportf(call.Pos(), "http.Error bypasses the error taxonomy: use writeError with an error kind")
+					return true
+				}
+				checkWriteHeader(pass, call)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkWriteHeader flags w.WriteHeader(code) with an error-range or
+// non-constant status.
+func checkWriteHeader(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return
+	}
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// The method comes from net/http's ResponseWriter interface (or a
+	// local wrapper embedding it in this gated package).
+	if fn.Pkg().Path() != "net/http" && fn.Pkg().Path() != pass.Pkg.Path() {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	if tv.Value == nil {
+		pass.Reportf(call.Pos(), "WriteHeader with a computed status bypasses the error taxonomy: map the error kind through writeError")
+		return
+	}
+	if code, ok := constant.Int64Val(tv.Value); ok && code >= 400 {
+		pass.Reportf(call.Pos(), "WriteHeader(%d) bypasses the error taxonomy: use writeError with an error kind", code)
+	}
+}

@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"kaskade/internal/lint/analysistest"
+	"kaskade/internal/lint/errtaxonomy"
+)
+
+func TestErrtaxonomy(t *testing.T) {
+	analysistest.Run(t, "testdata", errtaxonomy.Analyzer, "errtaxonomy_gated")
+}

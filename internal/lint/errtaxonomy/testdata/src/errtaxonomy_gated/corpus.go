@@ -1,0 +1,46 @@
+// Package errtaxonomy_gated exercises the typed-error-taxonomy rule.
+package errtaxonomy_gated
+
+import "net/http"
+
+type errKind string
+
+// writeError is the designated taxonomy writer: the one place an
+// error status may be written raw.
+func writeError(w http.ResponseWriter, status int, kind errKind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(`{"error":{"kind":"` + string(kind) + `","message":"` + msg + `"}}`))
+}
+
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http.Error bypasses the error taxonomy`
+}
+
+func handleRaw(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusBadRequest) // want `WriteHeader\(400\) bypasses`
+}
+
+func handleComputed(w http.ResponseWriter, status int) {
+	w.WriteHeader(status) // want `computed status bypasses`
+}
+
+// Success and redirect statuses are not taxonomy business.
+func handleOK(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// A status response that is deliberately not an error response can be
+// suppressed with a reason.
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusServiceUnavailable) //kaskade:allow errtaxonomy load-shed status report, not a taxonomy error
+}
+
+var (
+	_ = writeError
+	_ = handleBad
+	_ = handleRaw
+	_ = handleComputed
+	_ = handleOK
+	_ = handleHealth
+)

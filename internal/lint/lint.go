@@ -1,0 +1,24 @@
+// Package lint assembles Kaskade's invariant analyzers. See the
+// "Static analysis" section of the README for what each one enforces
+// and how suppressions work.
+package lint
+
+import (
+	"kaskade/internal/lint/analysis"
+	"kaskade/internal/lint/atomicfield"
+	"kaskade/internal/lint/ctxflow"
+	"kaskade/internal/lint/errtaxonomy"
+	"kaskade/internal/lint/lockhold"
+	"kaskade/internal/lint/mapiter"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicfield.Analyzer,
+		ctxflow.Analyzer,
+		errtaxonomy.Analyzer,
+		lockhold.Analyzer,
+		mapiter.Analyzer,
+	}
+}

@@ -1,0 +1,181 @@
+// Package lintutil holds the type- and AST-resolution helpers the
+// kaskade-lint analyzers share: resolving calls to specific package
+// functions, recognizing context.Context and sync mutex types, and the
+// blocking-operation walker that both ctxflow (blocking exported
+// functions) and lockhold (blocking while holding a mutex) are built
+// on.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Gated reports whether a package path falls under any of the gate
+// fragments (substring match — "internal/server" matches the module
+// path-qualified form, and an analyzer's corpus package name matches
+// its testdata import path).
+func Gated(pkgPath string, gates []string) bool {
+	for _, g := range gates {
+		if strings.Contains(pkgPath, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgFunc resolves a call to a package-level function and reports
+// whether it is pkgPath.name (alias-proof: resolution goes through the
+// type checker, not the source spelling).
+func PkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// CalleeFunc resolves the called function object, or nil when the
+// callee is not a simple function/method reference.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsNamedType reports whether t (possibly behind pointers) is the named
+// type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool { return IsNamedType(t, "context", "Context") }
+
+// HasContextParam reports whether the function type has a
+// context.Context parameter.
+func HasContextParam(ft *ast.FuncType, info *types.Info) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && IsContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockingOp is one operation that can block the goroutine.
+type BlockingOp struct {
+	Pos  token.Pos
+	What string // human description ("channel send", "Wait call", ...)
+}
+
+// FindBlocking walks n and reports operations that can block: channel
+// sends and receives (except inside a select that has a default
+// clause), selects without a default, calls to methods named Wait, and
+// time.Sleep. Nested function literals are skipped — their bodies run
+// on their own call, not here.
+func FindBlocking(n ast.Node, info *types.Info, report func(BlockingOp)) {
+	var walk func(n ast.Node, nonblocking map[ast.Stmt]bool)
+	walk = func(n ast.Node, nonblocking map[ast.Stmt]bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch x := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, cl := range x.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					report(BlockingOp{Pos: x.Pos(), What: "select without default"})
+				}
+				for _, cl := range x.Body.List {
+					cc, ok := cl.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if cc.Comm != nil {
+						if hasDefault {
+							// The comm op itself cannot block; its body
+							// still can.
+							nb := map[ast.Stmt]bool{cc.Comm: true}
+							walk(cc.Comm, nb)
+						} else {
+							walk(cc.Comm, nil)
+						}
+					}
+					for _, s := range cc.Body {
+						walk(s, nil)
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				if nonblocking[ast.Stmt(x)] {
+					return true
+				}
+				report(BlockingOp{Pos: x.Pos(), What: "channel send"})
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					report(BlockingOp{Pos: x.Pos(), What: "channel receive"})
+				}
+			case *ast.CallExpr:
+				if fn := CalleeFunc(info, call(x)); fn != nil {
+					if fn.Name() == "Wait" && fn.Pkg() != nil {
+						report(BlockingOp{Pos: x.Pos(), What: fn.Pkg().Name() + "." + receiverName(fn) + "Wait call"})
+					}
+					if fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+						report(BlockingOp{Pos: x.Pos(), What: "time.Sleep call"})
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(n, nil)
+}
+
+func call(c *ast.CallExpr) *ast.CallExpr { return c }
+
+// receiverName renders "WaitGroup." for a method, "" for a function.
+func receiverName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name() + "."
+	}
+	return ""
+}

@@ -1,0 +1,86 @@
+// Package loader parses and type-checks one package's worth of Go
+// files for the lint framework — the shared front half of both drivers
+// (the analysistest corpus runner and the go vet unitchecker mode),
+// which differ only in where import information comes from (source
+// re-compilation vs. the export data go vet hands over).
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ParseDir parses every non-test .go file directly in dir, in file-name
+// order (deterministic across platforms).
+func ParseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	return ParseFiles(fset, dir, names)
+}
+
+// ParseFiles parses the named files (resolved against dir when
+// relative), with comments — the suppression protocol and the corpus
+// "want" annotations both live in comments.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Check type-checks files as package pkgPath using imp for imports and
+// returns the package plus the full types.Info the analyzers need.
+// Type errors do not abort checking (types.Config.Error collects and
+// checking continues), but the first one is returned so drivers can
+// decide whether a partially typed package is usable.
+func Check(fset *token.FileSet, pkgPath string, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, _ := conf.Check(pkgPath, fset, files, info)
+	return pkg, info, firstErr
+}

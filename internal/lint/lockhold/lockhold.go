@@ -1,0 +1,140 @@
+// Package lockhold flags operations that can block while a
+// sync.Mutex or sync.RWMutex is held: channel sends and receives,
+// selects without a default, Wait calls, and time.Sleep between a
+// mu.Lock() and the matching unlock. A blocked goroutine that holds a
+// lock turns local backpressure into a global stall — the
+// epoch/session-cache deadlock shape the server and workload packages
+// are structured to avoid.
+//
+// The critical section is computed syntactically within one statement
+// list: from a `mu.Lock()` / `mu.RLock()` statement to the matching
+// `mu.Unlock()` / `mu.RUnlock()`, or to the end of the list when the
+// unlock is deferred. Function literals inside the section are not
+// walked (they typically run later, off the lock); non-blocking
+// select-with-default is allowed (that is the sanctioned "nudge"
+// idiom in internal/exec).
+package lockhold
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kaskade/internal/lint/analysis"
+	"kaskade/internal/lint/lintutil"
+)
+
+// Analyzer is the lockhold analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "flags potentially blocking operations while holding a sync.Mutex/RWMutex",
+	Run:  run,
+}
+
+// Gates are the package-path fragments where lockhold applies —
+// the deadlock-prone session/epoch machinery, plus the corpus.
+var Gates = []string{"internal/workload", "internal/server", "lockhold_gated"}
+
+func run(pass *analysis.Pass) error {
+	if !lintutil.Gated(pass.Pkg.Path(), Gates) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if block, ok := n.(*ast.BlockStmt); ok {
+				checkBlock(pass, block.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlock scans one statement list for lock/unlock pairs and runs
+// the blocking-op walker over each critical section.
+func checkBlock(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		recv, locked := lockCall(pass.TypesInfo, s, "Lock", "RLock")
+		if !locked {
+			continue
+		}
+		// Find the end of the critical section: the matching unlock
+		// statement, or the end of the list when the unlock is deferred
+		// (or missing).
+		end := len(stmts)
+		start := i + 1
+		if start < len(stmts) {
+			if d, ok := stmts[start].(*ast.DeferStmt); ok {
+				if r, ok2 := unlockExpr(pass.TypesInfo, d.Call); ok2 && r == recv {
+					start++ // the defer itself is not part of the section
+				}
+			}
+		}
+		for j := start; j < len(stmts); j++ {
+			if r, ok := unlockStmt(pass.TypesInfo, stmts[j]); ok && r == recv {
+				end = j
+				break
+			}
+		}
+		for j := start; j < end; j++ {
+			lintutil.FindBlocking(stmts[j], pass.TypesInfo, func(op lintutil.BlockingOp) {
+				pass.Reportf(op.Pos, "potentially blocking %s while holding %s", op.What, recv)
+			})
+		}
+	}
+}
+
+// lockCall reports whether stmt is `recv.Lock()` or `recv.RLock()` on a
+// sync mutex, returning the receiver's source text as the section key.
+func lockCall(info *types.Info, stmt ast.Stmt, names ...string) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	return mutexMethod(info, call, names...)
+}
+
+func unlockStmt(info *types.Info, stmt ast.Stmt) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	return unlockExpr(info, call)
+}
+
+func unlockExpr(info *types.Info, call *ast.CallExpr) (string, bool) {
+	return mutexMethod(info, call, "Unlock", "RUnlock")
+}
+
+// mutexMethod matches recv.<name>() where recv is sync.Mutex or
+// sync.RWMutex (possibly behind a pointer) and name is one of names.
+func mutexMethod(info *types.Info, call *ast.CallExpr, names ...string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	nameOK := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			nameOK = true
+		}
+	}
+	if !nameOK {
+		return "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if !lintutil.IsNamedType(t, "sync", "Mutex") && !lintutil.IsNamedType(t, "sync", "RWMutex") {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"kaskade/internal/lint/analysistest"
+	"kaskade/internal/lint/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, "testdata", lockhold.Analyzer, "lockhold_gated")
+}

@@ -1,0 +1,64 @@
+// Package lockhold_gated exercises the blocking-while-locked rule.
+package lockhold_gated
+
+import (
+	"sync"
+	"time"
+)
+
+type registry struct {
+	mu     sync.Mutex
+	events chan string
+}
+
+// A slow receiver stalls every caller that wants the lock.
+func (r *registry) Publish(ev string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events <- ev // want `potentially blocking channel send while holding r.mu`
+}
+
+// Unlock before the send: fine.
+func (r *registry) PublishFast(ev string) {
+	r.mu.Lock()
+	ch := r.events
+	r.mu.Unlock()
+	ch <- ev
+}
+
+// Non-blocking probe under the lock: the sanctioned shape.
+func (r *registry) TryPublish(ev string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.events <- ev:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *registry) SlowScan() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want `potentially blocking time.Sleep call while holding r.mu`
+	r.mu.Unlock()
+}
+
+type gate struct {
+	mu sync.RWMutex
+	wg sync.WaitGroup
+}
+
+// Read locks count too: a writer behind this RLock waits for wg.
+func (g *gate) Snapshot() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.wg.Wait() // want `Wait call while holding g.mu`
+}
+
+// Work captured in a closure runs after the unlock.
+func (r *registry) Enqueue(ev string) func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return func() { r.events <- ev }
+}

@@ -1,0 +1,206 @@
+// Package mapiter flags result accumulation inside `for range` over a
+// map: Go randomizes map iteration order, so appending to a slice,
+// sending on a channel, or pushing through an iterator yield inside
+// such a loop leaks nondeterminism into whatever consumes the result.
+//
+// This is the exact bug class behind Kaskade's "merge determinism"
+// guarantee — parallel merges must be byte-identical to sequential —
+// which the CI determinism matrix only catches probabilistically.
+//
+// The analyzer understands the repo's sanctioned escape: accumulate
+// from the map, then sort. An append whose target is later passed to a
+// sort.* or slices.Sort* call in the same function is not reported;
+// neither is an append into a slice declared inside the loop body
+// (per-key scratch that cannot observe cross-key order).
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"kaskade/internal/lint/analysis"
+	"kaskade/internal/lint/lintutil"
+)
+
+// Analyzer is the mapiter analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flags order-sensitive accumulation inside range-over-map without a later sort",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, body := range functionBodies(file) {
+			checkFunc(pass, body)
+		}
+	}
+	return nil
+}
+
+// functionBodies returns the body of every function and function
+// literal in the file. Each body is checked independently so a range
+// statement is attributed to its innermost enclosing function.
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				out = append(out, x.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, x.Body)
+		}
+		return true
+	})
+	return out
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkRange(pass, body, rs)
+	})
+}
+
+// checkRange inspects one range-over-map body for order-sensitive
+// accumulation. Nested range-over-map statements are not descended
+// into — each gets its own checkRange, so findings are not doubled.
+func checkRange(pass *analysis.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok {
+			if t := pass.TypesInfo.TypeOf(inner.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "channel send inside range over map: iteration order is nondeterministic")
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "yield" {
+				pass.Reportf(x.Pos(), "yield inside range over map: iteration order is nondeterministic")
+			}
+		case *ast.AssignStmt:
+			checkAppend(pass, fnBody, rs, x)
+		}
+		return true
+	})
+}
+
+// checkAppend flags `x = append(x, ...)` inside the loop when x is
+// declared outside the loop and never sorted afterwards.
+func checkAppend(pass *analysis.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(as.Lhs) {
+			continue
+		}
+		obj := targetObject(pass.TypesInfo, as.Lhs[i])
+		if obj == nil {
+			continue
+		}
+		// Per-iteration scratch: a slice declared inside the loop body
+		// only ever sees one key's data.
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			continue
+		}
+		if sortedLater(pass.TypesInfo, fnBody, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"appending to %s inside range over map: iteration order is nondeterministic (sort the result or iterate sorted keys)",
+			obj.Name())
+	}
+}
+
+// targetObject resolves the assignment target to the accumulated
+// variable or struct field.
+func targetObject(info *types.Info, lhs ast.Expr) types.Object {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(x.Sel)
+	}
+	return nil
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether the enclosing function contains a
+// sort.* / slices.Sort* call referencing obj — the sanctioned
+// accumulate-then-sort idiom.
+func sortedLater(info *types.Info, fnBody *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(info, call) {
+			return true
+		}
+		ast.Inspect(call, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+		return true
+	})
+	return found
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.Contains(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// inspectShallow walks n calling f on every node, without descending
+// into nested function literals (their bodies belong to another
+// function).
+func inspectShallow(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return true
+		}
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		f(c)
+		return true
+	})
+}

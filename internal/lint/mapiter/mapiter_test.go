@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"kaskade/internal/lint/analysistest"
+	"kaskade/internal/lint/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiter.Analyzer, "mapiter")
+}

@@ -1,0 +1,87 @@
+// Package mapiter is the determinism corpus for the mapiter analyzer.
+//
+// Why Kaskade pins determinism mechanically instead of trusting review:
+// PR 1's query lexer treated `--` as the start of a SQL-style line
+// comment, so the edge arrow in `(a)-->(b)` was eaten as a comment and
+// the rest of the pattern silently vanished. The bug shipped because
+// the only guard was end-to-end tests that happened not to use that
+// spelling — the same failure mode as map-iteration order leaking into
+// merged results, which the CI determinism matrix only catches when the
+// runtime's map seed happens to expose it. Both bug classes need a
+// check that fires on the *shape* of the code, every build; this corpus
+// pins that check's exact behavior.
+package mapiter
+
+import "sort"
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `iteration order is nondeterministic`
+	}
+	return keys
+}
+
+// The sanctioned escape: accumulate, then sort.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sendOnChannel(m map[string]int, out chan string) {
+	for k := range m {
+		out <- k // want `channel send inside range over map`
+	}
+}
+
+func yieldPush(m map[string]int, yield func(string) bool) {
+	for k := range m {
+		yield(k) // want `yield inside range over map`
+	}
+}
+
+// Per-key scratch declared inside the loop cannot observe cross-key
+// order.
+func perKeyScratch(m map[string][]int) map[string]int {
+	out := make(map[string]int)
+	for k, vs := range m {
+		var total []int
+		for _, v := range vs {
+			total = append(total, v)
+		}
+		out[k] = len(total)
+	}
+	return out
+}
+
+type sink struct{ rows []string }
+
+// Field targets are tracked like variables.
+func (s *sink) fill(m map[string]bool) {
+	for k := range m {
+		s.rows = append(s.rows, k) // want `iteration order is nondeterministic`
+	}
+}
+
+// A justified suppression silences the finding.
+func suppressedWithReason(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //kaskade:allow mapiter caller re-sorts before emitting
+	}
+	return keys
+}
+
+// A reasonless suppression is itself a finding.
+func suppressedWithoutReason(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//kaskade:allow mapiter
+		keys = append(keys, k) // want `suppression without reason`
+	}
+	return keys
+}

@@ -1,0 +1,14 @@
+// Package clean must produce no diagnostics: the accumulate-then-sort
+// idiom is the sanctioned way out of map-iteration nondeterminism.
+package clean
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

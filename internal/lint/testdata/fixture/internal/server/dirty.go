@@ -1,0 +1,55 @@
+// Package server is the known-dirty fixture for the kaskade-lint
+// integration test: one violation per analyzer, checked through the
+// real `go vet -vettool=` pipeline rather than the in-process corpus
+// runner. The directory is named internal/server so the gated
+// analyzers (lockhold, errtaxonomy, ctxflow's blocking rule) apply.
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+type Hub struct {
+	mu     sync.Mutex
+	events chan string
+	hits   int64
+}
+
+// mapiter: nondeterministic accumulation.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// ctxflow: TODO in library code.
+func Root() context.Context {
+	return context.TODO()
+}
+
+// ctxflow: exported blocking function without a context.
+func (h *Hub) Publish(ev string) {
+	h.events <- ev
+}
+
+// lockhold: blocking send while holding the mutex.
+func (h *Hub) Broadcast(ev string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.events <- ev
+}
+
+// atomicfield: mixed atomic/plain access.
+func (h *Hub) Incr() { atomic.AddInt64(&h.hits, 1) }
+
+func (h *Hub) Hits() int64 { return h.hits }
+
+// errtaxonomy: plain-text error response.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest)
+}

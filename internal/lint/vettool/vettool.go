@@ -1,0 +1,332 @@
+// Package vettool runs kaskade-lint's analyzers under the `go vet
+// -vettool=` protocol, and doubles as the standalone driver.
+//
+// The protocol (cmd/go/internal/work, cmd/go/internal/vet) has three
+// entry points:
+//
+//   - `tool -V=full` — print a version line cmd/go hashes into the
+//     build cache key. For a "devel" version the last field must be
+//     "buildID=..."; we use the SHA-256 of our own executable so a
+//     rebuilt linter invalidates cached vet results.
+//   - `tool -flags` — print a JSON description of the tool's flags so
+//     `go vet -mapiter=false ./...` can validate and forward them.
+//   - `tool [flags] <objdir>/vet.cfg` — analyze one package described
+//     by the JSON config: parse the listed files, type-check against
+//     the export data cmd/go already built (ImportMap + PackageFile),
+//     run the analyzers, print findings to stderr, and exit 2 if any.
+//
+// Dependency packages are visited with VetxOnly=true: no analysis is
+// wanted, only the facts file (VetxOutput). Our analyzers are purely
+// intra-package, so the facts file is an empty placeholder — but it
+// must exist, because cmd/go caches per-package vet results through it.
+//
+// Invoked any other way, the driver re-executes itself through
+// `go vet -vettool=<self>` so the official build system handles
+// package loading, caching, and parallelism, or — with -report —
+// inventories every //kaskade:allow suppression in the tree.
+package vettool
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"kaskade/internal/lint/analysis"
+	"kaskade/internal/lint/loader"
+)
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg
+// (cmd/go/internal/work.vetConfig). Fields we never read are omitted;
+// unknown JSON keys are ignored by encoding/json.
+type vetConfig struct {
+	ID                        string            // package ID, e.g. "kaskade/internal/exec"
+	Compiler                  string            // "gc"
+	Dir                       string            // package directory
+	ImportPath                string            // import path, possibly with " [foo.test]" suffix
+	GoFiles                   []string          // absolute paths of .go files to analyze
+	ImportMap                 map[string]string // source import path -> canonical path
+	PackageFile               map[string]string // canonical path -> export data file
+	Standard                  map[string]bool   // canonical path -> is stdlib
+	VetxOnly                  bool              // only facts wanted, no diagnostics
+	VetxOutput                string            // where to write this package's facts
+	GoVersion                 string            // language version, e.g. "go1.23"
+	SucceedOnTypecheckFailure bool              // exit 0 silently on type errors (go vet -e absent)
+}
+
+// Main is the kaskade-lint entry point. It returns the process exit
+// code: 0 clean, 1 operational error, 2 diagnostics reported.
+func Main(analyzers []*analysis.Analyzer) int {
+	fs := flag.NewFlagSet("kaskade-lint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: kaskade-lint [-report] [-<analyzer>=false ...] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the Kaskade invariant analyzers over the named packages\n")
+		fmt.Fprintf(fs.Output(), "(default ./...) by re-executing itself as `go vet -vettool`.\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	versionFlag := fs.String("V", "", "print version and exit (go vet handshake)")
+	flagsFlag := fs.Bool("flags", false, "print flag descriptions in JSON and exit (go vet handshake)")
+	reportFlag := fs.Bool("report", false, "inventory all //kaskade:allow suppressions instead of analyzing")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		enabled[a.Name] = fs.Bool(a.Name, true, doc)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 1
+	}
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+		return 0
+	case *flagsFlag:
+		return printFlags(analyzers)
+	case *reportFlag:
+		return runReport(fs.Args())
+	}
+
+	active := make([]*analysis.Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	if args := fs.Args(); len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnit(args[0], active)
+	}
+	return runStandalone(fs.Args(), analyzers, enabled)
+}
+
+// printVersion emits the -V=full handshake line. cmd/go requires
+// fields[1] == "version", and for a "devel" version the last field must
+// start with "buildID="; hashing our own binary makes the vet cache key
+// content-addressed, so a rebuilt linter re-vets everything.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("kaskade-lint version devel buildID=%s\n", id)
+}
+
+// printFlags emits the -flags handshake: the tool flags go vet should
+// accept and forward (the per-analyzer toggles).
+func printFlags(analyzers []*analysis.Analyzer) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	out := make([]jsonFlag, 0, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kaskade-lint: %v\n", err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}
+
+// runUnit analyzes the single package described by a vet.cfg file.
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kaskade-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "kaskade-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Facts file first: cmd/go stores it in the build cache even when we
+	// go on to report diagnostics, and its absence disables caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("kaskade-lint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "kaskade-lint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Test files and generated files are out of scope for the invariant
+	// analyzers: tests exercise internals on purpose, and generated code
+	// is fixed at its generator.
+	fset := token.NewFileSet()
+	var names []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			names = append(names, f)
+		}
+	}
+	if len(names) == 0 {
+		return 0
+	}
+	parsed, err := loader.ParseFiles(fset, cfg.Dir, names)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "kaskade-lint: %v\n", err)
+		return 1
+	}
+	files := parsed[:0]
+	for _, f := range parsed {
+		if !ast.IsGenerated(f) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, info, typeErr := loader.Check(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+	if typeErr != nil || pkg == nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "kaskade-lint: typecheck %s: %v\n", cfg.ImportPath, typeErr)
+		return 1
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kaskade-lint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Position(fset), d.Message, d.Category)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runStandalone re-executes through `go vet -vettool=<self>` so cmd/go
+// does package loading, export-data builds, caching, and parallelism.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, enabled map[string]*bool) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kaskade-lint: %v\n", err)
+		return 1
+	}
+	args := []string{"vet", "-vettool=" + exe}
+	for _, a := range analyzers {
+		if !*enabled[a.Name] {
+			args = append(args, "-"+a.Name+"=false")
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		var exitErr *exec.ExitError
+		if ok := asExitError(err, &exitErr); ok {
+			return exitErr.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "kaskade-lint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func asExitError(err error, target **exec.ExitError) bool {
+	e, ok := err.(*exec.ExitError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// runReport walks the tree (default ".") and prints every
+// //kaskade:allow directive with its justification — the suppression
+// ledger CI uploads per PR. Directives with no reason are errors.
+func runReport(roots []string) int {
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var total, missing int
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			files, err := loader.ParseFiles(fset, "", []string{path})
+			if err != nil {
+				return err
+			}
+			for _, a := range analysis.ParseAllows(fset, files) {
+				total++
+				if a.Reason == "" {
+					missing++
+					fmt.Printf("%s:%d: allow %s: MISSING REASON\n", a.Pos.Filename, a.Pos.Line, a.Analyzer)
+					continue
+				}
+				fmt.Printf("%s:%d: allow %s: %s\n", a.Pos.Filename, a.Pos.Line, a.Analyzer, a.Reason)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kaskade-lint: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Printf("%d suppression(s), %d missing a reason\n", total, missing)
+	if missing > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,61 @@
+package vettool_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolOnFixture builds cmd/kaskade-lint and runs it through the
+// real `go vet -vettool=` pipeline over the known-dirty fixture module
+// in ../testdata/fixture: every analyzer must fire there, the justified
+// suppression must hold, and the clean package must pass. This is the
+// end-to-end pin on the unitchecker protocol (version/flags handshake,
+// vet.cfg parsing, export-data type-checking, exit codes) that the
+// in-process corpus tests cannot cover.
+func TestVettoolOnFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the linter and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "kaskade-lint")
+	build := exec.Command("go", "build", "-o", bin, "kaskade/cmd/kaskade-lint")
+	build.Dir = "../../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building kaskade-lint: %v\n%s", err, out)
+	}
+	fixture, err := filepath.Abs(filepath.Join("..", "testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = fixture
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet over the dirty fixture passed; output:\n%s", out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"[mapiter]", "[ctxflow]", "[atomicfield]", "[lockhold]", "[errtaxonomy]",
+		"iteration order is nondeterministic",
+		"context.TODO in non-test code",
+		"exported Publish blocks",
+		"while holding h.mu",
+		"non-atomic access to hits",
+		"http.Error bypasses the error taxonomy",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("go vet output missing %q; output:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "suppressed.go") {
+		t.Errorf("justified suppression did not hold through go vet; output:\n%s", text)
+	}
+
+	cleanVet := exec.Command("go", "vet", "-vettool="+bin, "./clean")
+	cleanVet.Dir = fixture
+	if out, err := cleanVet.CombinedOutput(); err != nil {
+		t.Errorf("go vet over the clean package failed: %v\n%s", err, out)
+	}
+}

@@ -455,7 +455,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.baseCtx.Err() != nil {
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
+		w.WriteHeader(http.StatusServiceUnavailable) //kaskade:allow errtaxonomy health probes want a status report, not an error envelope
 		_, _ = w.Write([]byte(`{"status":"draining"}`))
 		return
 	}

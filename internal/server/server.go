@@ -200,7 +200,9 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration)
 	if drain < 0 {
 		drain = 0
 	}
-	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	// The drain must outlive the already-canceled serve context, so
+	// detach from it without losing its values.
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), drain)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err == nil {
 		return nil
@@ -209,7 +211,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration)
 	// execution contexts and give the handlers a moment to unwind and
 	// write their "canceled" responses before closing connections.
 	s.CancelInflight()
-	gctx, gcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	gctx, gcancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
 	defer gcancel()
 	if err := hs.Shutdown(gctx); err != nil {
 		return hs.Close()
