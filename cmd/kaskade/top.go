@@ -137,6 +137,8 @@ func renderTop(sys *kaskade.System, ring *metrics.Ring, start time.Time, tty boo
 		len(s.Views), s.FreezeEvents, s.WorkersActive, s.WorkersPeak)
 	fmt.Fprintf(&b, "queries=%d  errors=%d  rows=%d  rewrites: %d hit / %d miss (ratio %.2f)\n",
 		s.Queries, s.QueryErrors, s.Rows, s.RewriteHits, s.RewriteMisses, s.HitRatio())
+	fmt.Fprintf(&b, "columns=%d (%d B)  prop reads: %d columnar / %d map\n",
+		s.ColumnCount, s.ColumnBytes, s.ColumnScans, s.PropMapFallbacks)
 	// Service-boundary counters (zero unless this System is also served
 	// by a kaskaded daemon in-process).
 	fmt.Fprintf(&b, "admission: %d admitted / %d rejected / %d timed out  in-flight=%d  sessions=%d  cache: %d hit / %d miss\n\n",

@@ -291,29 +291,79 @@ func LabelPropagationContext(ctx context.Context, g *graph.Graph, passes int, co
 	return LabelPropagationParallel(ctx, g, passes, communityProp, 1)
 }
 
+// lpScratch is a worker's flat scratch for lpAdoptLabel. Labels are
+// always vertex indices (every vertex starts labeled with its own
+// index and only ever adopts a neighbor's label), so the per-label
+// neighbor counts live in a flat []int32 indexed by label instead of a
+// map[int64]int — no hashing, no per-pass map churn. Entries are
+// invalidated in O(1) by epoch tag: counts[l] is live only while
+// mark[l] == epoch, and reset just bumps the epoch. touched records
+// the labels seen for the current vertex so the argmax sweep visits
+// exactly the nonzero counts (the rule — max count, min label on ties
+// — is order-independent, so sweeping in first-seen order is as
+// deterministic as sweeping a sorted set).
+type lpScratch struct {
+	counts  []int32
+	mark    []uint32
+	epoch   uint32
+	touched []int64
+}
+
+func newLPScratch(n int) *lpScratch {
+	return &lpScratch{
+		counts:  make([]int32, n),
+		mark:    make([]uint32, n),
+		touched: make([]int64, 0, 64),
+	}
+}
+
+// reset invalidates all counts for the next vertex.
+func (s *lpScratch) reset() {
+	s.epoch++
+	if s.epoch == 0 {
+		// Epoch wrapped: stale marks from 2^32 vertices ago would read as
+		// current. Clear them and restart above zero.
+		clear(s.mark)
+		s.epoch = 1
+	}
+	s.touched = s.touched[:0]
+}
+
+// bump counts one neighbor carrying the given label.
+func (s *lpScratch) bump(label int64) {
+	if s.mark[label] != s.epoch {
+		s.mark[label] = s.epoch
+		s.counts[label] = 0
+		s.touched = append(s.touched, label)
+	}
+	s.counts[label]++
+}
+
 // lpAdoptLabel computes one vertex's next label: the most frequent
-// label among its undirected neighbors, smaller label winning ties
-// (counts must be empty on entry; it is cleared on return). The rule is
-// deterministic — min label among the max-count labels — so computing
-// vertices in any order (or in parallel) yields identical labels.
-func lpAdoptLabel(f *graph.Frozen, labels []int64, v int, counts map[int64]int) int64 {
+// label among its undirected neighbors, smaller label winning ties.
+// The rule is deterministic — min label among the max-count labels —
+// so computing vertices in any order (or in parallel) yields identical
+// labels. sc is per-worker scratch; the whole computation is
+// allocation-free on the warm path (pinned by
+// TestLabelPropagationAllocations).
+func lpAdoptLabel(f *graph.Frozen, labels []int64, v int, sc *lpScratch) int64 {
+	sc.reset()
 	id := graph.VertexID(v)
 	for _, eid := range f.Out(id) {
-		counts[labels[f.To(eid)]]++
+		sc.bump(labels[f.To(eid)])
 	}
 	for _, eid := range f.In(id) {
-		counts[labels[f.From(eid)]]++
+		sc.bump(labels[f.From(eid)])
 	}
-	if len(counts) == 0 {
+	if len(sc.touched) == 0 {
 		return labels[v]
 	}
-	bestLabel, bestCount := labels[v], 0
-	for label, c := range counts {
-		if c > bestCount || (c == bestCount && label < bestLabel) {
+	bestLabel, bestCount := labels[v], int32(0)
+	for _, label := range sc.touched {
+		if c := sc.counts[label]; c > bestCount || (c == bestCount && label < bestLabel) {
 			bestLabel, bestCount = label, c
 		}
 	}
-	clear(counts)
 	return bestLabel
 }
 

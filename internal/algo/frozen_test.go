@@ -367,6 +367,33 @@ func TestKHopHotPathAllocations(t *testing.T) {
 	}
 }
 
+// TestLabelPropagationAllocations is the allocation-regression guard on
+// the label-adoption hot path: with a warm lpScratch, computing a
+// vertex's next label allocates nothing — the win of the epoch-tagged
+// flat counts over the historical per-worker map[int64]int.
+func TestLabelPropagationAllocations(t *testing.T) {
+	g := randomGraph(t, 17, 500, 3000)
+	f := g.Freeze()
+	n := f.NumVertices()
+	labels := make([]int64, n)
+	for i := range labels {
+		labels[i] = int64(i)
+	}
+	sc := newLPScratch(n)
+	// Warm the touched slice past any realistic degree.
+	for v := 0; v < n; v++ {
+		lpAdoptLabel(f, labels, v, sc)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for v := 0; v < 64; v++ {
+			lpAdoptLabel(f, labels, v, sc)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("label adoption allocates %.1f objects per 64 vertices, want 0", allocs)
+	}
+}
+
 // BenchmarkAlgoKHop prices the frozen bitset k-hop against the
 // map-based append-mode reference (the Fig. 7 Q2/Q3 hot path).
 func BenchmarkAlgoKHop(b *testing.B) {

@@ -132,11 +132,25 @@ func LabelPropagationParallel(ctx context.Context, g *graph.Graph, passes int, c
 	numChunks := (n + lpChunkSize - 1) / lpChunkSize
 	changedBy := make([]bool, numChunks)
 
+	// Per-worker adoption scratch, recycled through a free-list channel
+	// so the flat count/mark arrays are allocated at most once per
+	// worker slot for the whole run, not once per pass (the old
+	// map[int64]int was rebuilt by every worker every pass). At most
+	// max(workers, 1) scratches are checked out at once, so the
+	// buffered return below never blocks.
+	free := make(chan *lpScratch, max(workers, 1))
+
 	// par.DoContext runs the claim loop inline when workers <= 1 and
 	// polls ctx in next() either way, so one code path serves both.
 	runPass := func() error {
 		par.DoContext(ctx, numChunks, max(workers, 1), func(nx func() (int, bool)) {
-			counts := make(map[int64]int)
+			var sc *lpScratch
+			select {
+			case sc = <-free:
+			default:
+				sc = newLPScratch(n)
+			}
+			defer func() { free <- sc }()
 			for {
 				ci, ok := nx()
 				if !ok {
@@ -146,7 +160,7 @@ func LabelPropagationParallel(ctx context.Context, g *graph.Graph, passes int, c
 				hi := min(lo+lpChunkSize, n)
 				changed := false
 				for v := lo; v < hi; v++ {
-					next[v] = lpAdoptLabel(f, labels, v, counts)
+					next[v] = lpAdoptLabel(f, labels, v, sc)
 					if next[v] != labels[v] {
 						changed = true
 					}

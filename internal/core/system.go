@@ -105,6 +105,13 @@ func (s *System) MetricsSnapshot() metrics.Snapshot {
 	snap.FreezeEvents = graph.CSRBuilds()
 	snap.WorkersActive = par.ActiveWorkers()
 	snap.WorkersPeak = par.PeakWorkers()
+	// CachedFrozen, not Freeze: a monitoring scrape reports the columns
+	// that exist, it never pays (or fails) an O(V+E) freeze build.
+	if fz := s.graph.CachedFrozen(); fz != nil {
+		cols, colBytes := fz.ColumnStats()
+		snap.ColumnCount = int64(cols)
+		snap.ColumnBytes = colBytes
+	}
 	for _, v := range s.catalog.ListViews() {
 		snap.Views = append(snap.Views, metrics.ViewCount{Name: v.Name, Hits: v.Hits})
 	}
@@ -293,8 +300,9 @@ func (s *System) explainText(plan *workload.Plan) string {
 	}
 	fmt.Fprintf(&b, "estimated cost: %.4g\n", plan.Cost)
 	fz := plan.Graph.Freeze()
-	fmt.Fprintf(&b, "storage: frozen csr (|V|=%d, |E|=%d, edge types=%d)\n",
-		fz.NumVertices(), fz.NumEdges(), len(fz.EdgeTypes()))
+	cols, colBytes := fz.ColumnStats()
+	fmt.Fprintf(&b, "storage: frozen csr (|V|=%d, |E|=%d, edge types=%d, columns=%d (%d B))\n",
+		fz.NumVertices(), fz.NumEdges(), len(fz.EdgeTypes()), cols, colBytes)
 	if mode := exec.QueryAggModeFor(plan.Query, plan.Graph.Schema()); mode != exec.AggModeNone {
 		fmt.Fprintf(&b, "aggregation: %s\n", mode)
 	}

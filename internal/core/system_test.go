@@ -107,6 +107,9 @@ func TestSystemExplain(t *testing.T) {
 	if !strings.Contains(out, "storage: frozen csr") {
 		t.Errorf("explain missing frozen storage line: %s", out)
 	}
+	if !strings.Contains(out, "columns=") {
+		t.Errorf("explain storage line missing column stats: %s", out)
+	}
 	// blastRadius bottoms out in a pure-projection MATCH, so no
 	// aggregation line; an aggregate query names its strategy.
 	if strings.Contains(out, "aggregation:") {

@@ -99,7 +99,7 @@ func DefaultProvConfig() ProvConfig {
 // and consume files (no file-file or job-job edges), jobs spawn tasks,
 // tasks transfer data to tasks and run on machines, users submit jobs.
 func ProvSchema() *graph.Schema {
-	return graph.MustSchema(
+	s := graph.MustSchema(
 		[]string{"Job", "File", "Task", "Machine", "User"},
 		[]graph.EdgeType{
 			{From: "Job", To: "File", Name: "WRITES_TO"},
@@ -110,6 +110,26 @@ func ProvSchema() *graph.Schema {
 			{From: "User", To: "Job", Name: "SUBMITTED"},
 		},
 	)
+	// Declared property kinds match what Prov generates exactly; the
+	// declarations both license integer partial aggregation at plan time
+	// and opt these properties into frozen columnar storage.
+	for _, d := range []struct {
+		typ, prop string
+		kind      graph.PropKind
+	}{
+		{"Job", "name", graph.PropString},
+		{"Job", "CPU", graph.PropInt},
+		{"Job", "pipelineName", graph.PropString},
+		{"File", "name", graph.PropString},
+		{"File", "size", graph.PropInt},
+		{"Machine", "name", graph.PropString},
+		{"User", "name", graph.PropString},
+	} {
+		if err := s.DeclareProperty(d.typ, d.prop, d.kind); err != nil {
+			panic(err)
+		}
+	}
+	return s
 }
 
 // Prov generates the raw provenance graph.

@@ -18,6 +18,15 @@ type aggregator struct {
 	aggNodes []*gql.FuncCall // aggregate calls across all items
 	groups   map[string]*aggGroup
 	order    []string // group keys in first-seen order
+	noCols   bool     // propagate the column A/B switch into finish()
+
+	// feed-path scratch. feed is goroutine-confined (each chunk owns its
+	// aggregator; the sequential path has one), so the per-row key and
+	// argument slices are reused across rows instead of reallocated.
+	// prepare, by contrast, runs concurrently on the SHARED merge-target
+	// aggregator from buffered-mode workers and must keep allocating.
+	keyBuf []Value
+	argBuf []Value
 }
 
 type aggGroup struct {
@@ -25,7 +34,7 @@ type aggGroup struct {
 	accs   []accumulator
 }
 
-func newAggregator(items []gql.ReturnItem, groupBy []gql.Expr) *aggregator {
+func newAggregator(items []gql.ReturnItem, groupBy []gql.Expr, noCols bool) *aggregator {
 	var aggNodes []*gql.FuncCall
 	for _, item := range items {
 		aggNodes = append(aggNodes, collectAggregates(item.Expr)...)
@@ -38,6 +47,7 @@ func newAggregator(items []gql.ReturnItem, groupBy []gql.Expr) *aggregator {
 		keyExprs: groupBy,
 		aggNodes: aggNodes,
 		groups:   make(map[string]*aggGroup),
+		noCols:   noCols,
 	}
 	if len(groupBy) == 0 {
 		// Implicit grouping: key on the aggregate-free items.
@@ -47,6 +57,8 @@ func newAggregator(items []gql.ReturnItem, groupBy []gql.Expr) *aggregator {
 			}
 		}
 	}
+	a.keyBuf = make([]Value, len(a.keyExprs))
+	a.argBuf = make([]Value, len(a.aggNodes))
 	return a
 }
 
@@ -245,72 +257,112 @@ type prepared struct {
 	args []Value // aligned with aggNodes; nil slots for COUNT(*)
 }
 
+// evalKey evaluates the grouping key expressions into buf and encodes
+// the group key. buf must have len(a.keyExprs).
+func (a *aggregator) evalKey(sc scope, buf []Value) (string, error) {
+	for i, ke := range a.keyExprs {
+		v, err := evalExpr(ke, sc)
+		if err != nil {
+			return "", err
+		}
+		buf[i] = v
+	}
+	return groupKey(buf), nil
+}
+
+// evalArgs evaluates the aggregate arguments into buf (len ==
+// len(a.aggNodes); nil slots for COUNT(*)). Arguments of every
+// aggregate except COUNT can be retained by the accumulator
+// (minMaxAcc keeps its best value; buffered yields hold them until the
+// merge), so they are exported here — COUNT only nil-checks its
+// argument and skips the copy.
+func (a *aggregator) evalArgs(sc scope, buf []Value) error {
+	for i, node := range a.aggNodes {
+		if node.Star {
+			buf[i] = nil
+			continue
+		}
+		if len(node.Args) != 1 {
+			return fmt.Errorf("exec: %s expects one argument", node.Name)
+		}
+		v, err := evalExpr(node.Args[0], sc)
+		if err != nil {
+			return err
+		}
+		if node.Name != "COUNT" {
+			v = exportValue(v)
+		}
+		buf[i] = v
+	}
+	return nil
+}
+
 // prepare evaluates a row's grouping key and aggregate arguments. It
 // only reads the aggregator's immutable shape (items, keyExprs,
-// aggNodes), so concurrent calls are safe.
-func (a *aggregator) prepare(env map[string]Value) (prepared, error) {
+// aggNodes), so concurrent calls are safe — which is also why it
+// allocates fresh slices instead of using the feed-path scratch:
+// buffered-mode workers call prepare on the shared merge-target
+// aggregator.
+func (a *aggregator) prepare(sc scope) (prepared, error) {
 	keyVals := make([]Value, len(a.keyExprs))
-	for i, ke := range a.keyExprs {
-		v, err := evalExpr(ke, env)
-		if err != nil {
-			return prepared{}, err
-		}
-		keyVals[i] = v
+	key, err := a.evalKey(sc, keyVals)
+	if err != nil {
+		return prepared{}, err
 	}
-	p := prepared{key: groupKey(keyVals)}
+	p := prepared{key: key}
 	if len(a.aggNodes) > 0 {
 		p.args = make([]Value, len(a.aggNodes))
-		for i, node := range a.aggNodes {
-			if node.Star {
-				continue
-			}
-			if len(node.Args) != 1 {
-				return prepared{}, fmt.Errorf("exec: %s expects one argument", node.Name)
-			}
-			v, err := evalExpr(node.Args[0], env)
-			if err != nil {
-				return prepared{}, err
-			}
-			p.args[i] = v
+		if err := a.evalArgs(sc, p.args); err != nil {
+			return prepared{}, err
 		}
 	}
 	return p, nil
 }
 
-// feedPrepared routes prepared inputs into their group, materializing
-// the group on first sight with rep() as its representative row. Calls
-// mutate the group table and must stay on one goroutine.
-func (a *aggregator) feedPrepared(p prepared, rep func() map[string]Value) error {
-	g, ok := a.groups[p.key]
+// route feeds one evaluated row (group key + aggregate arguments) into
+// its group, materializing the group on first sight with rep() as its
+// representative row. Calls mutate the group table and must stay on
+// one goroutine.
+func (a *aggregator) route(key string, args []Value, rep func() map[string]Value) error {
+	g, ok := a.groups[key]
 	if !ok {
 		g = &aggGroup{repEnv: rep(), accs: make([]accumulator, len(a.aggNodes))}
 		for i, node := range a.aggNodes {
 			g.accs[i] = newAccumulator(node.Name)
 		}
-		a.groups[p.key] = g
-		a.order = append(a.order, p.key)
+		a.groups[key] = g
+		a.order = append(a.order, key)
 	}
 	for i, node := range a.aggNodes {
-		if err := g.accs[i].add(p.args[i], node.Star); err != nil {
+		var v Value
+		if args != nil {
+			v = args[i]
+		}
+		if err := g.accs[i].add(v, node.Star); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// feed routes one input row (as an environment) into its group.
-func (a *aggregator) feed(env map[string]Value) error {
-	p, err := a.prepare(env)
+// feedPrepared routes prepared inputs into their group.
+func (a *aggregator) feedPrepared(p prepared, rep func() map[string]Value) error {
+	return a.route(p.key, p.args, rep)
+}
+
+// feed routes one input row (as a scope) into its group. feed is
+// goroutine-confined, so it evaluates into the reusable scratch
+// buffers — the accumulators consume argument values immediately
+// (retained ones were exported by evalArgs), never the slice itself.
+func (a *aggregator) feed(sc scope) error {
+	key, err := a.evalKey(sc, a.keyBuf)
 	if err != nil {
 		return err
 	}
-	return a.feedPrepared(p, func() map[string]Value {
-		rep := make(map[string]Value, len(env))
-		for k, v := range env {
-			rep[k] = v
-		}
-		return rep
-	})
+	if err := a.evalArgs(sc, a.argBuf); err != nil {
+		return err
+	}
+	return a.route(key, a.argBuf, sc.snapshot)
 }
 
 // mergeFrom folds a chunk-local aggregator of the same shape into a, in
@@ -366,7 +418,7 @@ func (a *aggregator) finish() ([]Row, error) {
 		}
 		row := make(Row, len(a.items))
 		for i, item := range a.items {
-			v, err := evalWithAggs(item.Expr, g.repEnv, aggVals)
+			v, err := evalWithAggs(item.Expr, mapScope{env: g.repEnv, noCols: a.noCols}, aggVals)
 			if err != nil {
 				return nil, err
 			}
@@ -380,7 +432,7 @@ func (a *aggregator) finish() ([]Row, error) {
 // evalWithAggs evaluates an expression where aggregate calls are replaced
 // by their accumulated results; other subexpressions evaluate against the
 // group's representative row.
-func evalWithAggs(e gql.Expr, env map[string]Value, aggVals map[*gql.FuncCall]Value) (Value, error) {
+func evalWithAggs(e gql.Expr, sc scope, aggVals map[*gql.FuncCall]Value) (Value, error) {
 	switch e := e.(type) {
 	case *gql.FuncCall:
 		if v, ok := aggVals[e]; ok {
@@ -388,11 +440,11 @@ func evalWithAggs(e gql.Expr, env map[string]Value, aggVals map[*gql.FuncCall]Va
 		}
 	case *gql.BinaryExpr:
 		if gql.HasAggregate(e.Left) || gql.HasAggregate(e.Right) {
-			l, err := evalWithAggs(e.Left, env, aggVals)
+			l, err := evalWithAggs(e.Left, sc, aggVals)
 			if err != nil {
 				return nil, err
 			}
-			r, err := evalWithAggs(e.Right, env, aggVals)
+			r, err := evalWithAggs(e.Right, sc, aggVals)
 			if err != nil {
 				return nil, err
 			}
@@ -421,7 +473,7 @@ func evalWithAggs(e gql.Expr, env map[string]Value, aggVals map[*gql.FuncCall]Va
 		}
 	case *gql.UnaryExpr:
 		if gql.HasAggregate(e.Operand) {
-			v, err := evalWithAggs(e.Operand, env, aggVals)
+			v, err := evalWithAggs(e.Operand, sc, aggVals)
 			if err != nil {
 				return nil, err
 			}
@@ -441,7 +493,7 @@ func evalWithAggs(e gql.Expr, env map[string]Value, aggVals map[*gql.FuncCall]Va
 			return nil, fmt.Errorf("exec: %s applied to %T", e.Op, v)
 		}
 	}
-	return evalExpr(e, env)
+	return evalExpr(e, sc)
 }
 
 // --- accumulators ---

@@ -1,0 +1,292 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+	"kaskade/internal/metrics"
+)
+
+// declaredLineage is the lineage graph (exec_test.go) rebuilt over a
+// schema that declares every property, so every vertex property read a
+// query makes is column-covered.
+func declaredLineage(t testing.TB) *graph.Graph {
+	t.Helper()
+	s := graph.MustSchema(
+		[]string{"Job", "File"},
+		[]graph.EdgeType{
+			{From: "Job", To: "File", Name: "WRITES_TO"},
+			{From: "File", To: "Job", Name: "IS_READ_BY"},
+		},
+	)
+	for _, d := range []struct {
+		typ, prop string
+		kind      graph.PropKind
+	}{
+		{"Job", "name", graph.PropString},
+		{"Job", "CPU", graph.PropInt},
+		{"Job", "pipelineName", graph.PropString},
+		{"File", "name", graph.PropString},
+	} {
+		if err := s.DeclareProperty(d.typ, d.prop, d.kind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := graph.NewGraph(s)
+	ids := make(map[string]graph.VertexID)
+	addJ := func(name string, cpu int64) {
+		ids[name] = g.MustAddVertex("Job", graph.Properties{"name": name, "CPU": cpu, "pipelineName": "p" + name})
+	}
+	addF := func(name string) {
+		ids[name] = g.MustAddVertex("File", graph.Properties{"name": name})
+	}
+	addJ("j1", 10)
+	addJ("j2", 20)
+	addJ("j3", 30)
+	addF("f1")
+	addF("f2")
+	addF("f3")
+	addF("f4")
+	w := func(j, f string) { g.MustAddEdge(ids[j], ids[f], "WRITES_TO", nil) }
+	r := func(f, j string) { g.MustAddEdge(ids[f], ids[j], "IS_READ_BY", nil) }
+	w("j1", "f1")
+	w("j1", "f2")
+	r("f1", "j2")
+	r("f2", "j3")
+	w("j2", "f3")
+	w("j3", "f4")
+	return g
+}
+
+// runColumnMode executes src with the columnar path on or off.
+func runColumnMode(t testing.TB, g *graph.Graph, src string, workers int, noColumns bool) *Result {
+	t.Helper()
+	q := mustParse(t, src)
+	ex := &Executor{G: g, Workers: workers, noColumns: noColumns}
+	res, err := ex.Execute(q)
+	if err != nil {
+		t.Fatalf("Execute(%q, workers=%d, noColumns=%v): %v", src, workers, noColumns, err)
+	}
+	return res
+}
+
+// TestColumnsMatchMapOnLineage is the columnar-vs-map equivalence suite
+// over every exec_test query shape: with every property declared, the
+// columnar reads and the predicate prefilter must produce byte-identical
+// results (rows, order, group order, float bit patterns) to the
+// property-map path, sequential and parallel.
+func TestColumnsMatchMapOnLineage(t *testing.T) {
+	g := declaredLineage(t)
+	for _, src := range equivalenceQueries {
+		ref := runColumnMode(t, g, src, 1, true) // map path sequential: the reference
+		for _, workers := range []int{1, 4} {
+			assertSameResult(t, src, ref, runColumnMode(t, g, src, workers, false), workers)
+			assertSameResult(t, src, ref, runColumnMode(t, g, src, workers, true), workers)
+		}
+	}
+}
+
+// TestColumnsMatchMapOnDatagen runs the same A/B over the randomized
+// synthetic datasets (prov declares properties; the others exercise the
+// column-less fallback).
+func TestColumnsMatchMapOnDatagen(t *testing.T) {
+	for _, seed := range []int64{5, 19} {
+		graphs := datagenGraphs(t, seed)
+		for name, g := range graphs {
+			for _, src := range datasetQueries[name] {
+				ref := runColumnMode(t, g, src, 1, true)
+				for _, workers := range []int{1, 4} {
+					assertSameResult(t, src, ref, runColumnMode(t, g, src, workers, false), workers)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnsMatchMapOnAbsentValues pins the prefilter's nil semantics:
+// a vertex lacking the declared property compares like the map path —
+// "=" is cleanly false, "<>" is cleanly true, and orderings error — on
+// both storage modes.
+func TestColumnsMatchMapOnAbsentValues(t *testing.T) {
+	s := graph.MustSchema([]string{"Job"}, nil)
+	if err := s.DeclareProperty("Job", "CPU", graph.PropInt); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.NewGraph(s)
+	g.MustAddVertex("Job", graph.Properties{"CPU": int64(10)})
+	g.MustAddVertex("Job", nil) // no CPU
+	g.MustAddVertex("Job", graph.Properties{"CPU": int64(20)})
+
+	for _, src := range []string{
+		`MATCH (j:Job) WHERE j.CPU = 10 RETURN ID(j) AS id`,
+		`MATCH (j:Job) WHERE j.CPU <> 10 RETURN ID(j) AS id`,
+	} {
+		ref := runColumnMode(t, g, src, 1, true)
+		for _, workers := range []int{1, 4} {
+			assertSameResult(t, src, ref, runColumnMode(t, g, src, workers, false), workers)
+		}
+	}
+	// An ordering against the absent value errors identically: the
+	// prefilter must keep the candidate so the error still surfaces.
+	src := `MATCH (j:Job) WHERE j.CPU >= 10 RETURN ID(j) AS id`
+	for _, noColumns := range []bool{false, true} {
+		ex := &Executor{G: g, noColumns: noColumns}
+		if _, err := ex.Execute(mustParse(t, src)); err == nil ||
+			!strings.Contains(err.Error(), "cannot compare") {
+			t.Errorf("noColumns=%v: err = %v, want incomparable error", noColumns, err)
+		}
+	}
+}
+
+// TestColumnPrefilterEngagement pins which WHERE shapes the plan-time
+// prefilter extraction accepts, and that filtering matches the
+// predicate.
+func TestColumnPrefilterEngagement(t *testing.T) {
+	g := declaredLineage(t)
+	g.Freeze()
+	ex := &Executor{G: g}
+	match := func(src string) *gql.MatchQuery {
+		t.Helper()
+		q, ok := mustParse(t, src).(*gql.MatchQuery)
+		if !ok {
+			t.Fatalf("%q is not a MATCH query", src)
+		}
+		return q
+	}
+
+	// Engages: first-var property vs literal, leftmost AND conjunct,
+	// flipped operand order.
+	for _, src := range []string{
+		`MATCH (j:Job) WHERE j.CPU >= 20 RETURN j`,
+		`MATCH (j:Job) WHERE 20 <= j.CPU RETURN j`,
+		`MATCH (j:Job) WHERE j.CPU >= 20 AND j.name <> 'zzz' RETURN j`,
+		`MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.CPU >= 20 RETURN j, f`,
+	} {
+		pf := ex.columnPrefilter(match(src))
+		if pf == nil {
+			t.Errorf("%q: prefilter did not engage", src)
+			continue
+		}
+		got := pf.filter(g.VerticesOfType("Job"), nil)
+		if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+			t.Errorf("%q: filtered candidates = %v, want [1 2] (j2, j3)", src, got)
+		}
+	}
+
+	// Stays out: shapes where skipping a candidate could change results
+	// or suppress errors.
+	for _, tc := range []struct {
+		src, why string
+	}{
+		{`MATCH (j:Job) WHERE j.undeclared = 1 RETURN j`, "no column"},
+		{`MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE f.name = 'f1' RETURN j`, "property on a later variable"},
+		{`MATCH (j) WHERE j.CPU >= 20 RETURN j`, "untyped first node"},
+		{`MATCH (j:Job) WHERE j.CPU = 'ten' RETURN j`, "literal kind mismatch"},
+		{`MATCH (j:Job) WHERE j.name <> 'x' OR j.CPU = 1 RETURN j`, "top-level OR"},
+		{`MATCH (j:Job) WHERE j.CPU + 1 >= 21 RETURN j`, "computed left side"},
+	} {
+		if ex.columnPrefilter(match(tc.src)) != nil {
+			t.Errorf("%q: prefilter engaged (%s)", tc.src, tc.why)
+		}
+	}
+
+	// The A/B switch disables it outright.
+	exOff := &Executor{G: g, noColumns: true}
+	if exOff.columnPrefilter(match(`MATCH (j:Job) WHERE j.CPU >= 20 RETURN j`)) != nil {
+		t.Error("noColumns executor still prefilters")
+	}
+}
+
+// TestColumnMetricsCounters pins the columnar-usage counters: a fully
+// declared workload reads only columns; the noColumns switch reads only
+// the maps.
+func TestColumnMetricsCounters(t *testing.T) {
+	g := declaredLineage(t)
+	src := `MATCH (j:Job) WHERE j.CPU >= 20 RETURN j.name AS name`
+	for _, workers := range []int{1, 4} {
+		reg := metrics.NewRegistry()
+		ex := &Executor{G: g, Workers: workers, Metrics: reg}
+		if _, err := ex.Execute(mustParse(t, src)); err != nil {
+			t.Fatal(err)
+		}
+		if reg.ColumnScans.Load() == 0 {
+			t.Errorf("workers=%d: ColumnScans = 0, want > 0", workers)
+		}
+		if n := reg.PropMapFallbacks.Load(); n != 0 {
+			t.Errorf("workers=%d: PropMapFallbacks = %d, want 0 (all properties declared)", workers, n)
+		}
+
+		reg = metrics.NewRegistry()
+		ex = &Executor{G: g, Workers: workers, Metrics: reg, noColumns: true}
+		if _, err := ex.Execute(mustParse(t, src)); err != nil {
+			t.Fatal(err)
+		}
+		if n := reg.ColumnScans.Load(); n != 0 {
+			t.Errorf("workers=%d noColumns: ColumnScans = %d, want 0", workers, n)
+		}
+		if reg.PropMapFallbacks.Load() == 0 {
+			t.Errorf("workers=%d noColumns: PropMapFallbacks = 0, want > 0", workers)
+		}
+	}
+}
+
+// TestVarLengthMatchAllocations is the allocation-regression guard on
+// the warm var-length match path: with the flat binding slots, reused
+// aggregation buffers, and uncopied path yields, a COUNT over thousands
+// of variable-length matches allocates orders of magnitude fewer
+// objects than it yields (the old bindings-map path paid several
+// allocations per yield).
+func TestVarLengthMatchAllocations(t *testing.T) {
+	g := benchGraph(t)
+	q := mustParse(t, `MATCH (a:Job)-[r*1..3]->(v) RETURN COUNT(r) AS n`)
+	ex := &Executor{G: g}
+	res, err := ex.Execute(q) // warm: freeze, columns, plan caches
+	if err != nil {
+		t.Fatal(err)
+	}
+	yields := res.Rows[0][0].(int64)
+	if yields < 5000 {
+		t.Fatalf("bench graph too small for a meaningful guard: %d yields", yields)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := ex.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The floor is the interface boxings a yield can't avoid (binding a
+	// VertexRef and a fresh-length PathRef into their slots); the guard
+	// catches reintroducing per-yield map writes, environment copies, or
+	// path-slice copies, each of which adds whole allocations per yield
+	// (the old path paid 6+).
+	if perYield := allocs / float64(yields); perYield > 4 {
+		t.Errorf("var-length match allocates %.2f objects/yield (%.0f for %d yields), want <= 4", perYield, allocs, yields)
+	}
+}
+
+// BenchmarkPropertyScan prices the Q1 WHERE-filter shape — scan a
+// vertex type, filter on a declared property, project another — on the
+// property-map path vs the columnar path with the predicate prefilter.
+func BenchmarkPropertyScan(b *testing.B) {
+	g := benchGraph(b)
+	q := gql.MustParse(`MATCH (j:Job) WHERE j.CPU >= 900 RETURN j.name AS name`)
+	b.Run("map", func(b *testing.B) {
+		ex := &Executor{G: g, noColumns: true}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("columnar", func(b *testing.B) {
+		ex := &Executor{G: g}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

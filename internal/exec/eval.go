@@ -7,26 +7,26 @@ import (
 	"kaskade/internal/gql"
 )
 
-// evalExpr evaluates a non-aggregate expression against an environment of
+// evalExpr evaluates a non-aggregate expression against a scope of
 // named values (MATCH bindings or SELECT row columns).
-func evalExpr(e gql.Expr, env map[string]Value) (Value, error) {
+func evalExpr(e gql.Expr, sc scope) (Value, error) {
 	switch e := e.(type) {
 	case *gql.Lit:
 		return e.Value, nil
 	case *gql.Ident:
-		v, ok := env[e.Name]
+		v, ok := sc.lookup(e.Name)
 		if !ok {
 			return nil, fmt.Errorf("exec: unknown variable %q", e.Name)
 		}
 		return v, nil
 	case *gql.PropAccess:
-		base, ok := env[e.Base]
+		base, ok := sc.lookup(e.Base)
 		if !ok {
 			return nil, fmt.Errorf("exec: unknown variable %q", e.Base)
 		}
-		return readProp(base, e.Key)
+		return sc.prop(base, e.Key)
 	case *gql.UnaryExpr:
-		v, err := evalExpr(e.Operand, env)
+		v, err := evalExpr(e.Operand, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -48,20 +48,22 @@ func evalExpr(e gql.Expr, env map[string]Value) (Value, error) {
 		}
 		return nil, fmt.Errorf("exec: unknown unary operator %s", e.Op)
 	case *gql.BinaryExpr:
-		return evalBinary(e, env)
+		return evalBinary(e, sc)
 	case *gql.FuncCall:
 		if e.IsAggregate() {
 			return nil, fmt.Errorf("exec: aggregate %s used outside an aggregation context", e.Name)
 		}
-		return evalScalarFunc(e, env)
+		return evalScalarFunc(e, sc)
 	}
 	return nil, fmt.Errorf("exec: unsupported expression %T", e)
 }
 
-func evalBinary(e *gql.BinaryExpr, env map[string]Value) (Value, error) {
-	// Short-circuit booleans.
+func evalBinary(e *gql.BinaryExpr, sc scope) (Value, error) {
+	// Short-circuit booleans. AND evaluates left first — the column
+	// prefilter (prefilter.go) relies on that to pre-apply the leftmost
+	// conjunct without changing which errors later conjuncts can raise.
 	if e.Op == "AND" || e.Op == "OR" {
-		lb, err := evalBool(e.Left, env)
+		lb, err := evalBool(e.Left, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -71,13 +73,13 @@ func evalBinary(e *gql.BinaryExpr, env map[string]Value) (Value, error) {
 		if e.Op == "OR" && lb {
 			return true, nil
 		}
-		return evalBool(e.Right, env)
+		return evalBool(e.Right, sc)
 	}
-	l, err := evalExpr(e.Left, env)
+	l, err := evalExpr(e.Left, sc)
 	if err != nil {
 		return nil, err
 	}
-	r, err := evalExpr(e.Right, env)
+	r, err := evalExpr(e.Right, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -114,8 +116,8 @@ func evalBinary(e *gql.BinaryExpr, env map[string]Value) (Value, error) {
 	return nil, fmt.Errorf("exec: unknown operator %s", e.Op)
 }
 
-func evalBool(e gql.Expr, env map[string]Value) (bool, error) {
-	v, err := evalExpr(e, env)
+func evalBool(e gql.Expr, sc scope) (bool, error) {
+	v, err := evalExpr(e, sc)
 	if err != nil {
 		return false, err
 	}
@@ -124,18 +126,6 @@ func evalBool(e gql.Expr, env map[string]Value) (bool, error) {
 		return false, fmt.Errorf("exec: expected boolean, got %T", v)
 	}
 	return b, nil
-}
-
-func readProp(base Value, key string) (Value, error) {
-	switch base := base.(type) {
-	case VertexRef:
-		return base.G.Vertex(base.ID).Prop(key), nil
-	case EdgeRef:
-		return base.G.Edge(base.ID).Prop(key), nil
-	case nil:
-		return nil, nil
-	}
-	return nil, fmt.Errorf("exec: property access on %T", base)
 }
 
 func arith(op string, l, r Value) (Value, error) {
@@ -247,10 +237,10 @@ func compareValues(l, r Value) (int, bool) {
 // usual ID/LABEL/LENGTH, the PATH_* family aggregates a property over the
 // edges of a bound variable-length path — the primitive behind Q4 ("path
 // lengths": max edge timestamp along each path).
-func evalScalarFunc(e *gql.FuncCall, env map[string]Value) (Value, error) {
+func evalScalarFunc(e *gql.FuncCall, sc scope) (Value, error) {
 	argv := make([]Value, len(e.Args))
 	for i, a := range e.Args {
-		v, err := evalExpr(a, env)
+		v, err := evalExpr(a, sc)
 		if err != nil {
 			return nil, err
 		}

@@ -171,10 +171,12 @@ func TestDeclaredPropertyPartialEquivalence(t *testing.T) {
 }
 
 // TestMisdeclaredPropertyFailsLoudly pins the lying-schema behavior: a
-// property declared PropInt whose stored values are float64 routes SUM
-// onto the partial path, and the partial merge must fail with a clear
-// error instead of silently folding floats in chunk order
-// (worker-count-dependent bits).
+// property declared PropInt whose stored values are float64 must fail
+// loudly, not silently produce wrong bits. The first line of defense is
+// the columnar freeze itself — FreezeChecked validates every stored
+// value against its declaration. The second (reachable with freezing
+// disabled, where no columns are built) is the partial SUM merge, which
+// refuses to fold float partial states the planner proved integer.
 func TestMisdeclaredPropertyFailsLoudly(t *testing.T) {
 	s := declaredSchema(t)
 	g := graph.NewGraph(s)
@@ -183,11 +185,20 @@ func TestMisdeclaredPropertyFailsLoudly(t *testing.T) {
 		f := g.MustAddVertex("File", nil)
 		g.MustAddEdge(j, f, "WRITES_TO", nil)
 	}
+	// Freeze-time defense: the column build rejects the lying value.
+	if _, err := g.FreezeChecked(); err == nil ||
+		!strings.Contains(err.Error(), "declared int, holds float64") {
+		t.Fatalf("FreezeChecked err = %v, want declared-kind violation", err)
+	}
 	q := mustParse(t, `MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN SUM(j.CPU) AS total`)
 	if got := QueryAggModeFor(q, g.Schema()); got != AggModePartial {
 		t.Fatalf("mode = %v, want partial (declaration trusted at plan time)", got)
 	}
-	ex := &Executor{G: g, Workers: 4}
+	// Merge-time backstop: with freezing off (append-mode matcher, no
+	// columns, no freeze-time check) the partial merge still fails loudly
+	// instead of folding floats in chunk order (worker-count-dependent
+	// bits).
+	ex := &Executor{G: g, Workers: 4, noFrozen: true}
 	if _, err := ex.Execute(q); err == nil || !strings.Contains(err.Error(), "declared integer") {
 		t.Fatalf("err = %v, want loud mis-declaration error", err)
 	}
@@ -247,7 +258,7 @@ func BenchmarkFrozenVarLength(b *testing.B) {
 
 // benchGraph is a mid-size filtered-provenance-shaped graph for the
 // frozen benchmarks.
-func benchGraph(b *testing.B) *graph.Graph {
+func benchGraph(b testing.TB) *graph.Graph {
 	b.Helper()
 	g, err := datagen.Prov(datagen.ProvConfig{
 		Jobs: 400, Files: 900, TasksPerJob: 2, Machines: 15, Users: 5,

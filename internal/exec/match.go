@@ -6,6 +6,7 @@ import (
 
 	"kaskade/internal/gql"
 	"kaskade/internal/graph"
+	"kaskade/internal/metrics"
 )
 
 // matcher performs backtracking pattern matching of a MATCH clause over a
@@ -23,15 +24,38 @@ import (
 // both modes produce byte-identical results; the append-mode path
 // (f == nil) is kept as the semantic reference for the equivalence
 // tests.
+//
+// Bindings live in flat plan-time scratch, not a map: varNames holds
+// the pattern's variables (fixed at construction) and slots the bound
+// value per variable, nil meaning unbound — pattern variables only ever
+// bind non-nil refs. Binding and backtracking are a slot store and a
+// nil store; the matcher itself implements the evaluator's scope over
+// the slots, so WHERE/RETURN evaluation does no map work at all. Values
+// handed out of a live binding (projected rows, aggregation inputs) are
+// exported at the escape boundary — see exportValue.
 type matcher struct {
 	g        *graph.Graph
 	f        *graph.Frozen // frozen CSR view; nil = append-mode traversal
-	bindings map[string]Value
-	usedEdge []bool          // edge-uniqueness set, indexed by EdgeID
-	where    gql.Expr        // optional row filter
-	yield    func() error    // called once per full match
-	ctx      context.Context // optional cancellation (nil = never)
-	steps    int             // tick counter amortizing ctx polls
+	varNames []string      // pattern variables, deduped, construction order
+	slots    []Value       // bound value per variable; nil = unbound
+	usedEdge []bool        // edge-uniqueness set, indexed by EdgeID
+	where    gql.Expr      // optional row filter
+	yield    func() error  // called once per full match
+	ctx      context.Context
+	steps    int // tick counter amortizing ctx polls
+
+	// firstCands, when non-nil, replaces the first pattern's first-node
+	// enumeration: the column prefilter's surviving candidate list
+	// (sequential path; the parallel path filters its chunk input
+	// instead).
+	firstCands []graph.VertexID
+
+	// noColumns pins property reads to the map path (the columnar A/B
+	// switch); colReads/mapReads count covered column reads vs vertex
+	// map fallbacks, flushed coarsely via flushPropReads.
+	noColumns bool
+	colReads  int64
+	mapReads  int64
 }
 
 // newMatcher builds a matcher for q over ex's graph, on the frozen CSR
@@ -42,11 +66,20 @@ type matcher struct {
 // size.
 func (ex *Executor) newMatcher(ctx context.Context, q *gql.MatchQuery) *matcher {
 	m := &matcher{
-		g:        ex.G,
-		bindings: make(map[string]Value),
-		where:    q.Where,
-		ctx:      ctx,
+		g:         ex.G,
+		where:     q.Where,
+		ctx:       ctx,
+		noColumns: ex.noColumns,
 	}
+	for _, pat := range q.Patterns {
+		for _, n := range pat.Nodes {
+			m.addVar(n.Var)
+		}
+		for _, e := range pat.Edges {
+			m.addVar(e.Var)
+		}
+	}
+	m.slots = make([]Value, len(m.varNames))
 	for _, pat := range q.Patterns {
 		if len(pat.Edges) > 0 {
 			m.usedEdge = make([]bool, ex.G.NumEdges())
@@ -57,6 +90,77 @@ func (ex *Executor) newMatcher(ctx context.Context, q *gql.MatchQuery) *matcher 
 		m.f = ex.G.Freeze()
 	}
 	return m
+}
+
+// addVar registers a pattern variable (deduped; "" ignored).
+func (m *matcher) addVar(name string) {
+	if name == "" {
+		return
+	}
+	for _, n := range m.varNames {
+		if n == name {
+			return
+		}
+	}
+	m.varNames = append(m.varNames, name)
+}
+
+// slot resolves a variable to its scratch index (-1 when the name is
+// not a pattern variable). Patterns carry a handful of variables, so a
+// linear scan — with Go's pointer-equality fast path for interned
+// strings — beats map hashing.
+func (m *matcher) slot(name string) int {
+	for i, n := range m.varNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// lookup implements scope over the slots: bound means non-nil.
+func (m *matcher) lookup(name string) (Value, bool) {
+	for i, n := range m.varNames {
+		if n == name {
+			v := m.slots[i]
+			return v, v != nil
+		}
+	}
+	return nil, false
+}
+
+// prop implements scope: vertex reads route through the frozen columns
+// unless the noColumns A/B switch pins the map path.
+func (m *matcher) prop(base Value, key string) (Value, error) {
+	return readProp(base, key, !m.noColumns, &m.colReads, &m.mapReads)
+}
+
+// snapshot implements scope: the bound variables as a map, values
+// exported for retention beyond the current match.
+func (m *matcher) snapshot() map[string]Value {
+	out := make(map[string]Value, len(m.varNames))
+	for i, n := range m.varNames {
+		if v := m.slots[i]; v != nil {
+			out[n] = exportValue(v)
+		}
+	}
+	return out
+}
+
+// flushPropReads moves the matcher's property-read tallies into the
+// registry (nil-safe). Called once per match (or worker), not per read,
+// so the hot path stays on plain local ints.
+func (m *matcher) flushPropReads(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	if m.colReads > 0 {
+		reg.ColumnScans.Add(m.colReads)
+	}
+	if m.mapReads > 0 {
+		reg.PropMapFallbacks.Add(m.mapReads)
+	}
+	m.colReads, m.mapReads = 0, 0
 }
 
 // stepEdges returns the adjacency slice to scan for one edge-pattern
@@ -136,7 +240,7 @@ func (m *matcher) tick() error {
 }
 
 // matchPatterns enumerates all matches of the given patterns and calls
-// yield with m.bindings populated.
+// yield with the matcher's slots populated.
 func (m *matcher) matchPatterns(patterns []gql.PathPattern) error {
 	return m.startPattern(patterns, 0)
 }
@@ -147,7 +251,7 @@ func (m *matcher) matchPatterns(patterns []gql.PathPattern) error {
 func (m *matcher) startPattern(patterns []gql.PathPattern, pi int) error {
 	if pi == len(patterns) {
 		if m.where != nil {
-			ok, err := evalBool(m.where, m.bindings)
+			ok, err := evalBool(m.where, m)
 			if err != nil {
 				return err
 			}
@@ -160,6 +264,25 @@ func (m *matcher) startPattern(patterns []gql.PathPattern, pi int) error {
 	pat := patterns[pi]
 	if len(pat.Nodes) == 0 {
 		return fmt.Errorf("exec: empty pattern")
+	}
+	if pi == 0 && m.firstCands != nil {
+		// Column-prefiltered first-node enumeration: the surviving
+		// candidates, in the original order. The prefilter only engages
+		// on shapes where the first node has a fresh variable (see
+		// columnPrefilter), so this is a plain bind-walk-unbind loop.
+		si := m.slot(pat.Nodes[0].Var)
+		for _, id := range m.firstCands {
+			if err := m.tick(); err != nil {
+				return err
+			}
+			m.slots[si] = VertexRef{G: m.g, ID: id}
+			err := m.walkChain(patterns, 0, 1, id)
+			m.slots[si] = nil
+			if err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	return m.bindNode(pat.Nodes[0], func(at graph.VertexID) error {
 		return m.walkChain(patterns, pi, 1, at)
@@ -188,8 +311,10 @@ func (m *matcher) walkChain(patterns []gql.PathPattern, pi, ni int, at graph.Ver
 // already bound (join with an earlier pattern) or we enumerate candidate
 // vertices (restricted by type when given).
 func (m *matcher) bindNode(n gql.NodePattern, cont func(graph.VertexID) error) error {
+	si := -1
 	if n.Var != "" {
-		if v, bound := m.bindings[n.Var]; bound {
+		si = m.slot(n.Var)
+		if v := m.slots[si]; v != nil {
 			ref, ok := v.(VertexRef)
 			if !ok {
 				return fmt.Errorf("exec: variable %s is not a vertex", n.Var)
@@ -204,12 +329,12 @@ func (m *matcher) bindNode(n gql.NodePattern, cont func(graph.VertexID) error) e
 		if err := m.tick(); err != nil {
 			return err
 		}
-		if n.Var == "" {
+		if si < 0 {
 			return cont(id)
 		}
-		m.bindings[n.Var] = VertexRef{G: m.g, ID: id}
+		m.slots[si] = VertexRef{G: m.g, ID: id}
 		err := cont(id)
-		delete(m.bindings, n.Var)
+		m.slots[si] = nil
 		return err
 	}
 	if n.Type != "" {
@@ -237,7 +362,8 @@ func (m *matcher) checkAndBindTarget(toPat gql.NodePattern, target graph.VertexI
 	if toPat.Var == "" {
 		return cont(target)
 	}
-	if v, bound := m.bindings[toPat.Var]; bound {
+	si := m.slot(toPat.Var)
+	if v := m.slots[si]; v != nil {
 		ref, ok := v.(VertexRef)
 		if !ok {
 			return fmt.Errorf("exec: variable %s is not a vertex", toPat.Var)
@@ -247,14 +373,18 @@ func (m *matcher) checkAndBindTarget(toPat gql.NodePattern, target graph.VertexI
 		}
 		return cont(target)
 	}
-	m.bindings[toPat.Var] = VertexRef{G: m.g, ID: target}
+	m.slots[si] = VertexRef{G: m.g, ID: target}
 	err := cont(target)
-	delete(m.bindings, toPat.Var)
+	m.slots[si] = nil
 	return err
 }
 
 func (m *matcher) matchSingleEdge(from graph.VertexID, e gql.EdgePattern, toPat gql.NodePattern, cont func(graph.VertexID) error) error {
 	edges, typed := m.stepEdges(from, e.Type, e.Reversed)
+	ei := -1
+	if e.Var != "" {
+		ei = m.slot(e.Var)
+	}
 	for _, eid := range edges {
 		if err := m.tick(); err != nil {
 			return err
@@ -267,13 +397,13 @@ func (m *matcher) matchSingleEdge(from graph.VertexID, e gql.EdgePattern, toPat 
 		}
 		target := m.edgeEndpoint(eid, e.Reversed)
 		var undoVar bool
-		if e.Var != "" {
-			if prev, exists := m.bindings[e.Var]; exists {
+		if ei >= 0 {
+			if prev := m.slots[ei]; prev != nil {
 				if ref, ok := prev.(EdgeRef); !ok || ref.ID != eid {
 					continue
 				}
 			} else {
-				m.bindings[e.Var] = EdgeRef{G: m.g, ID: eid}
+				m.slots[ei] = EdgeRef{G: m.g, ID: eid}
 				undoVar = true
 			}
 		}
@@ -281,7 +411,7 @@ func (m *matcher) matchSingleEdge(from graph.VertexID, e gql.EdgePattern, toPat 
 		err := m.checkAndBindTarget(toPat, target, cont)
 		m.usedEdge[eid] = false
 		if undoVar {
-			delete(m.bindings, e.Var)
+			m.slots[ei] = nil
 		}
 		if err != nil {
 			return err
@@ -297,19 +427,26 @@ func (m *matcher) matchSingleEdge(from graph.VertexID, e gql.EdgePattern, toPat 
 func (m *matcher) matchVarLength(from graph.VertexID, e gql.EdgePattern, toPat gql.NodePattern, cont func(graph.VertexID) error) error {
 	var path []graph.EdgeID
 	min, max := e.MinHops, e.MaxHops
+	ei := -1
+	if e.Var != "" {
+		ei = m.slot(e.Var)
+	}
 
 	emit := func(at graph.VertexID) error {
-		if e.Var == "" {
+		if ei < 0 {
 			return m.checkAndBindTarget(toPat, at, cont)
 		}
-		if _, exists := m.bindings[e.Var]; exists {
+		if m.slots[ei] != nil {
 			return fmt.Errorf("exec: variable-length variable %s bound twice", e.Var)
 		}
-		cp := make([]graph.EdgeID, len(path))
-		copy(cp, path)
-		m.bindings[e.Var] = PathRef{G: m.g, Edges: cp}
+		// The binding aliases the walk's scratch path — no per-yield
+		// copy. The walk never mutates path while the binding is live
+		// (it appends only after emit returns and the slot is cleared);
+		// anything that outlives the yield is exported at its escape
+		// boundary instead (exportValue).
+		m.slots[ei] = PathRef{G: m.g, Edges: path}
 		err := m.checkAndBindTarget(toPat, at, cont)
-		delete(m.bindings, e.Var)
+		m.slots[ei] = nil
 		return err
 	}
 

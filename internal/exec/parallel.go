@@ -148,6 +148,17 @@ func (ex *Executor) streamMatchParallel(ctx context.Context, q *gql.MatchQuery, 
 	if !ok || len(cands) < 2 {
 		return nil, nil, false
 	}
+	if pf := ex.columnPrefilter(q); pf != nil {
+		// One flat column pass drops candidates whose leftmost WHERE
+		// conjunct is cleanly false before any chunk descends; survivors
+		// still evaluate the full WHERE (idempotent). Filtering the
+		// candidate list keeps a subsequence, so partition-order merging
+		// is unchanged.
+		cands = pf.filter(cands, ex.Metrics)
+		if len(cands) < 2 {
+			return nil, nil, false // sequential path re-filters
+		}
+	}
 	if workers > len(cands) {
 		workers = len(cands)
 	}
@@ -184,7 +195,7 @@ func (ex *Executor) streamMatchParallel(ctx context.Context, q *gql.MatchQuery, 
 		// mode uses it purely as the merge target.
 		var agg *aggregator
 		if mode != AggModeNone {
-			agg = newAggregator(q.Return, nil)
+			agg = newAggregator(q.Return, nil, ex.noColumns)
 		}
 		firstNode := q.Patterns[0].Nodes[0]
 		// front is the partition the merge currently consumes. Row-mode
@@ -196,10 +207,12 @@ func (ex *Executor) streamMatchParallel(ctx context.Context, q *gql.MatchQuery, 
 		go func() {
 			defer close(poolDone)
 			par.DoContextDone(wctx, numChunks, workers, func(next func() (int, bool)) {
-				// One matcher per worker: bindings and usedEdge drain
-				// back to empty between candidates, so the per-matcher
-				// state is reusable across chunks without cross-talk.
+				// One matcher per worker: binding slots and usedEdge
+				// drain back to empty between candidates, so the
+				// per-matcher state is reusable across chunks without
+				// cross-talk.
 				m := ex.newMatcher(wctx, q)
+				defer m.flushPropReads(ex.Metrics)
 				for {
 					ci, ok := next()
 					if !ok {
@@ -439,13 +452,13 @@ func (*partitionLimitError) Error() string { return "exec: partition row limit" 
 func (ex *Executor) matchChunkRange(m *matcher, q *gql.MatchQuery, mode AggMode, agg *aggregator, cands []graph.VertexID, firstNode gql.NodePattern, ch *matchChunk, ci int, front *atomic.Int64) error {
 	switch mode {
 	case AggModePartial:
-		ch.agg = newAggregator(q.Return, nil)
+		ch.agg = newAggregator(q.Return, nil, ex.noColumns)
 		m.yield = func() error {
 			ch.yields++
 			if ex.MaxRows > 0 && ch.yields > ex.MaxRows {
 				return errPartitionLimit
 			}
-			return ch.agg.feed(m.bindings)
+			return ch.agg.feed(m)
 		}
 	case AggModeBuffered:
 		localGroups := make(map[string]bool)
@@ -454,17 +467,14 @@ func (ex *Executor) matchChunkRange(m *matcher, q *gql.MatchQuery, mode AggMode,
 			if ex.MaxRows > 0 && ch.yields > ex.MaxRows {
 				return errPartitionLimit
 			}
-			p, err := agg.prepare(m.bindings)
+			p, err := agg.prepare(m)
 			if err != nil {
 				return err
 			}
 			y := aggYield{p: p}
 			if !localGroups[p.key] {
 				localGroups[p.key] = true
-				y.env = make(map[string]Value, len(m.bindings))
-				for k, v := range m.bindings {
-					y.env[k] = v
-				}
+				y.env = m.snapshot()
 			}
 			ch.aggs = append(ch.aggs, y)
 			return nil
@@ -490,11 +500,11 @@ func (ex *Executor) matchChunkRange(m *matcher, q *gql.MatchQuery, mode AggMode,
 			}
 			row := make(Row, len(q.Return))
 			for i, item := range q.Return {
-				v, err := evalExpr(item.Expr, m.bindings)
+				v, err := evalExpr(item.Expr, m)
 				if err != nil {
 					return err
 				}
-				row[i] = v
+				row[i] = exportValue(v)
 			}
 			if front.Load() != int64(ci) {
 				pending = append(pending, row)
@@ -511,16 +521,20 @@ func (ex *Executor) matchChunkRange(m *matcher, q *gql.MatchQuery, mode AggMode,
 			return nil
 		}
 	}
+	fs := -1
+	if firstNode.Var != "" {
+		fs = m.slot(firstNode.Var)
+	}
 	for _, id := range cands {
 		if err := m.tick(); err != nil {
 			return err
 		}
-		if firstNode.Var != "" {
-			m.bindings[firstNode.Var] = VertexRef{G: m.g, ID: id}
+		if fs >= 0 {
+			m.slots[fs] = VertexRef{G: m.g, ID: id}
 		}
 		err := m.walkChain(q.Patterns, 0, 1, id)
-		if firstNode.Var != "" {
-			delete(m.bindings, firstNode.Var)
+		if fs >= 0 {
+			m.slots[fs] = nil
 		}
 		if err != nil {
 			return err

@@ -64,6 +64,13 @@ type Executor struct {
 	// CSR view — the A/B switch the frozen-vs-append equivalence suite
 	// and benchmarks use. Results are byte-identical either way.
 	noFrozen bool
+
+	// noColumns pins every property read to the per-vertex map and
+	// disables the column prefilter, leaving the frozen columns unused —
+	// the A/B switch the columnar equivalence suite and benchmarks use.
+	// Results are byte-identical either way (freeze-time validation
+	// guarantees a column holds exactly what the map holds).
+	noColumns bool
 }
 
 // QueryAggMode reports the aggregation execution strategy the parallel
@@ -246,8 +253,12 @@ func (ex *Executor) streamMatchSeq(ctx context.Context, q *gql.MatchQuery) ([]st
 	}
 	body := func(yield func(Row, error) bool) {
 		matchStart := time.Now()
-		agg := newAggregator(q.Return, nil)
+		agg := newAggregator(q.Return, nil, ex.noColumns)
 		m := ex.newMatcher(ctx, q)
+		defer m.flushPropReads(ex.Metrics)
+		if pf := ex.columnPrefilter(q); pf != nil {
+			m.firstCands = pf.filter(ex.G.VerticesOfType(q.Patterns[0].Nodes[0].Type), ex.Metrics)
+		}
 		rows := 0
 		m.yield = func() error {
 			rows++
@@ -255,15 +266,15 @@ func (ex *Executor) streamMatchSeq(ctx context.Context, q *gql.MatchQuery) ([]st
 				return ErrRowLimit
 			}
 			if agg != nil {
-				return agg.feed(m.bindings)
+				return agg.feed(m)
 			}
 			row := make(Row, len(q.Return))
 			for i, item := range q.Return {
-				v, err := evalExpr(item.Expr, m.bindings)
+				v, err := evalExpr(item.Expr, m)
 				if err != nil {
 					return err
 				}
-				row[i] = v
+				row[i] = exportValue(v)
 			}
 			if !yield(row, nil) {
 				return errStreamStop
@@ -340,14 +351,15 @@ func (ex *Executor) evalSelect(ctx context.Context, q *gql.SelectQuery) (*Result
 	tailStart := time.Now()
 	out := &Result{Cols: returnCols(q.Items)}
 
-	agg := newAggregator(q.Items, q.GroupBy)
+	agg := newAggregator(q.Items, q.GroupBy, ex.noColumns)
 	env := make(map[string]Value, len(sub.Cols))
+	sc := mapScope{env: env, noCols: ex.noColumns}
 	for _, row := range sub.Rows {
 		for i, c := range sub.Cols {
 			env[c] = row[i]
 		}
 		if q.Where != nil {
-			ok, err := evalBool(q.Where, env)
+			ok, err := evalBool(q.Where, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -356,14 +368,14 @@ func (ex *Executor) evalSelect(ctx context.Context, q *gql.SelectQuery) (*Result
 			}
 		}
 		if agg != nil {
-			if err := agg.feed(env); err != nil {
+			if err := agg.feed(sc); err != nil {
 				return nil, err
 			}
 			continue
 		}
 		outRow := make(Row, len(q.Items))
 		for i, item := range q.Items {
-			v, err := evalExpr(item.Expr, env)
+			v, err := evalExpr(item.Expr, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -386,7 +398,7 @@ func (ex *Executor) evalSelect(ctx context.Context, q *gql.SelectQuery) (*Result
 	}
 	if len(q.OrderBy) > 0 {
 		orderStart := time.Now()
-		if err := orderRows(out, q.OrderBy); err != nil {
+		if err := orderRows(out, q.OrderBy, ex.noColumns); err != nil {
 			return nil, err
 		}
 		if ex.Prof != nil {
@@ -402,20 +414,17 @@ func (ex *Executor) evalSelect(ctx context.Context, q *gql.SelectQuery) (*Result
 	return out, nil
 }
 
-func orderRows(r *Result, order []gql.OrderItem) error {
-	envFor := func(row Row) map[string]Value {
-		env := make(map[string]Value, len(r.Cols))
+func orderRows(r *Result, order []gql.OrderItem, noCols bool) error {
+	env := make(map[string]Value, len(r.Cols))
+	sc := mapScope{env: env, noCols: noCols}
+	keys := make([][]Value, len(r.Rows))
+	for ri, row := range r.Rows {
 		for i, c := range r.Cols {
 			env[c] = row[i]
 		}
-		return env
-	}
-	keys := make([][]Value, len(r.Rows))
-	for ri, row := range r.Rows {
-		env := envFor(row)
 		ks := make([]Value, len(order))
 		for oi, o := range order {
-			v, err := evalExpr(o.Expr, env)
+			v, err := evalExpr(o.Expr, sc)
 			if err != nil {
 				return err
 			}

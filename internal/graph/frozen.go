@@ -80,24 +80,59 @@ type Frozen struct {
 	// Dense per-type vertex index, aligned with vtypes; the slices are
 	// shared with (and ordered like) Graph.VerticesOfType.
 	verticesByType [][]VertexID
+
+	// Columnar property storage (columns.go): denseIx maps a vertex ID
+	// to its position within its type's verticesByType list; colsByVType
+	// holds the typed columns built for each vertex type's declared
+	// properties. Both are nil when the schema declares no properties.
+	denseIx     []int32
+	colsByVType [][]column
+	colCount    int
+	colBytes    int64
 }
 
 // Freeze returns the graph's frozen CSR view, building and caching it on
 // first use. Concurrent callers may race the first build (both build,
 // one result wins — they are identical); mutation must not overlap
 // Freeze, per the read-only-after-load contract.
+//
+// Freeze panics when a schema-declared property holds a value of the
+// wrong dynamic type — a lying declaration is a programming or data
+// error, and failing the freeze loudly beats a silent misread at scan
+// time. Loaders validating untrusted data should use FreezeChecked
+// (graph.Load does, per record, before ever freezing).
 func (g *Graph) Freeze() *Frozen {
-	if f := g.frozen.Load(); f != nil {
-		return f
-	}
-	f := buildFrozen(g)
-	if !g.frozen.CompareAndSwap(nil, f) {
-		return g.frozen.Load()
+	f, err := g.FreezeChecked()
+	if err != nil {
+		panic(err)
 	}
 	return f
 }
 
-func buildFrozen(g *Graph) *Frozen {
+// FreezeChecked is Freeze with the declared-kind violations returned as
+// an error instead of a panic.
+func (g *Graph) FreezeChecked() (*Frozen, error) {
+	if f := g.frozen.Load(); f != nil {
+		return f, nil
+	}
+	f, err := buildFrozen(g)
+	if err != nil {
+		return nil, err
+	}
+	if !g.frozen.CompareAndSwap(nil, f) {
+		return g.frozen.Load(), nil
+	}
+	return f, nil
+}
+
+// CachedFrozen returns the memoized frozen view if one has been built,
+// without building one. Read paths that are only opportunistically
+// columnar (the evaluator's property reads) use this so they never pay
+// an O(V+E) freeze mid-expression — and so an executor configured to
+// avoid Freeze entirely stays off the frozen structures.
+func (g *Graph) CachedFrozen() *Frozen { return g.frozen.Load() }
+
+func buildFrozen(g *Graph) (*Frozen, error) {
 	csrBuilds.Add(1)
 	nv, ne := len(g.vertices), len(g.edges)
 	f := &Frozen{
@@ -141,7 +176,10 @@ func buildFrozen(g *Graph) *Frozen {
 	for i, t := range f.vtypes {
 		f.verticesByType[i] = g.byType[t]
 	}
-	return f
+	if err := buildColumns(g, f); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // flattenAdjacency packs per-vertex edge lists into one offset array and

@@ -12,25 +12,28 @@ import (
 // The serialization format is line-oriented and human-greppable, with
 // one record per line:
 //
-//	S	<vertexTypes json>	<edgeTypes json>        (optional schema header)
+//	S	<vertexTypes json>	<edgeTypes json>	[<prop decls json>]
 //	V	<id>	<type>	<props json>
 //	E	<from>	<to>	<type>	<props json>
 //
-// Vertex IDs in the file are the graph's dense IDs, so a round-trip
-// preserves identity. Property bags serialize as JSON objects; integer
-// values round-trip as int64 (JSON numbers without a fraction decode to
-// int64, not float64).
+// The schema header is optional, and its fourth field (property
+// declarations) is written only when the schema declares any — older
+// three-field headers load unchanged. Vertex IDs in the file are the
+// graph's dense IDs, so a round-trip preserves identity. Property bags
+// serialize as JSON objects; integer values round-trip as int64 (JSON
+// numbers without a fraction decode to int64, not float64).
 
 type schemaHeader struct {
 	VertexTypes []string   `json:"vertexTypes"`
 	EdgeTypes   []EdgeType `json:"edgeTypes"`
+	Props       []PropDecl `json:"props,omitempty"`
 }
 
 // Save writes the graph (including its schema, when present) to w.
 func Save(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	if s := g.Schema(); s != nil {
-		hdr := schemaHeader{VertexTypes: s.VertexTypes(), EdgeTypes: s.EdgeTypes()}
+		hdr := schemaHeader{VertexTypes: s.VertexTypes(), EdgeTypes: s.EdgeTypes(), Props: s.PropertyDecls()}
 		vt, err := json.Marshal(hdr.VertexTypes)
 		if err != nil {
 			return err
@@ -39,7 +42,15 @@ func Save(w io.Writer, g *Graph) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(bw, "S\t%s\t%s\n", vt, et)
+		if len(hdr.Props) > 0 {
+			pd, err := json.Marshal(hdr.Props)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(bw, "S\t%s\t%s\t%s\n", vt, et, pd)
+		} else {
+			fmt.Fprintf(bw, "S\t%s\t%s\n", vt, et)
+		}
 	}
 	var err error
 	g.EachVertex(func(v *Vertex) {
@@ -80,6 +91,10 @@ func Load(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	var g *Graph
+	// Declared properties grouped by owning type, so each V/E record is
+	// checked against only its own type's declarations (sorted order,
+	// from PropertyDecls — the first violation reported is stable).
+	var declsByType map[string][]PropDecl
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -93,7 +108,7 @@ func Load(r io.Reader) (*Graph, error) {
 			if g != nil {
 				return nil, fmt.Errorf("graph: line %d: schema header after records", lineNo)
 			}
-			if len(fields) != 3 {
+			if len(fields) != 3 && len(fields) != 4 {
 				return nil, fmt.Errorf("graph: line %d: malformed schema header", lineNo)
 			}
 			var vts []string
@@ -107,6 +122,21 @@ func Load(r io.Reader) (*Graph, error) {
 			schema, err := NewSchema(vts, ets)
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			if len(fields) == 4 {
+				var decls []PropDecl
+				if err := json.Unmarshal([]byte(fields[3]), &decls); err != nil {
+					return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+				}
+				for _, d := range decls {
+					if err := schema.DeclareProperty(d.Type, d.Prop, d.Kind); err != nil {
+						return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+					}
+				}
+				declsByType = make(map[string][]PropDecl)
+				for _, d := range schema.PropertyDecls() {
+					declsByType[d.Type] = append(declsByType[d.Type], d)
+				}
 			}
 			g = NewGraph(schema)
 		case "V":
@@ -122,6 +152,9 @@ func Load(r io.Reader) (*Graph, error) {
 			}
 			props, err := unmarshalProps(fields[3])
 			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			if err := checkLoadedProps(declsByType, fields[2], props); err != nil {
 				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
 			id, err := g.AddVertex(fields[2], props)
@@ -147,6 +180,9 @@ func Load(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
+			if err := checkLoadedProps(declsByType, fields[3], props); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
 			if _, err := g.AddEdge(VertexID(from), VertexID(to), fields[3], props); err != nil {
 				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
@@ -161,9 +197,31 @@ func Load(r io.Reader) (*Graph, error) {
 		g = NewGraph(nil)
 	}
 	// A loaded graph is complete and read-only from here on; freezing now
-	// means the first query or traversal finds the CSR index ready.
-	g.Freeze()
+	// means the first query or traversal finds the CSR index ready (and
+	// builds the property columns, whose declared-kind validation is a
+	// load error here, not a later panic).
+	if _, err := g.FreezeChecked(); err != nil {
+		return nil, err
+	}
 	return g, nil
+}
+
+// checkLoadedProps validates one loaded record's properties against its
+// type's declarations (per-type decls are in sorted order).
+func checkLoadedProps(declsByType map[string][]PropDecl, typeName string, props Properties) error {
+	if len(props) == 0 {
+		return nil
+	}
+	for _, d := range declsByType[typeName] {
+		v := props[d.Prop]
+		if v == nil {
+			continue
+		}
+		if err := checkPropValue(d.Type, d.Prop, d.Kind, v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func marshalProps(p Properties) ([]byte, error) {

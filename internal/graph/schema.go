@@ -138,6 +138,42 @@ func (s *Schema) PropertyKind(typeName, prop string) (PropKind, bool) {
 	return k, ok
 }
 
+// PropertyDecls returns every property declaration, sorted by
+// (type, prop) — the deterministic order freeze-time column builds and
+// the save format iterate in.
+func (s *Schema) PropertyDecls() []PropDecl {
+	if len(s.props) == 0 {
+		return nil
+	}
+	out := make([]PropDecl, 0, len(s.props))
+	for k, v := range s.props {
+		out = append(out, PropDecl{Type: k.typeName, Prop: k.prop, Kind: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Prop < out[j].Prop
+	})
+	return out
+}
+
+// CheckValue validates a property value against its declaration,
+// returning nil when the property is undeclared, v is nil (absent), or
+// v's dynamic type matches the declared kind. graph.Load funnels every
+// loaded property through this so a dataset file can't smuggle an
+// untyped value into a declared column.
+func (s *Schema) CheckValue(typeName, prop string, v any) error {
+	if v == nil {
+		return nil
+	}
+	k, ok := s.props[propKey{typeName, prop}]
+	if !ok {
+		return nil
+	}
+	return checkPropValue(typeName, prop, k, v)
+}
+
 // AdoptProperties copies every property declaration from `from` whose
 // owning type s also declares (as a vertex type or edge type name) —
 // used when deriving a view graph's schema, so queries rewritten over

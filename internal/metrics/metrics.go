@@ -201,6 +201,14 @@ type Registry struct {
 	Materializations Counter   // views landed in the catalog
 	Latency          Histogram // per-execution wall time
 
+	// Columnar-storage usage: vertex property reads served from the
+	// frozen typed columns (including prefilter scans) vs reads that
+	// fell back to the per-vertex property map (undeclared property,
+	// column-less type, or columns disabled). Edge property reads are
+	// always map reads and count in neither.
+	ColumnScans      Counter
+	PropMapFallbacks Counter
+
 	// Service-boundary metrics, bumped by internal/server (the kaskaded
 	// daemon); they stay zero for purely in-process use.
 	Admitted    Counter // requests admitted past the in-flight limiter
@@ -303,6 +311,14 @@ type Snapshot struct {
 	InFlight    int64
 	Sessions    int64
 
+	// Columnar-storage usage (see Registry.ColumnScans) and footprint:
+	// ColumnCount/ColumnBytes describe the graph's frozen property
+	// columns at snapshot time (filled by core.System.MetricsSnapshot).
+	ColumnScans      int64
+	PropMapFallbacks int64
+	ColumnCount      int64
+	ColumnBytes      int64
+
 	// FreezeEvents is the process-wide count of CSR index builds
 	// (graph.CSRBuilds — freezes are memoized per graph, so this counts
 	// distinct index constructions, not Freeze calls).
@@ -326,6 +342,8 @@ func (r *Registry) Snapshot() Snapshot {
 		RewriteMisses:    r.RewriteMisses.Load(),
 		Materializations: r.Materializations.Load(),
 		Latency:          r.Latency.Snapshot(),
+		ColumnScans:      r.ColumnScans.Load(),
+		PropMapFallbacks: r.PropMapFallbacks.Load(),
 		Admitted:         r.Admitted.Load(),
 		Rejected:         r.Rejected.Load(),
 		TimedOut:         r.TimedOut.Load(),

@@ -409,6 +409,10 @@ type metricsJSON struct {
 	FreezeEvents     int64          `json:"freeze_events"`
 	WorkersActive    int64          `json:"workers_active"`
 	WorkersPeak      int64          `json:"workers_peak"`
+	ColumnScans      int64          `json:"column_scans"`
+	PropMapFallbacks int64          `json:"prop_map_fallbacks"`
+	Columns          int64          `json:"columns"`
+	ColumnBytes      int64          `json:"column_bytes"`
 	Views            []viewHitsJSON `json:"views"`
 }
 
@@ -439,10 +443,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			InFlight: snap.InFlight, Sessions: snap.Sessions,
 			CacheHits: snap.CacheHits, CacheMisses: snap.CacheMisses,
 		},
-		FreezeEvents:  snap.FreezeEvents,
-		WorkersActive: snap.WorkersActive,
-		WorkersPeak:   snap.WorkersPeak,
-		Views:         make([]viewHitsJSON, 0, len(snap.Views)),
+		FreezeEvents:     snap.FreezeEvents,
+		WorkersActive:    snap.WorkersActive,
+		WorkersPeak:      snap.WorkersPeak,
+		ColumnScans:      snap.ColumnScans,
+		PropMapFallbacks: snap.PropMapFallbacks,
+		Columns:          snap.ColumnCount,
+		ColumnBytes:      snap.ColumnBytes,
+		Views:            make([]viewHitsJSON, 0, len(snap.Views)),
 	}
 	for _, v := range snap.Views {
 		out.Views = append(out.Views, viewHitsJSON{Name: v.Name, RewriteHits: v.Hits})
