@@ -139,6 +139,9 @@ func renderTop(sys *kaskade.System, ring *metrics.Ring, start time.Time, tty boo
 		s.Queries, s.QueryErrors, s.Rows, s.RewriteHits, s.RewriteMisses, s.HitRatio())
 	fmt.Fprintf(&b, "columns=%d (%d B)  prop reads: %d columnar / %d map\n",
 		s.ColumnCount, s.ColumnBytes, s.ColumnScans, s.PropMapFallbacks)
+	fmt.Fprintf(&b, "delta: tail %dv/%de  overlay reads=%d  compactions=%d (last %s)\n",
+		s.DeltaTailVertices, s.DeltaTailEdges, s.OverlayReads, s.Compactions,
+		s.LastCompaction.Round(time.Microsecond))
 	// Service-boundary counters (zero unless this System is also served
 	// by a kaskaded daemon in-process).
 	fmt.Fprintf(&b, "admission: %d admitted / %d rejected / %d timed out  in-flight=%d  sessions=%d  cache: %d hit / %d miss\n\n",

@@ -1,0 +1,146 @@
+// Benchmark and CI guard for the delta-overlay storage lifecycle: a
+// sustained 1:10 mutate:query mix on overlay storage (mutations land in
+// the frozen snapshot's tail, compaction folds it off the hot path)
+// versus the legacy refreeze lifecycle (every mutation invalidates the
+// cached CSR and the next query rebuilds it from scratch).
+package kaskade_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"kaskade/internal/datagen"
+	"kaskade/internal/exec"
+	"kaskade/internal/gql"
+	"kaskade/internal/graph"
+)
+
+// queriesPerMutation is the mix ratio the acceptance gate pins: each
+// benchmark iteration performs one schema-valid mutation followed by
+// this many queries.
+const queriesPerMutation = 10
+
+// mixedWorkloadGraph builds the provenance graph the mixed benchmark
+// mutates: large enough that a full CSR rebuild is clearly priced, small
+// enough for -bench smoke runs.
+func mixedWorkloadGraph(tb testing.TB) *graph.Graph {
+	tb.Helper()
+	cfg := datagen.DefaultProvConfig()
+	cfg.Jobs, cfg.Files, cfg.TasksPerJob, cfg.Machines = 300, 800, 2, 16
+	g, err := datagen.Prov(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// mixedMutateQuery runs n iterations of the 1:10 mix against g and
+// returns the rendered rows of the final query, so arms can be checked
+// for byte-identity. Mutations tie new File vertices into existing Jobs
+// with schema-valid WRITES_TO edges; the query is a point lookup on the
+// small Machine type — cheap by design, so the refreeze arm's cost is
+// dominated by the per-mutation CSR rebuild it pays and the overlay arm
+// avoids, which is exactly the trade this benchmark prices.
+func mixedMutateQuery(tb testing.TB, g *graph.Graph, n int) []string {
+	tb.Helper()
+	jobs := g.VerticesOfType("Job")
+	q := gql.MustParse(`MATCH (m:Machine) WHERE m.name = "m0" RETURN m.name AS name`)
+	ex := &exec.Executor{G: g}
+	var last *exec.Result
+	for i := 0; i < n; i++ {
+		f := g.MustAddVertex("File", graph.Properties{"name": "fmix"})
+		g.MustAddEdge(jobs[i%len(jobs)], f, "WRITES_TO", graph.Properties{"ts": int64(i)})
+		for j := 0; j < queriesPerMutation; j++ {
+			res, err := ex.Execute(q)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			last = res
+		}
+	}
+	out := make([]string, 0, len(last.Rows)+1)
+	out = append(out, fmt.Sprint(last.Cols))
+	for _, r := range last.Rows {
+		out = append(out, fmt.Sprint(r))
+	}
+	return out
+}
+
+// BenchmarkMixedMutateQuery prices sustained mutation rate against
+// query latency in both storage lifecycles. The overlay arm absorbs
+// mutations into the snapshot tail (compacting at the default
+// threshold); the refreeze arm invalidates the cached CSR per mutation,
+// so each iteration pays a full rebuild on its first query.
+func BenchmarkMixedMutateQuery(b *testing.B) {
+	b.Run("overlay", func(b *testing.B) {
+		g := mixedWorkloadGraph(b)
+		g.Freeze()
+		b.ResetTimer()
+		mixedMutateQuery(b, g, b.N)
+	})
+	b.Run("refreeze", func(b *testing.B) {
+		g := mixedWorkloadGraph(b)
+		g.SetDeltaOverlay(false)
+		g.Freeze()
+		b.ResetTimer()
+		mixedMutateQuery(b, g, b.N)
+	})
+}
+
+// TestMixedMutateQueryGuard is the CI acceptance gate for the overlay:
+// at a 1:10 mutate:query mix the overlay lifecycle must run at least 5x
+// faster per iteration than freeze-after-every-mutation, and the two
+// arms must return byte-identical rows. Gated behind BENCH_GUARD=1
+// because wall-clock ratios are meaningless on a loaded machine.
+func TestMixedMutateQueryGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") != "1" {
+		t.Skip("set BENCH_GUARD=1 to run the mixed mutate/query guard")
+	}
+	run := func(overlay bool) (time.Duration, []string) {
+		g := mixedWorkloadGraph(t)
+		if !overlay {
+			g.SetDeltaOverlay(false)
+		}
+		g.Freeze()
+		// Byte-identity first, on a fixed iteration count, before the
+		// graph diverges under b.N-driven growth.
+		rows := mixedMutateQuery(t, g, 3)
+		// Min-of-N on a fresh graph per probe: the minimum is the run
+		// least polluted by scheduling noise.
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			gb := mixedWorkloadGraph(t)
+			if !overlay {
+				gb.SetDeltaOverlay(false)
+			}
+			gb.Freeze()
+			r := testing.Benchmark(func(b *testing.B) {
+				mixedMutateQuery(b, gb, b.N)
+			})
+			if d := time.Duration(r.NsPerOp()); d < best {
+				best = d
+			}
+		}
+		return best, rows
+	}
+	ov, ovRows := run(true)
+	rf, rfRows := run(false)
+	if len(ovRows) != len(rfRows) {
+		t.Fatalf("overlay returned %d rendered rows, refreeze %d", len(ovRows), len(rfRows))
+	}
+	for i := range ovRows {
+		if ovRows[i] != rfRows[i] {
+			t.Fatalf("row %d diverged: overlay %s, refreeze %s", i, ovRows[i], rfRows[i])
+		}
+	}
+	t.Logf("mixed 1:%d mix: overlay %v/op, refreeze %v/op (%.1fx)",
+		queriesPerMutation, ov, rf, float64(rf)/float64(ov))
+	if rf < 5*ov {
+		t.Fatalf("overlay speedup below gate: overlay=%v refreeze=%v (%.2fx < 5x)",
+			ov, rf, float64(rf)/float64(ov))
+	}
+	fmt.Fprintf(os.Stderr, "mixed mutate/query: overlay=%v refreeze=%v (%.1fx)\n",
+		ov, rf, float64(rf)/float64(ov))
+}

@@ -111,7 +111,13 @@ func (s *System) MetricsSnapshot() metrics.Snapshot {
 		cols, colBytes := fz.ColumnStats()
 		snap.ColumnCount = int64(cols)
 		snap.ColumnBytes = colBytes
+		tv, te := fz.TailSize()
+		snap.DeltaTailVertices = int64(tv)
+		snap.DeltaTailEdges = int64(te)
 	}
+	snap.OverlayReads = graph.OverlayReads()
+	snap.Compactions = graph.CompactionsTotal()
+	snap.LastCompaction = graph.LastCompactionDuration()
 	for _, v := range s.catalog.ListViews() {
 		snap.Views = append(snap.Views, metrics.ViewCount{Name: v.Name, Hits: v.Hits})
 	}
@@ -303,6 +309,10 @@ func (s *System) explainText(plan *workload.Plan) string {
 	cols, colBytes := fz.ColumnStats()
 	fmt.Fprintf(&b, "storage: frozen csr (|V|=%d, |E|=%d, edge types=%d, columns=%d (%d B))\n",
 		fz.NumVertices(), fz.NumEdges(), len(fz.EdgeTypes()), cols, colBytes)
+	if tv, te := fz.TailSize(); tv+te > 0 {
+		fmt.Fprintf(&b, "delta: overlay tail %d vertices, %d edges (compactions=%d)\n",
+			tv, te, plan.Graph.Compactions())
+	}
 	if mode := exec.QueryAggModeFor(plan.Query, plan.Graph.Schema()); mode != exec.AggModeNone {
 		fmt.Fprintf(&b, "aggregation: %s\n", mode)
 	}

@@ -213,8 +213,26 @@ func (f *Frozen) findColumn(v VertexID, key string) *column {
 // (v's type, key); when it does, the value (nil when absent on v) is
 // byte-identical to Vertex(v).Prop(key) — freeze-time validation
 // guarantees it — and reading it allocates nothing. covered=false means
-// the caller must fall back to the property map.
+// the caller must fall back to the property map. Tail vertices resolve
+// through their type's tail column extension (delta.go), validated at
+// mutation time with the same check the freeze applies.
 func (f *Frozen) VertexPropColumnar(v VertexID, key string) (val any, covered bool) {
+	if ov := f.ov; ov != nil && int(v) >= ov.baseNV {
+		ti := int(v) - ov.baseNV
+		slot := ov.tailSlot[ti]
+		if slot < 0 {
+			return nil, false
+		}
+		tid := ov.vtypeOf[ti]
+		cols := f.colsByVType[tid]
+		for i := range cols {
+			if cols[i].prop == key {
+				overlayReads.Add(1)
+				return ov.cols[tid][i].vals[slot], true
+			}
+		}
+		return nil, false
+	}
 	c := f.findColumn(v, key)
 	if c == nil {
 		return nil, false
@@ -223,19 +241,27 @@ func (f *Frozen) VertexPropColumnar(v VertexID, key string) (val any, covered bo
 }
 
 // ColumnStats reports the frozen property columns: how many were built
-// and their resident index bytes.
+// and their resident index bytes (tail column extensions included).
 func (f *Frozen) ColumnStats() (count int, bytes int64) {
-	return f.colCount, f.colBytes
+	bytes = f.colBytes
+	if f.ov != nil {
+		bytes += f.ov.colBytes
+	}
+	return f.colCount, bytes
 }
 
 // PropColumn is a read-only handle to one frozen typed column, for
 // callers (the executor's vectorized predicate prefilter) that scan a
 // candidate list against one property. The typed accessors must only be
 // passed vertices of the column's vertex type — the column is indexed
-// by the type's dense vertex index.
+// by the type's dense vertex index, with delta-tail vertices resolved
+// through the column's tail extension (delta.go).
 type PropColumn struct {
-	f *Frozen
-	c *column
+	f   *Frozen
+	c   *column
+	ov  *overlay // the snapshot's overlay (nil on a pure-base snapshot)
+	tid int32    // the column's vertex-type ID
+	ci  int      // the column's index within colsByVType[tid]
 }
 
 // Column resolves the frozen column for (vtype, prop), reporting false
@@ -248,7 +274,7 @@ func (f *Frozen) Column(vtype, prop string) (PropColumn, bool) {
 	cols := f.colsByVType[tid]
 	for i := range cols {
 		if cols[i].prop == prop {
-			return PropColumn{f: f, c: &cols[i]}, true
+			return PropColumn{f: f, c: &cols[i], ov: f.ov, tid: tid, ci: i}, true
 		}
 	}
 	return PropColumn{}, false
@@ -257,9 +283,35 @@ func (f *Frozen) Column(vtype, prop string) (PropColumn, bool) {
 // Kind returns the column's declared kind.
 func (pc PropColumn) Kind() PropKind { return pc.c.kind }
 
+// tail reports whether v lives in the snapshot's delta tail and, when
+// it does, resolves v's slot in this column's tail extension. tc == nil
+// with tail == true means the tail holds no value for v.
+func (pc PropColumn) tail(v VertexID) (tc *tailColumn, slot int32, tail bool) {
+	ov := pc.ov
+	if ov == nil || int(v) < ov.baseNV {
+		return nil, 0, false
+	}
+	overlayReads.Add(1)
+	slot = ov.tailSlot[int(v)-ov.baseNV]
+	if slot < 0 {
+		return nil, 0, true
+	}
+	tcs := ov.cols[pc.tid]
+	if tcs == nil {
+		return nil, 0, true
+	}
+	return &tcs[pc.ci], slot, true
+}
+
 // Int returns v's value from a PropInt column (present=false when the
 // vertex lacks the property).
 func (pc PropColumn) Int(v VertexID) (int64, bool) {
+	if tc, slot, tail := pc.tail(v); tail {
+		if tc == nil || tc.vals[slot] == nil {
+			return 0, false
+		}
+		return tc.ints[slot], true
+	}
 	i := pc.f.denseIx[v]
 	if !pc.c.present.Has(int(i)) {
 		return 0, false
@@ -269,6 +321,12 @@ func (pc PropColumn) Int(v VertexID) (int64, bool) {
 
 // Float returns v's value from a PropFloat column.
 func (pc PropColumn) Float(v VertexID) (float64, bool) {
+	if tc, slot, tail := pc.tail(v); tail {
+		if tc == nil || tc.vals[slot] == nil {
+			return 0, false
+		}
+		return tc.floats[slot], true
+	}
 	i := pc.f.denseIx[v]
 	if !pc.c.present.Has(int(i)) {
 		return 0, false
@@ -276,9 +334,15 @@ func (pc PropColumn) Float(v VertexID) (float64, bool) {
 	return pc.c.floats[i], true
 }
 
-// Str returns v's value from a PropString column (interned; the
-// returned string is shared).
+// Str returns v's value from a PropString column (base values are
+// interned and shared; tail values are stored directly).
 func (pc PropColumn) Str(v VertexID) (string, bool) {
+	if tc, slot, tail := pc.tail(v); tail {
+		if tc == nil || tc.vals[slot] == nil {
+			return "", false
+		}
+		return tc.strs[slot], true
+	}
 	i := pc.f.denseIx[v]
 	if !pc.c.present.Has(int(i)) {
 		return "", false
@@ -288,6 +352,12 @@ func (pc PropColumn) Str(v VertexID) (string, bool) {
 
 // Bool returns v's value from a PropBool column.
 func (pc PropColumn) Bool(v VertexID) (bool, bool) {
+	if tc, slot, tail := pc.tail(v); tail {
+		if tc == nil || tc.vals[slot] == nil {
+			return false, false
+		}
+		return tc.bools[slot], true
+	}
 	i := pc.f.denseIx[v]
 	if !pc.c.present.Has(int(i)) {
 		return false, false

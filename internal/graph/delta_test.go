@@ -1,0 +1,354 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// assertFrozenMatchesGraph compares every Frozen accessor against the
+// append-mode accessors of ref, which must hold identical content. It
+// is the overlay correctness oracle: ref is a never-frozen twin, so a
+// merged base+tail read that diverges from insertion-order truth fails
+// here.
+func assertFrozenMatchesGraph(t *testing.T, f *Frozen, ref *Graph) {
+	t.Helper()
+	if f.NumVertices() != ref.NumVertices() || f.NumEdges() != ref.NumEdges() {
+		t.Fatalf("sizes: frozen %d/%d, ref %d/%d",
+			f.NumVertices(), f.NumEdges(), ref.NumVertices(), ref.NumEdges())
+	}
+	etypes := make([]string, 0, 4)
+	for et := range ref.EdgeTypeCounts() {
+		etypes = append(etypes, et)
+	}
+	etypes = append(etypes, "NOPE")
+	for v := 0; v < ref.NumVertices(); v++ {
+		id := VertexID(v)
+		if f.VertexTypeOf(id) != ref.Vertex(id).Type {
+			t.Fatalf("v%d: type %q, want %q", v, f.VertexTypeOf(id), ref.Vertex(id).Type)
+		}
+		if got, want := f.Out(id), ref.Out(id); !sameEdges(got, want) {
+			t.Fatalf("v%d Out = %v, want %v", v, got, want)
+		}
+		if got, want := f.In(id), ref.In(id); !sameEdges(got, want) {
+			t.Fatalf("v%d In = %v, want %v", v, got, want)
+		}
+		if f.OutDegree(id) != ref.OutDegree(id) || f.InDegree(id) != ref.InDegree(id) {
+			t.Fatalf("v%d degrees (%d,%d), want (%d,%d)",
+				v, f.OutDegree(id), f.InDegree(id), ref.OutDegree(id), ref.InDegree(id))
+		}
+		for _, et := range etypes {
+			var wantOut, wantIn []EdgeID
+			for _, eid := range ref.Out(id) {
+				if ref.Edge(eid).Type == et {
+					wantOut = append(wantOut, eid)
+				}
+			}
+			for _, eid := range ref.In(id) {
+				if ref.Edge(eid).Type == et {
+					wantIn = append(wantIn, eid)
+				}
+			}
+			if got := f.OutOfType(id, et); !sameEdges(got, wantOut) {
+				t.Fatalf("v%d OutOfType(%s) = %v, want %v", v, et, got, wantOut)
+			}
+			if got := f.InOfType(id, et); !sameEdges(got, wantIn) {
+				t.Fatalf("v%d InOfType(%s) = %v, want %v", v, et, got, wantIn)
+			}
+		}
+	}
+	for e := 0; e < ref.NumEdges(); e++ {
+		eid := EdgeID(e)
+		ed := ref.Edge(eid)
+		if f.From(eid) != ed.From || f.To(eid) != ed.To || f.EdgeTypeOf(eid) != ed.Type {
+			t.Fatalf("edge %d: (%d,%d,%s), want (%d,%d,%s)",
+				e, f.From(eid), f.To(eid), f.EdgeTypeOf(eid), ed.From, ed.To, ed.Type)
+		}
+		if f.EdgeTypeOf(eid) != "" {
+			tid, ok := f.EdgeTypeID(ed.Type)
+			if !ok {
+				t.Fatalf("edge type %q not resolvable", ed.Type)
+			}
+			if f.EdgeTypeIDOf(eid) != tid {
+				t.Fatalf("edge %d: interned type %d, want %d", e, f.EdgeTypeIDOf(eid), tid)
+			}
+		}
+	}
+	for _, vt := range append(ref.VertexTypes(), "NOPE") {
+		want := ref.VerticesOfType(vt)
+		got := f.VerticesOfType(vt)
+		if len(want) != len(got) {
+			t.Fatalf("VerticesOfType(%s): %d, want %d", vt, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("VerticesOfType(%s)[%d] = %d, want %d", vt, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func sameEdges(a, b []EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeltaOverlayMatchesFreshFreeze drives randomized interleaved
+// mutations into a frozen graph (overlay path) and a never-frozen twin,
+// checking every accessor after each burst. The same mutations are also
+// checked after a forced compaction — the folded base must read
+// identically.
+func TestDeltaOverlayMatchesFreshFreeze(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomFrozenGraph(t, 3, 60, 240)
+	ref := NewGraph(nil)
+	g.EachVertex(func(v *Vertex) { ref.MustAddVertex(v.Type, v.Props) })
+	g.EachEdge(func(e *Edge) { ref.MustAddEdge(e.From, e.To, e.Type, e.Props) })
+
+	f := g.Freeze()
+	builds := CSRBuilds()
+	vtypes := []string{"Job", "File", "Task", "Machine", "User"} // User: tail-only type
+	etypes := []string{"W", "R", "T", "X"}                       // X: tail-only type
+	for burst := 0; burst < 8; burst++ {
+		for i := 0; i < 25; i++ {
+			if rng.Intn(3) == 0 {
+				vt := vtypes[rng.Intn(len(vtypes))]
+				g.MustAddVertex(vt, nil)
+				ref.MustAddVertex(vt, nil)
+			} else {
+				from := VertexID(rng.Intn(g.NumVertices()))
+				to := VertexID(rng.Intn(g.NumVertices()))
+				et := etypes[rng.Intn(len(etypes))]
+				g.MustAddEdge(from, to, et, nil)
+				ref.MustAddEdge(from, to, et, nil)
+			}
+		}
+		if got := g.Freeze(); got != f {
+			t.Fatalf("burst %d: snapshot pointer changed without compaction", burst)
+		}
+		assertFrozenMatchesGraph(t, f, ref)
+	}
+	if got := CSRBuilds(); got != builds {
+		t.Fatalf("overlay bursts rebuilt the CSR %d times", got-builds)
+	}
+	if tv, te := f.TailSize(); tv+te == 0 {
+		t.Fatal("no tail accumulated")
+	}
+
+	// Fold and re-verify: the compacted base must read identically.
+	if err := g.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	nf := g.Freeze()
+	if nf == f {
+		t.Fatal("Compact did not swap in a fresh snapshot")
+	}
+	if tv, te := nf.TailSize(); tv != 0 || te != 0 {
+		t.Fatalf("compacted snapshot has tail (%d, %d)", tv, te)
+	}
+	assertFrozenMatchesGraph(t, nf, ref)
+	if g.Compactions() == 0 || CompactionsTotal() == 0 {
+		t.Fatal("compaction counters did not advance")
+	}
+	if LastCompactionDuration() <= 0 {
+		t.Fatal("last-compaction duration not recorded")
+	}
+}
+
+// TestDeltaOverlayColumns pins tail property reads: declared columns
+// cover tail vertices (typed accessors and VertexPropColumnar match the
+// property map, presence included), tail-only vertex types fall back to
+// the map path, and ColumnStats grows with the tail.
+func TestDeltaOverlayColumns(t *testing.T) {
+	s := MustSchema([]string{"Job", "File"}, []EdgeType{
+		{From: "Job", To: "File", Name: "W"},
+	})
+	if err := s.DeclareProperty("Job", "cpu", PropInt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeclareProperty("Job", "load", PropFloat); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeclareProperty("Job", "pool", PropString); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeclareProperty("Job", "prod", PropBool); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(s)
+	g.MustAddVertex("Job", Properties{"cpu": int64(4), "load": 0.5, "pool": "a", "prod": true})
+	g.MustAddVertex("File", nil)
+	f := g.Freeze()
+	_, baseBytes := f.ColumnStats()
+
+	// Tail vertices: full bag, partial bag, empty bag.
+	tail := []VertexID{
+		g.MustAddVertex("Job", Properties{"cpu": int64(16), "load": 2.25, "pool": "b", "prod": false}),
+		g.MustAddVertex("Job", Properties{"cpu": int64(8)}),
+		g.MustAddVertex("Job", nil),
+	}
+	if g.Freeze() != f {
+		t.Fatal("tail vertices dropped the snapshot")
+	}
+	for _, v := range tail {
+		for _, key := range []string{"cpu", "load", "pool", "prod"} {
+			want := g.Vertex(v).Prop(key)
+			got, covered := f.VertexPropColumnar(v, key)
+			if !covered {
+				t.Fatalf("v%d %s not covered", v, key)
+			}
+			if got != want {
+				t.Fatalf("v%d %s = %v, want %v", v, key, got, want)
+			}
+		}
+		if _, covered := f.VertexPropColumnar(v, "undeclared"); covered {
+			t.Fatalf("v%d: undeclared key covered", v)
+		}
+	}
+	// Typed column handles over mixed base+tail candidates.
+	jobs := f.VerticesOfType("Job")
+	for _, tc := range []struct {
+		key  string
+		read func(PropColumn, VertexID) (any, bool)
+	}{
+		{"cpu", func(pc PropColumn, v VertexID) (any, bool) { x, ok := pc.Int(v); return x, ok }},
+		{"load", func(pc PropColumn, v VertexID) (any, bool) { x, ok := pc.Float(v); return x, ok }},
+		{"pool", func(pc PropColumn, v VertexID) (any, bool) { x, ok := pc.Str(v); return x, ok }},
+		{"prod", func(pc PropColumn, v VertexID) (any, bool) { x, ok := pc.Bool(v); return x, ok }},
+	} {
+		pc, ok := f.Column("Job", tc.key)
+		if !ok {
+			t.Fatalf("Column(Job, %s) not resolved", tc.key)
+		}
+		for _, v := range jobs {
+			want := g.Vertex(v).Prop(tc.key)
+			got, present := tc.read(pc, v)
+			if present != (want != nil) {
+				t.Fatalf("v%d %s: present=%v, want %v", v, tc.key, present, want != nil)
+			}
+			if present && got != want {
+				t.Fatalf("v%d %s = %v, want %v", v, tc.key, got, want)
+			}
+		}
+	}
+	if _, bytes := f.ColumnStats(); bytes <= baseBytes {
+		t.Fatalf("ColumnStats bytes did not grow with the tail (%d <= %d)", bytes, baseBytes)
+	}
+}
+
+// TestDeltaTailPropValidation pins mutation-time validation: a declared
+// property holding the wrong dynamic type is rejected before anything
+// mutates, so the tail can never poison a later compaction.
+func TestDeltaTailPropValidation(t *testing.T) {
+	s := MustSchema([]string{"Job"}, nil)
+	if err := s.DeclareProperty("Job", "cpu", PropInt); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(s)
+	g.MustAddVertex("Job", Properties{"cpu": int64(1)})
+	g.Freeze()
+	nv := g.NumVertices()
+	_, err := g.AddVertex("Job", Properties{"cpu": "lots"})
+	if err == nil || !strings.Contains(err.Error(), "declared") {
+		t.Fatalf("lying tail property accepted: %v", err)
+	}
+	if g.NumVertices() != nv {
+		t.Fatal("rejected mutation landed anyway")
+	}
+	if err := g.Compact(); err != nil {
+		t.Fatalf("compaction failed after rejected mutation: %v", err)
+	}
+}
+
+// TestCompactionThreshold pins automatic folding: once the tail crosses
+// SetCompactionThreshold, the mutation path compacts and the snapshot
+// pointer swaps.
+func TestCompactionThreshold(t *testing.T) {
+	g := NewGraph(nil)
+	a := g.MustAddVertex("V", nil)
+	g.MustAddVertex("V", nil)
+	f := g.Freeze()
+	g.SetCompactionThreshold(10)
+	for i := 0; i < 9; i++ {
+		g.MustAddEdge(a, 1, "E", nil)
+	}
+	if g.Freeze() != f {
+		t.Fatal("compacted below threshold")
+	}
+	g.MustAddEdge(a, 1, "E", nil) // tenth tail entry: crosses the threshold
+	nf := g.Freeze()
+	if nf == f {
+		t.Fatal("threshold crossing did not compact")
+	}
+	if tv, te := nf.TailSize(); tv != 0 || te != 0 {
+		t.Fatalf("post-compaction tail (%d, %d)", tv, te)
+	}
+	if nf.NumEdges() != 10 {
+		t.Fatalf("compacted |E| = %d, want 10", nf.NumEdges())
+	}
+	if g.Compactions() != 1 {
+		t.Fatalf("Compactions = %d, want 1", g.Compactions())
+	}
+}
+
+// TestCompactNoops pins Compact's no-op cases: no snapshot, and a
+// snapshot without a tail.
+func TestCompactNoops(t *testing.T) {
+	g := NewGraph(nil)
+	g.MustAddVertex("V", nil)
+	if err := g.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Compactions() != 0 {
+		t.Fatal("compacted without a snapshot")
+	}
+	f := g.Freeze()
+	if err := g.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Compactions() != 0 || g.Freeze() != f {
+		t.Fatal("compacted a tail-less snapshot")
+	}
+}
+
+// TestSetDeltaOverlayDropsTail pins the A/B switch: turning the overlay
+// off drops a snapshot that carries a tail, and subsequent mutations
+// invalidate instead of appending.
+func TestSetDeltaOverlayDropsTail(t *testing.T) {
+	g := NewGraph(nil)
+	a := g.MustAddVertex("V", nil)
+	b := g.MustAddVertex("V", nil)
+	f := g.Freeze()
+	g.MustAddEdge(a, b, "E", nil)
+	if g.CachedFrozen() != f {
+		t.Fatal("overlay mutation dropped the snapshot")
+	}
+	g.SetDeltaOverlay(false)
+	if g.CachedFrozen() != nil {
+		t.Fatal("disabling the overlay kept a tailed snapshot")
+	}
+	if g.DeltaOverlayEnabled() {
+		t.Fatal("DeltaOverlayEnabled after SetDeltaOverlay(false)")
+	}
+	f2 := g.Freeze()
+	g.MustAddEdge(b, a, "E", nil)
+	if g.CachedFrozen() != nil {
+		t.Fatal("noDelta mutation kept the snapshot")
+	}
+	if f2.NumEdges() != 1 {
+		t.Fatalf("noDelta snapshot mutated: |E|=%d", f2.NumEdges())
+	}
+	g.SetDeltaOverlay(true)
+	f3 := g.Freeze()
+	g.MustAddEdge(a, b, "E", nil)
+	if g.CachedFrozen() != f3 {
+		t.Fatal("re-enabled overlay did not append to the snapshot")
+	}
+}

@@ -33,11 +33,16 @@ func CSRBuilds() int64 { return csrBuilds.Load() }
 //
 // Freeze memoizes: the first call builds the index in O(V+E) and caches
 // it on the graph; later calls return the cached value (one atomic
-// load). Mutating the graph (AddVertex/AddEdge) invalidates the cache,
-// so a graph still being loaded may be frozen early at no correctness
-// cost — but the intended lifecycle is freeze-after-load: the loader
-// (graph.Load), the catalog (each landed view), and the executor all
-// freeze once and then only read.
+// load). Mutating the graph (AddVertex/AddEdge) after a freeze attaches
+// a delta overlay to the cached view (delta.go): the tail merges behind
+// every accessor here, so the snapshot tracks the live graph without a
+// rebuild, and compaction periodically folds the tail into a fresh base
+// CSR. With the overlay disabled (Graph.SetDeltaOverlay(false)),
+// mutation invalidates the cache instead. A graph still being loaded
+// may be frozen early at no correctness cost — but the intended
+// lifecycle is freeze-after-load: the loader (graph.Load), the catalog
+// (each landed view), and the executor all freeze once and then mostly
+// read.
 type Frozen struct {
 	g *Graph
 
@@ -89,6 +94,11 @@ type Frozen struct {
 	colsByVType [][]column
 	colCount    int
 	colBytes    int64
+
+	// ov is the delta overlay (delta.go), attached by the first
+	// post-freeze mutation; nil on a pure-base snapshot. Written only on
+	// the mutation path, which never overlaps readers.
+	ov *overlay
 }
 
 // Freeze returns the graph's frozen CSR view, building and caching it on
@@ -248,11 +258,21 @@ func groupByType(off []int32, edges []EdgeID, etypeOf []int32, nv, nt int) ([]in
 // Graph returns the underlying graph (for property and record access).
 func (f *Frozen) Graph() *Graph { return f.g }
 
-// NumVertices returns the vertex count.
-func (f *Frozen) NumVertices() int { return len(f.vtypeOf) }
+// NumVertices returns the vertex count (base + tail).
+func (f *Frozen) NumVertices() int {
+	if f.ov != nil {
+		return len(f.g.vertices)
+	}
+	return len(f.vtypeOf)
+}
 
-// NumEdges returns the edge count.
-func (f *Frozen) NumEdges() int { return len(f.etypeOf) }
+// NumEdges returns the edge count (base + tail).
+func (f *Frozen) NumEdges() int {
+	if f.ov != nil {
+		return len(f.g.edges)
+	}
+	return len(f.etypeOf)
+}
 
 // Vertex returns the vertex record (read-only), like Graph.Vertex.
 func (f *Frozen) Vertex(id VertexID) *Vertex { return f.g.Vertex(id) }
@@ -261,47 +281,112 @@ func (f *Frozen) Vertex(id VertexID) *Vertex { return f.g.Vertex(id) }
 func (f *Frozen) Edge(id EdgeID) *Edge { return f.g.Edge(id) }
 
 // Out returns the IDs of edges leaving v, in insertion order — the same
-// sequence as Graph.Out(v), read from the flat CSR row.
-func (f *Frozen) Out(v VertexID) []EdgeID { return f.outEdges[f.outOff[v]:f.outOff[v+1]] }
+// sequence as Graph.Out(v), read from the flat CSR row. With an overlay,
+// a vertex whose row gained tail edges (or that is itself in the tail)
+// reads the graph's live insertion-order row, which IS the merged
+// base+tail row; untouched vertices stay on the base CSR.
+func (f *Frozen) Out(v VertexID) []EdgeID {
+	if ov := f.ov; ov != nil {
+		row := f.g.out[v]
+		if int(v) >= ov.baseNV || int(f.outOff[v+1]-f.outOff[v]) != len(row) {
+			overlayReads.Add(1)
+			return row
+		}
+	}
+	return f.outEdges[f.outOff[v]:f.outOff[v+1]]
+}
 
 // In returns the IDs of edges entering v, in insertion order.
-func (f *Frozen) In(v VertexID) []EdgeID { return f.inEdges[f.inOff[v]:f.inOff[v+1]] }
+func (f *Frozen) In(v VertexID) []EdgeID {
+	if ov := f.ov; ov != nil {
+		row := f.g.in[v]
+		if int(v) >= ov.baseNV || int(f.inOff[v+1]-f.inOff[v]) != len(row) {
+			overlayReads.Add(1)
+			return row
+		}
+	}
+	return f.inEdges[f.inOff[v]:f.inOff[v+1]]
+}
 
 // OutDegree returns the out-degree of v.
-func (f *Frozen) OutDegree(v VertexID) int { return int(f.outOff[v+1] - f.outOff[v]) }
+func (f *Frozen) OutDegree(v VertexID) int {
+	if f.ov != nil {
+		return len(f.g.out[v])
+	}
+	return int(f.outOff[v+1] - f.outOff[v])
+}
 
 // InDegree returns the in-degree of v.
-func (f *Frozen) InDegree(v VertexID) int { return int(f.inOff[v+1] - f.inOff[v]) }
+func (f *Frozen) InDegree(v VertexID) int {
+	if f.ov != nil {
+		return len(f.g.in[v])
+	}
+	return int(f.inOff[v+1] - f.inOff[v])
+}
 
 // From returns an edge's source vertex from the flat endpoint array.
-func (f *Frozen) From(e EdgeID) VertexID { return f.edgeFrom[e] }
+func (f *Frozen) From(e EdgeID) VertexID {
+	if ov := f.ov; ov != nil && int(e) >= ov.baseNE {
+		overlayReads.Add(1)
+		return ov.edgeFrom[int(e)-ov.baseNE]
+	}
+	return f.edgeFrom[e]
+}
 
 // To returns an edge's target vertex from the flat endpoint array.
-func (f *Frozen) To(e EdgeID) VertexID { return f.edgeTo[e] }
+func (f *Frozen) To(e EdgeID) VertexID {
+	if ov := f.ov; ov != nil && int(e) >= ov.baseNE {
+		overlayReads.Add(1)
+		return ov.edgeTo[int(e)-ov.baseNE]
+	}
+	return f.edgeTo[e]
+}
 
 // EdgeTypeID resolves an edge type label to its dense interned ID,
 // reporting false when no edge of that type exists.
 func (f *Frozen) EdgeTypeID(etype string) (int32, bool) {
+	if ov := f.ov; ov != nil {
+		id, ok := ov.etypeID[etype]
+		return id, ok
+	}
 	id, ok := f.etypeID[etype]
 	return id, ok
 }
 
 // EdgeTypeOf returns an edge's type label (interned — comparing results
 // of EdgeTypeIDOf is cheaper in hot loops).
-func (f *Frozen) EdgeTypeOf(e EdgeID) string { return f.etypes[f.etypeOf[e]] }
+func (f *Frozen) EdgeTypeOf(e EdgeID) string {
+	if ov := f.ov; ov != nil && int(e) >= ov.baseNE {
+		overlayReads.Add(1)
+		return ov.etypes[ov.etypeOf[int(e)-ov.baseNE]]
+	}
+	return f.etypes[f.etypeOf[e]]
+}
 
 // EdgeTypeIDOf returns an edge's interned type ID.
-func (f *Frozen) EdgeTypeIDOf(e EdgeID) int32 { return f.etypeOf[e] }
+func (f *Frozen) EdgeTypeIDOf(e EdgeID) int32 {
+	if ov := f.ov; ov != nil && int(e) >= ov.baseNE {
+		overlayReads.Add(1)
+		return ov.etypeOf[int(e)-ov.baseNE]
+	}
+	return f.etypeOf[e]
+}
 
 // VertexTypeOf returns a vertex's type label without touching the
 // vertex record.
-func (f *Frozen) VertexTypeOf(v VertexID) string { return f.vtypes[f.vtypeOf[v]] }
+func (f *Frozen) VertexTypeOf(v VertexID) string {
+	if ov := f.ov; ov != nil && int(v) >= ov.baseNV {
+		overlayReads.Add(1)
+		return ov.vtypes[ov.vtypeOf[int(v)-ov.baseNV]]
+	}
+	return f.vtypes[f.vtypeOf[v]]
+}
 
 // OutOfType returns the out-edges of v with the given edge type as one
 // contiguous slice — the insertion-order subsequence of Out(v) with
 // that type, with no per-edge filtering. Unknown types return nil.
 func (f *Frozen) OutOfType(v VertexID, etype string) []EdgeID {
-	t, ok := f.etypeID[etype]
+	t, ok := f.EdgeTypeID(etype)
 	if !ok {
 		return nil
 	}
@@ -310,7 +395,7 @@ func (f *Frozen) OutOfType(v VertexID, etype string) []EdgeID {
 
 // InOfType is OutOfType for in-edges.
 func (f *Frozen) InOfType(v VertexID, etype string) []EdgeID {
-	t, ok := f.etypeID[etype]
+	t, ok := f.EdgeTypeID(etype)
 	if !ok {
 		return nil
 	}
@@ -318,13 +403,34 @@ func (f *Frozen) InOfType(v VertexID, etype string) []EdgeID {
 }
 
 // OutTyped returns the out-edges of v with interned edge type t (from
-// EdgeTypeID), contiguous and in insertion order.
+// EdgeTypeID), contiguous and in insertion order. With an overlay, a
+// (v, t) pair a tail edge touched resolves to its merged run; tail-only
+// type IDs never match a base group, so untouched pairs fall through to
+// the base index correctly.
 func (f *Frozen) OutTyped(v VertexID, t int32) []EdgeID {
+	if ov := f.ov; ov != nil {
+		if run, ok := ov.outTyped[typedKey{v: v, t: t}]; ok {
+			overlayReads.Add(1)
+			return run
+		}
+		if int(v) >= ov.baseNV {
+			return nil
+		}
+	}
 	return typedRun(f.outGroupOff, f.outGroups, f.outOff, f.outTyped, v, t)
 }
 
 // InTyped is OutTyped for in-edges.
 func (f *Frozen) InTyped(v VertexID, t int32) []EdgeID {
+	if ov := f.ov; ov != nil {
+		if run, ok := ov.inTyped[typedKey{v: v, t: t}]; ok {
+			overlayReads.Add(1)
+			return run
+		}
+		if int(v) >= ov.baseNV {
+			return nil
+		}
+	}
 	return typedRun(f.inGroupOff, f.inGroups, f.inOff, f.inTyped, v, t)
 }
 
@@ -347,8 +453,13 @@ func typedRun(groupOff []int32, groups []typeGroup, off []int32, typed []EdgeID,
 
 // VerticesOfType returns the vertex IDs with the given type, in
 // insertion order — the same (shared, read-only) slice as
-// Graph.VerticesOfType.
+// Graph.VerticesOfType. With an overlay, the graph's live per-type list
+// is that merged slice already (base IDs precede all tail IDs).
 func (f *Frozen) VerticesOfType(vtype string) []VertexID {
+	if f.ov != nil {
+		overlayReads.Add(1)
+		return f.g.byType[vtype]
+	}
 	id, ok := f.vtypeID[vtype]
 	if !ok {
 		return nil
@@ -358,7 +469,11 @@ func (f *Frozen) VerticesOfType(vtype string) []VertexID {
 
 // EdgeTypes returns the distinct edge types present, sorted.
 func (f *Frozen) EdgeTypes() []string {
-	out := append([]string(nil), f.etypes...)
+	src := f.etypes
+	if f.ov != nil {
+		src = f.ov.etypes
+	}
+	out := append([]string(nil), src...)
 	sort.Strings(out)
 	return out
 }

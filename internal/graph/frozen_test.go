@@ -117,29 +117,61 @@ func TestFrozenPreservesAdjacencyOrder(t *testing.T) {
 	}
 }
 
-// TestFreezeMemoizesAndInvalidates pins the lifecycle: Freeze caches,
-// mutation invalidates, refreeze reflects the mutation.
+// TestFreezeMemoizesAndInvalidates pins both snapshot lifecycles. With
+// the delta overlay (the default), Freeze caches, mutation lands in the
+// cached snapshot's tail (same pointer, live counts), and no rebuild
+// happens. With the overlay disabled, mutation invalidates and refreeze
+// reflects the mutation — the legacy lifecycle the equivalence suites
+// use as their baseline.
 func TestFreezeMemoizesAndInvalidates(t *testing.T) {
-	g := NewGraph(nil)
-	a := g.MustAddVertex("V", nil)
-	b := g.MustAddVertex("V", nil)
-	g.MustAddEdge(a, b, "E", nil)
-	f1 := g.Freeze()
-	if f2 := g.Freeze(); f1 != f2 {
-		t.Fatal("Freeze did not memoize")
-	}
-	g.MustAddEdge(b, a, "E", nil)
-	f3 := g.Freeze()
-	if f3 == f1 {
-		t.Fatal("mutation did not invalidate the frozen cache")
-	}
-	if f3.NumEdges() != 2 || len(f3.In(a)) != 1 {
-		t.Fatalf("refrozen view stale: |E|=%d, in(a)=%d", f3.NumEdges(), len(f3.In(a)))
-	}
-	// The old view still describes the old state (immutably).
-	if f1.NumEdges() != 1 {
-		t.Fatalf("old frozen view changed: |E|=%d", f1.NumEdges())
-	}
+	t.Run("overlay", func(t *testing.T) {
+		g := NewGraph(nil)
+		a := g.MustAddVertex("V", nil)
+		b := g.MustAddVertex("V", nil)
+		g.MustAddEdge(a, b, "E", nil)
+		f1 := g.Freeze()
+		if f2 := g.Freeze(); f1 != f2 {
+			t.Fatal("Freeze did not memoize")
+		}
+		builds := CSRBuilds()
+		g.MustAddEdge(b, a, "E", nil)
+		f3 := g.Freeze()
+		if f3 != f1 {
+			t.Fatal("mutation dropped the overlay snapshot")
+		}
+		if f3.NumEdges() != 2 || len(f3.In(a)) != 1 {
+			t.Fatalf("overlay view stale: |E|=%d, in(a)=%d", f3.NumEdges(), len(f3.In(a)))
+		}
+		if tv, te := f3.TailSize(); tv != 0 || te != 1 {
+			t.Fatalf("TailSize = (%d, %d), want (0, 1)", tv, te)
+		}
+		if got := CSRBuilds(); got != builds {
+			t.Fatalf("overlay mutation rebuilt the CSR (%d builds)", got-builds)
+		}
+	})
+	t.Run("noDelta", func(t *testing.T) {
+		g := NewGraph(nil)
+		g.SetDeltaOverlay(false)
+		a := g.MustAddVertex("V", nil)
+		b := g.MustAddVertex("V", nil)
+		g.MustAddEdge(a, b, "E", nil)
+		f1 := g.Freeze()
+		if f2 := g.Freeze(); f1 != f2 {
+			t.Fatal("Freeze did not memoize")
+		}
+		g.MustAddEdge(b, a, "E", nil)
+		f3 := g.Freeze()
+		if f3 == f1 {
+			t.Fatal("mutation did not invalidate the frozen cache")
+		}
+		if f3.NumEdges() != 2 || len(f3.In(a)) != 1 {
+			t.Fatalf("refrozen view stale: |E|=%d, in(a)=%d", f3.NumEdges(), len(f3.In(a)))
+		}
+		// The old view still describes the old state (immutably).
+		if f1.NumEdges() != 1 {
+			t.Fatalf("old frozen view changed: |E|=%d", f1.NumEdges())
+		}
+	})
 }
 
 // TestFreezeConcurrent races many first-time Freeze calls; all must

@@ -11,16 +11,22 @@
 //
 // # Frozen CSR views
 //
-// Freeze derives an immutable Frozen view: flat CSR offset/edge arrays
-// for out- and in-adjacency, interned type labels, per-vertex edges
-// grouped by edge type (OutOfType returns a contiguous slice with no
-// per-edge filtering), and a dense per-type vertex index. The frozen
-// view shares the graph's records and property bags read-only, preserves
-// every iteration order exactly, and is memoized on the graph — the
-// loader, the view catalog, and the executor freeze once after load and
-// then only read. AddVertex/AddEdge invalidate the cached Frozen, so
-// freezing early is safe (merely wasteful); mutation must not run
-// concurrently with readers, as ever.
+// Freeze derives a Frozen view: flat CSR offset/edge arrays for out-
+// and in-adjacency, interned type labels, per-vertex edges grouped by
+// edge type (OutOfType returns a contiguous slice with no per-edge
+// filtering), and a dense per-type vertex index. The frozen view shares
+// the graph's records and property bags read-only, preserves every
+// iteration order exactly, and is memoized on the graph — the loader,
+// the view catalog, and the executor freeze once after load and then
+// only read.
+//
+// Post-freeze mutations land in the snapshot's delta overlay (delta.go):
+// AddVertex/AddEdge append to a per-type tail merged behind the Frozen
+// accessors, and a compaction threshold folds the tail into a fresh
+// base CSR — queries between mutations never pay an O(V+E) refreeze.
+// SetDeltaOverlay(false) restores the legacy invalidate-on-mutate
+// lifecycle. Either way, mutation must not run concurrently with
+// readers, as ever.
 package graph
 
 import (
@@ -71,8 +77,21 @@ type Graph struct {
 	out      [][]EdgeID // out[v] = edges with From == v, in insertion order
 	in       [][]EdgeID // in[v] = edges with To == v
 	byType   map[string][]VertexID
-	// frozen caches the CSR view built by Freeze; any mutation clears it.
+	// frozen caches the CSR view built by Freeze. With the delta
+	// overlay enabled (the default), post-freeze mutations land in the
+	// cached view's tail and compaction swaps in a fresh build; with it
+	// disabled (noDelta), any mutation clears the cache.
 	frozen atomic.Pointer[Frozen]
+	// noDelta disables the delta overlay (delta.go): mutations
+	// invalidate the cached Frozen instead of landing in its tail. The
+	// overlay equivalence suites pin overlay results against this
+	// refreeze baseline.
+	noDelta bool
+	// compactAt overrides the tail-size compaction threshold (<= 0:
+	// default, see compactionThreshold).
+	compactAt int
+	// compactions counts this graph's tail folds (see Compactions).
+	compactions atomic.Uint64
 }
 
 // NewGraph returns an empty graph governed by schema. A nil schema means
@@ -97,7 +116,15 @@ func (g *Graph) AddVertex(vtype string, props Properties) (VertexID, error) {
 	if g.schema != nil && !g.schema.HasVertexType(vtype) {
 		return NoVertex, fmt.Errorf("graph: vertex type %q not in schema", vtype)
 	}
-	g.frozen.Store(nil)
+	f := g.frozen.Load()
+	if f != nil && !g.noDelta {
+		// Overlay-bound vertex: validate declared properties before
+		// mutating anything, so compaction can never fail on tail data
+		// (delta.go).
+		if err := g.checkTailProps(vtype, props); err != nil {
+			return NoVertex, err
+		}
+	}
 	id := VertexID(len(g.vertices))
 	g.vertices = append(g.vertices, Vertex{ID: id, Type: vtype, Props: props})
 	g.out = append(g.out, nil)
@@ -106,6 +133,14 @@ func (g *Graph) AddVertex(vtype string, props Properties) (VertexID, error) {
 		g.byType = make(map[string][]VertexID)
 	}
 	g.byType[vtype] = append(g.byType[vtype], id)
+	if f != nil {
+		if g.noDelta {
+			g.frozen.Store(nil)
+		} else {
+			f.overlayAddVertex(id)
+			g.maybeCompact(f)
+		}
+	}
 	return id, nil
 }
 
@@ -135,11 +170,18 @@ func (g *Graph) AddEdge(from, to VertexID, etype string, props Properties) (Edge
 			return -1, fmt.Errorf("graph: schema forbids edge %s-[%s]->%s", ft, etype, tt)
 		}
 	}
-	g.frozen.Store(nil)
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Type: etype, Props: props})
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
+	if f := g.frozen.Load(); f != nil {
+		if g.noDelta {
+			g.frozen.Store(nil)
+		} else {
+			f.overlayAddEdge(id)
+			g.maybeCompact(f)
+		}
+	}
 	return id, nil
 }
 

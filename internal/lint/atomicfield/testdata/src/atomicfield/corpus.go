@@ -1,7 +1,10 @@
 // Package atomicfield exercises the mixed atomic/plain access rule.
 package atomicfield
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
 type counters struct {
 	hits  int64
@@ -38,4 +41,42 @@ func SetReady() { atomic.StoreInt64(&ready, 1) }
 
 func IsReady() bool {
 	return ready == 1 // want `non-atomic access to ready`
+}
+
+// snapshotSwap models the delta-overlay compaction swap: a compactor
+// publishes a rebuilt snapshot through a function-style atomic pointer
+// store and drains the tail counter atomically, so every other path
+// must go through sync/atomic too — a plain read of either field races
+// with an in-flight compaction.
+type snapshotSwap struct {
+	snap      unsafe.Pointer // *snapshot, swapped on compaction
+	tailEdges int64
+}
+
+func (s *snapshotSwap) compact(rebuilt unsafe.Pointer) {
+	atomic.StorePointer(&s.snap, rebuilt)
+	atomic.StoreInt64(&s.tailEdges, 0)
+}
+
+func (s *snapshotSwap) appendEdge() {
+	atomic.AddInt64(&s.tailEdges, 1)
+}
+
+// The racy reader pair: a query thread grabbing the snapshot and tail
+// length with plain loads while compact runs.
+func (s *snapshotSwap) current() unsafe.Pointer {
+	return s.snap // want `non-atomic access to snap`
+}
+
+func (s *snapshotSwap) tailLen() int64 {
+	return s.tailEdges // want `non-atomic access to tailEdges`
+}
+
+// The fixed reader pair.
+func (s *snapshotSwap) currentAtomic() unsafe.Pointer {
+	return atomic.LoadPointer(&s.snap)
+}
+
+func (s *snapshotSwap) tailLenAtomic() int64 {
+	return atomic.LoadInt64(&s.tailEdges)
 }

@@ -323,6 +323,16 @@ type Snapshot struct {
 	// (graph.CSRBuilds — freezes are memoized per graph, so this counts
 	// distinct index constructions, not Freeze calls).
 	FreezeEvents int64
+	// Delta-overlay storage state (filled by core.System.MetricsSnapshot,
+	// mirroring the columnar counters above): the served graph's current
+	// tail size, plus the process-wide overlay-resolved read count,
+	// compaction count, and most recent compaction duration
+	// (graph.OverlayReads / CompactionsTotal / LastCompactionDuration).
+	DeltaTailVertices int64
+	DeltaTailEdges    int64
+	OverlayReads      int64
+	Compactions       int64
+	LastCompaction    time.Duration
 	// WorkersActive/WorkersPeak are the process-wide par worker-pool
 	// occupancy: currently running workers and the high-water mark.
 	WorkersActive int64

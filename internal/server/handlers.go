@@ -413,6 +413,11 @@ type metricsJSON struct {
 	PropMapFallbacks int64          `json:"prop_map_fallbacks"`
 	Columns          int64          `json:"columns"`
 	ColumnBytes      int64          `json:"column_bytes"`
+	DeltaTailVerts   int64          `json:"delta_tail_vertices"`
+	DeltaTailEdges   int64          `json:"delta_tail_edges"`
+	OverlayReads     int64          `json:"overlay_reads"`
+	Compactions      int64          `json:"compactions"`
+	LastCompactionUS int64          `json:"last_compaction_us"`
 	Views            []viewHitsJSON `json:"views"`
 }
 
@@ -450,6 +455,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PropMapFallbacks: snap.PropMapFallbacks,
 		Columns:          snap.ColumnCount,
 		ColumnBytes:      snap.ColumnBytes,
+		DeltaTailVerts:   snap.DeltaTailVertices,
+		DeltaTailEdges:   snap.DeltaTailEdges,
+		OverlayReads:     snap.OverlayReads,
+		Compactions:      snap.Compactions,
+		LastCompactionUS: us(snap.LastCompaction),
 		Views:            make([]viewHitsJSON, 0, len(snap.Views)),
 	}
 	for _, v := range snap.Views {

@@ -221,6 +221,19 @@ func TestMetricsEndpoint(t *testing.T) {
 	if m.Latency.Count < 1 {
 		t.Errorf("latency count = %d, want ≥ 1", m.Latency.Count)
 	}
+	// Delta-overlay block: present on the wire even when zero, and sane.
+	for _, key := range []string{
+		`"delta_tail_vertices"`, `"delta_tail_edges"`, `"overlay_reads"`,
+		`"compactions"`, `"last_compaction_us"`,
+	} {
+		if !bytes.Contains(raw, []byte(key)) {
+			t.Errorf("metrics body missing %s", key)
+		}
+	}
+	if m.DeltaTailVerts < 0 || m.DeltaTailEdges < 0 || m.OverlayReads < 0 ||
+		m.Compactions < 0 || m.LastCompactionUS < 0 {
+		t.Errorf("delta metrics negative: %+v", m)
+	}
 }
 
 // TestHealthz checks the ok/draining flip.

@@ -1,0 +1,138 @@
+package views
+
+import (
+	"fmt"
+
+	"kaskade/internal/delta"
+	"kaskade/internal/graph"
+)
+
+// MaintainedCollection maintains the chained k-hop connector views for
+// k=1..MaxK as one collection. The views share endpoint types and edge
+// filter, so each base insertion needs only one delta computation: the
+// bounded prefix/suffix frontier that delta.EdgeDeltas walks once
+// serves every k, where independent MaintainedConnectors would re-walk
+// it per view. This is the collections-of-related-views shape that
+// Graphsurge (PAPERS.md) exploits — maintain the family, not each
+// member.
+type MaintainedCollection struct {
+	template KHopConnector // K is the collection's MaxK
+	base     *graph.Graph
+	views    []*graph.Graph // views[k-1] is the k-hop view
+	ks       []int
+	// remap maps base vertex IDs to view vertex IDs. Every view in the
+	// chain keeps the same endpoint types, so one mapping serves all.
+	remap map[graph.VertexID]graph.VertexID
+}
+
+// NewMaintainedCollection materializes the k-hop connectors k=1..def.K
+// over base and returns their shared maintainer. Like the single-view
+// maintainer, it requires path semantics, and all subsequent mutations
+// must go through the collection.
+func NewMaintainedCollection(def KHopConnector, base *graph.Graph) (*MaintainedCollection, error) {
+	if def.DedupPairs {
+		return nil, fmt.Errorf("views: incremental maintenance requires path semantics (DedupPairs=false)")
+	}
+	if def.K < 1 {
+		return nil, fmt.Errorf("views: collection needs K >= 1, got %d", def.K)
+	}
+	c := &MaintainedCollection{
+		template: def,
+		base:     base,
+		remap:    make(map[graph.VertexID]graph.VertexID),
+	}
+	for k := 1; k <= def.K; k++ {
+		dk := def
+		dk.K = k
+		view, err := dk.Materialize(base)
+		if err != nil {
+			return nil, err
+		}
+		c.views = append(c.views, view)
+		c.ks = append(c.ks, k)
+	}
+	// Rebuild the base->view vertex mapping the materializer used: it
+	// copies endpoint-type vertices in base-ID order, identically for
+	// every k, so the chain shares one mapping.
+	next := 0
+	for i := 0; i < base.NumVertices(); i++ {
+		v := base.Vertex(graph.VertexID(i))
+		if c.keepsType(v.Type) {
+			c.remap[v.ID] = graph.VertexID(next)
+			next++
+		}
+	}
+	for _, view := range c.views {
+		if next != view.NumVertices() {
+			return nil, fmt.Errorf("views: collection mapping mismatch: %d mapped, %d in view", next, view.NumVertices())
+		}
+	}
+	return c, nil
+}
+
+// View returns the maintained k-hop view (read-only for callers).
+func (c *MaintainedCollection) View(k int) *graph.Graph { return c.views[k-1] }
+
+// MaxK returns the largest hop count in the chain.
+func (c *MaintainedCollection) MaxK() int { return c.template.K }
+
+// Base returns the underlying base graph.
+func (c *MaintainedCollection) Base() *graph.Graph { return c.base }
+
+func (c *MaintainedCollection) keepsType(t string) bool {
+	if c.template.SrcType == "" && c.template.DstType == "" {
+		return true
+	}
+	return t == c.template.SrcType || t == c.template.DstType
+}
+
+// name returns the k-hop member's view name (CONN_kHOP_...).
+func (c *MaintainedCollection) name(k int) string {
+	dk := c.template
+	dk.K = k
+	return dk.Name()
+}
+
+// AddVertex adds a vertex to the base graph and mirrors it into every
+// view in the chain when its type is an endpoint type.
+func (c *MaintainedCollection) AddVertex(vtype string, props graph.Properties) (graph.VertexID, error) {
+	id, err := c.base.AddVertex(vtype, props)
+	if err != nil {
+		return graph.NoVertex, err
+	}
+	if c.keepsType(vtype) {
+		for _, view := range c.views {
+			vid, err := view.AddVertex(vtype, props)
+			if err != nil {
+				return graph.NoVertex, err
+			}
+			c.remap[id] = vid // identical vid across the chain
+		}
+	}
+	return id, nil
+}
+
+// AddEdge adds an edge to the base graph and applies each view's edge
+// delta, all computed from one shared prefix/suffix frontier walk.
+func (c *MaintainedCollection) AddEdge(from, to graph.VertexID, etype string, props graph.Properties) (graph.EdgeID, error) {
+	if allow := edgeTypeFilter(c.template.EdgeTypes); !allow(etype) {
+		// The edge can never participate in any view of the chain.
+		return c.base.AddEdge(from, to, etype, props)
+	}
+	eid, err := c.base.AddEdge(from, to, etype, props)
+	if err != nil {
+		return eid, err
+	}
+	deltas := delta.EdgeDeltas(c.base, eid, delta.Config{
+		SrcType:   c.template.SrcType,
+		DstType:   c.template.DstType,
+		EdgeTypes: c.template.EdgeTypes,
+		Ks:        c.ks,
+	})
+	for _, k := range c.ks {
+		if err := applyDelta(c.views[k-1], c.remap, c.name(k), deltas[k]); err != nil {
+			return eid, err
+		}
+	}
+	return eid, nil
+}

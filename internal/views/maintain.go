@@ -3,6 +3,7 @@ package views
 import (
 	"fmt"
 
+	"kaskade/internal/delta"
 	"kaskade/internal/graph"
 )
 
@@ -18,13 +19,18 @@ import (
 // only grow); deletions would require tombstoning and are out of scope,
 // as in the paper's prototype.
 //
-// Frozen-view interaction: every AddVertex/AddEdge routed through the
-// maintainer invalidates the cached CSR view (graph.Frozen) of both
-// the base and the view graph, so the next query over either pays one
-// O(V+E) Freeze rebuild. The incremental edge maintenance itself stays
-// cheap; only the storage index is coarse-grained. Batch mutations
-// between query bursts where that matters — incremental CSR
-// maintenance is an open ROADMAP item.
+// The view's edge delta for each base insertion comes from
+// delta.EdgeDeltas — bounded prefix/suffix walks around the new edge —
+// rather than a walk entangled with the view's own insertion logic, so
+// a chain of k-hop views can share one delta computation (see
+// MaintainedCollection).
+//
+// Frozen-view interaction: with delta-overlay storage (the default),
+// mutations routed through the maintainer land in the cached snapshots'
+// delta tails — neither the base nor the view pays an O(V+E) refreeze,
+// and a mutation the view filters out touches the view's snapshot not
+// at all. Compaction folds the tails off the hot path
+// (graph.Graph.Compact).
 type MaintainedConnector struct {
 	def  KHopConnector
 	base *graph.Graph
@@ -97,10 +103,11 @@ func (m *MaintainedConnector) AddVertex(vtype string, props graph.Properties) (g
 }
 
 // AddEdge adds an edge to the base graph and inserts the contracted
-// edges for every new k-length path that uses it: for each split
-// position i, backward (i)-length prefixes into the edge's source are
-// combined with forward (k-1-i)-length suffixes out of its target,
-// honoring path edge-uniqueness across prefix+edge+suffix.
+// edges for every new k-length path that uses it, as computed by
+// delta.EdgeDeltas: for each split position i, backward (i)-length
+// prefixes into the edge's source are combined with forward
+// (k-1-i)-length suffixes out of its target, honoring path
+// edge-uniqueness across prefix+edge+suffix.
 func (m *MaintainedConnector) AddEdge(from, to graph.VertexID, etype string, props graph.Properties) (graph.EdgeID, error) {
 	if allow := edgeTypeFilter(m.def.EdgeTypes); !allow(etype) {
 		// The edge can never participate in a contracted path; just add.
@@ -110,80 +117,29 @@ func (m *MaintainedConnector) AddEdge(from, to graph.VertexID, etype string, pro
 	if err != nil {
 		return eid, err
 	}
-	newEdge := m.base.Edge(eid)
-	k := m.def.K
-	allow := edgeTypeFilter(m.def.EdgeTypes)
+	deltas := delta.EdgeDeltas(m.base, eid, delta.Config{
+		SrcType:   m.def.SrcType,
+		DstType:   m.def.DstType,
+		EdgeTypes: m.def.EdgeTypes,
+		Ks:        []int{m.def.K},
+	})
+	return eid, applyDelta(m.view, m.remap, m.def.Name(), deltas[m.def.K])
+}
 
-	// used tracks edges on the current prefix+edge+suffix combination.
-	used := map[graph.EdgeID]bool{eid: true}
-
-	// For each position of the new edge within the k-length path:
-	for i := 0; i <= k-1; i++ {
-		prefixLen, suffixLen := i, k-1-i
-		var walkSuffix func(at graph.VertexID, rem int, maxTS int64, emit func(end graph.VertexID, maxTS int64) error) error
-		walkSuffix = func(at graph.VertexID, rem int, maxTS int64, emit func(graph.VertexID, int64) error) error {
-			if rem == 0 {
-				return emit(at, maxTS)
-			}
-			for _, oe := range m.base.Out(at) {
-				if used[oe] {
-					continue
-				}
-				e := m.base.Edge(oe)
-				if !allow(e.Type) {
-					continue
-				}
-				used[oe] = true
-				err := walkSuffix(e.To, rem-1, maxInt64(maxTS, tsOf(e)), emit)
-				used[oe] = false
-				if err != nil {
-					return err
-				}
-			}
-			return nil
+// applyDelta inserts one view's edge delta, translating base endpoint
+// IDs through the maintainer's vertex mapping.
+func applyDelta(view *graph.Graph, remap map[graph.VertexID]graph.VertexID, name string, des []delta.Edge) error {
+	for _, de := range des {
+		vf, ok1 := remap[de.From]
+		vt, ok2 := remap[de.To]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("views: maintenance: endpoint not mirrored into view")
 		}
-		var walkPrefix func(at graph.VertexID, rem int, maxTS int64) error
-		walkPrefix = func(at graph.VertexID, rem int, maxTS int64) error {
-			if rem == 0 {
-				start := at
-				if m.def.SrcType != "" && m.base.Vertex(start).Type != m.def.SrcType {
-					return nil
-				}
-				return walkSuffix(newEdge.To, suffixLen, maxTS, func(end graph.VertexID, pathTS int64) error {
-					if m.def.DstType != "" && m.base.Vertex(end).Type != m.def.DstType {
-						return nil
-					}
-					vf, ok1 := m.remap[start]
-					vt, ok2 := m.remap[end]
-					if !ok1 || !ok2 {
-						return fmt.Errorf("views: maintenance: endpoint not mirrored into view")
-					}
-					_, err := m.view.AddEdge(vf, vt, m.def.Name(), graph.Properties{
-						"ts": pathTS, "hops": int64(k),
-					})
-					return err
-				})
-			}
-			for _, ie := range m.base.In(at) {
-				if used[ie] {
-					continue
-				}
-				e := m.base.Edge(ie)
-				if !allow(e.Type) {
-					continue
-				}
-				used[ie] = true
-				err := walkPrefix(e.From, rem-1, maxInt64(maxTS, tsOf(e)))
-				used[ie] = false
-				if err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		if err := walkPrefix(newEdge.From, prefixLen, tsOf(newEdge)); err != nil {
-			return eid, err
+		if _, err := view.AddEdge(vf, vt, name, graph.Properties{
+			"ts": de.TS, "hops": int64(de.K),
+		}); err != nil {
+			return err
 		}
 	}
-	return eid, nil
+	return nil
 }

@@ -161,3 +161,60 @@ func TestMaintainedConnectorRejectsDedup(t *testing.T) {
 		t.Error("DedupPairs maintenance should be rejected")
 	}
 }
+
+// TestMaintainedNoOpMutationKeepsFrozen is the regression test for the
+// refreeze bug: a mutation the view filters out (wrong edge type,
+// non-endpoint vertex type) used to invalidate the cached Frozen of
+// BOTH graphs, forcing two O(V+E) rebuilds for a no-op. With
+// delta-overlay storage the base mutation lands in the base snapshot's
+// tail and the view's snapshot is untouched — no rebuild on either
+// side, and the view snapshot needs no overlay at all.
+func TestMaintainedNoOpMutationKeepsFrozen(t *testing.T) {
+	def := KHopConnector{SrcType: "Job", DstType: "Job", K: 2, EdgeTypes: []string{"W", "R"}}
+	schema := graph.MustSchema(
+		[]string{"Job", "File", "Machine"},
+		[]graph.EdgeType{
+			{From: "Job", To: "File", Name: "W"},
+			{From: "File", To: "Job", Name: "R"},
+			{From: "Job", To: "Machine", Name: "RUNS_ON"},
+		},
+	)
+	base := graph.NewGraph(schema)
+	m, err := NewMaintainedConnector(def, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := m.AddVertex("Job", nil)
+	if _, err := m.AddVertex("File", nil); err != nil {
+		t.Fatal(err)
+	}
+	bf := base.Freeze()
+	vf := m.View().Freeze()
+	builds := graph.CSRBuilds()
+
+	// Non-endpoint vertex type: mirrored nowhere.
+	mach, err := m.AddVertex("Machine", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filtered edge type: can never contribute a contracted path.
+	if _, err := m.AddEdge(j, mach, "RUNS_ON", nil); err != nil {
+		t.Fatal(err)
+	}
+	if base.CachedFrozen() != bf {
+		t.Fatal("no-op mutation dropped the base snapshot")
+	}
+	if m.View().CachedFrozen() != vf {
+		t.Fatal("no-op mutation dropped the view snapshot")
+	}
+	if _, te := vf.TailSize(); te != 0 || vf.NumEdges() != 0 {
+		t.Fatal("no-op mutation reached the view")
+	}
+	if got := graph.CSRBuilds(); got != builds {
+		t.Fatalf("no-op mutation rebuilt a CSR (%d builds)", got-builds)
+	}
+	// The base snapshot sees the mutation through its tail.
+	if bf.NumEdges() != 1 || bf.NumVertices() != 3 {
+		t.Fatalf("base snapshot stale: |V|=%d |E|=%d", bf.NumVertices(), bf.NumEdges())
+	}
+}

@@ -77,11 +77,21 @@ type Catalog struct {
 func (c *Catalog) SetMetrics(r *metrics.Registry) { c.metrics.Store(r) }
 
 // Epoch returns the catalog's mutation counter. It increments every
-// time a view lands in or is dropped from the catalog, so a plan
-// rewritten at epoch E is current exactly while Epoch() == E. Reading
-// it costs one atomic load — cheap enough for every prepared-query
-// execution.
-func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
+// time a view lands in or is dropped from the catalog, and every time
+// the base graph's delta tail is compacted into a fresh CSR — so a plan
+// rewritten at epoch E is current exactly while Epoch() == E. Folding
+// graph.Graph.Compactions in means prepared plans and response caches
+// refresh at compaction granularity, not per mutation: overlay
+// mutations between compactions leave the epoch alone, which is the
+// whole point of the delta tail. Reading it costs two atomic loads —
+// cheap enough for every prepared-query execution.
+func (c *Catalog) Epoch() uint64 {
+	e := c.epoch.Load()
+	if c.Base != nil {
+		e += c.Base.Compactions()
+	}
+	return e
+}
 
 // Materialize executes every chosen view of the selection over g and
 // returns the catalog.

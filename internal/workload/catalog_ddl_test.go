@@ -274,3 +274,37 @@ func TestPlanOnlyReturnsIdenticalPlanWithoutCounting(t *testing.T) {
 		t.Errorf("registry misses = %d, want 1", s.RewriteMisses)
 	}
 }
+
+// TestEpochBumpsOnCompaction pins the compaction-granularity freshness
+// signal: overlay mutations on the base graph leave the epoch alone
+// (the snapshot tracks them through its tail, so cached plans stay
+// valid), but folding the tail into a fresh CSR bumps it, refreshing
+// prepared plans and response caches once per burst instead of per
+// edge.
+func TestEpochBumpsOnCompaction(t *testing.T) {
+	c := ddlTestCatalog(t)
+	base := c.Base
+	base.Freeze()
+	e0 := c.Epoch()
+	jobs := base.VerticesOfType("Job")
+	files := base.VerticesOfType("File")
+	for i := 0; i < 5; i++ {
+		base.MustAddEdge(jobs[i], files[i], "WRITES_TO", nil)
+	}
+	if c.Epoch() != e0 {
+		t.Fatal("overlay mutations bumped the epoch")
+	}
+	if err := base.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != e0+1 {
+		t.Fatalf("Epoch after compaction = %d, want %d", c.Epoch(), e0+1)
+	}
+	// Views landing still bump it on top.
+	if err := c.CreateView(khopDef(t, "jj"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != e0+2 {
+		t.Fatalf("Epoch after CreateView = %d, want %d", c.Epoch(), e0+2)
+	}
+}

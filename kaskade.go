@@ -406,6 +406,18 @@ func NewMaintainedConnector(def KHopConnector, base *Graph) (*MaintainedConnecto
 	return views.NewMaintainedConnector(def, base)
 }
 
+// MaintainedCollection keeps the chained k-hop connector views for
+// k=1..K incrementally consistent with one base graph: each mutation's
+// path deltas for every k are computed from a single shared frontier
+// walk instead of K independent maintainers.
+type MaintainedCollection = views.MaintainedCollection
+
+// NewMaintainedCollection materializes def's connector at every hop
+// count 1..def.K over base and returns the chained maintainer.
+func NewMaintainedCollection(def KHopConnector, base *Graph) (*MaintainedCollection, error) {
+	return views.NewMaintainedCollection(def, base)
+}
+
 // SaveGraph serializes a graph (schema, vertices, edges, properties) to
 // a line-oriented text format that LoadGraph reads back losslessly.
 func SaveGraph(w io.Writer, g *Graph) error { return graph.Save(w, g) }
